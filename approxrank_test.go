@@ -1,0 +1,223 @@
+package approxrank_test
+
+import (
+	"math"
+	"testing"
+
+	approxrank "repro"
+)
+
+// fig4 builds the paper's worked-example global graph through the public
+// API.
+func fig4(t testing.TB) (*approxrank.Graph, *approxrank.Subgraph) {
+	t.Helper()
+	g := approxrank.MustFromEdges(7, [][2]approxrank.NodeID{
+		{0, 1}, {0, 2}, {0, 4}, {0, 6},
+		{1, 3},
+		{2, 1}, {2, 3},
+		{3, 0},
+		{4, 2}, {4, 5}, {4, 6},
+		{5, 2}, {5, 4},
+		{6, 2}, {6, 3},
+	})
+	sub, err := approxrank.NewSubgraph(g, []approxrank.NodeID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("NewSubgraph: %v", err)
+	}
+	return g, sub
+}
+
+// TestPublicAPIQuickstart walks the full quickstart flow through the
+// facade: global PageRank, IdealRank exactness, ApproxRank proximity.
+func TestPublicAPIQuickstart(t *testing.T) {
+	g, sub := fig4(t)
+	global, err := approxrank.GlobalPageRank(g, approxrank.PageRankOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("GlobalPageRank: %v", err)
+	}
+	ideal, err := approxrank.IdealRank(sub, global.Scores, approxrank.Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("IdealRank: %v", err)
+	}
+	for li, gid := range sub.Local {
+		if math.Abs(ideal.Scores[li]-global.Scores[gid]) > 1e-8 {
+			t.Errorf("IdealRank[%d] = %v, want %v", li, ideal.Scores[li], global.Scores[gid])
+		}
+	}
+	ap, err := approxrank.ApproxRank(sub, approxrank.Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("ApproxRank: %v", err)
+	}
+	// ApproxRank must preserve the ordering on this example (footrule 0).
+	truth := make([]float64, sub.N())
+	for li, gid := range sub.Local {
+		truth[li] = global.Scores[gid]
+	}
+	approxrank.Normalize(truth)
+	est := append([]float64(nil), ap.Scores...)
+	approxrank.Normalize(est)
+	fr, err := approxrank.Footrule(truth, est)
+	if err != nil {
+		t.Fatalf("Footrule: %v", err)
+	}
+	if fr != 0 {
+		t.Errorf("ApproxRank footrule on the worked example = %v, want 0", fr)
+	}
+	l1, err := approxrank.L1(truth, est)
+	if err != nil {
+		t.Fatalf("L1: %v", err)
+	}
+	if l1 > 0.05 {
+		t.Errorf("ApproxRank L1 = %v, unexpectedly large", l1)
+	}
+}
+
+// TestPublicAPIBaselines exercises the baseline entry points.
+func TestPublicAPIBaselines(t *testing.T) {
+	_, sub := fig4(t)
+	if res, err := approxrank.LocalPageRank(sub, approxrank.BaselineConfig{}); err != nil || len(res.Scores) != 4 {
+		t.Errorf("LocalPageRank: %v, %d scores", err, len(res.Scores))
+	}
+	if res, err := approxrank.LPR2(sub, approxrank.BaselineConfig{}); err != nil || len(res.Scores) != 4 {
+		t.Errorf("LPR2: %v, %d scores", err, len(res.Scores))
+	}
+	if res, err := approxrank.SC(sub, approxrank.SCConfig{Expansions: 2}); err != nil || len(res.Scores) != 4 {
+		t.Errorf("SC: %v, %d scores", err, len(res.Scores))
+	}
+}
+
+// TestPublicAPIGeneratedWeb runs the crawl-then-rank loop on a generated
+// web and checks that ApproxRank beats local PageRank on ranking accuracy
+// (the paper's headline claim, via the public API).
+func TestPublicAPIGeneratedWeb(t *testing.T) {
+	web, err := approxrank.GenerateWeb(approxrank.WebConfig{Pages: 8000, Domains: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("GenerateWeb: %v", err)
+	}
+	g := web.Graph
+	sub, err := approxrank.NewSubgraph(g, web.DomainPages(4))
+	if err != nil {
+		t.Fatalf("NewSubgraph: %v", err)
+	}
+	global, err := approxrank.GlobalPageRank(g, approxrank.PageRankOptions{})
+	if err != nil {
+		t.Fatalf("GlobalPageRank: %v", err)
+	}
+	truth := make([]float64, sub.N())
+	for li, gid := range sub.Local {
+		truth[li] = global.Scores[gid]
+	}
+	approxrank.Normalize(truth)
+
+	footruleOf := func(scores []float64) float64 {
+		t.Helper()
+		est := append([]float64(nil), scores...)
+		approxrank.Normalize(est)
+		fr, err := approxrank.Footrule(truth, est)
+		if err != nil {
+			t.Fatalf("Footrule: %v", err)
+		}
+		return fr
+	}
+	ap, err := approxrank.ApproxRank(sub, approxrank.Config{})
+	if err != nil {
+		t.Fatalf("ApproxRank: %v", err)
+	}
+	lp, err := approxrank.LocalPageRank(sub, approxrank.BaselineConfig{})
+	if err != nil {
+		t.Fatalf("LocalPageRank: %v", err)
+	}
+	apFr, lpFr := footruleOf(ap.Scores), footruleOf(lp.Scores)
+	if apFr >= lpFr {
+		t.Errorf("ApproxRank footrule %v not better than local PageRank %v", apFr, lpFr)
+	}
+}
+
+// TestPublicAPIContextReuse: the multi-subgraph workflow through the
+// facade gives identical results to one-shot calls.
+func TestPublicAPIContextReuse(t *testing.T) {
+	web, err := approxrank.GenerateWeb(approxrank.WebConfig{Pages: 4000, Domains: 8, Seed: 9})
+	if err != nil {
+		t.Fatalf("GenerateWeb: %v", err)
+	}
+	ctx := approxrank.NewContext(web.Graph)
+	for d := 0; d < 3; d++ {
+		sub, err := approxrank.NewSubgraph(web.Graph, web.DomainPages(d))
+		if err != nil {
+			t.Fatalf("NewSubgraph: %v", err)
+		}
+		one, err := approxrank.ApproxRank(sub, approxrank.Config{})
+		if err != nil {
+			t.Fatalf("ApproxRank: %v", err)
+		}
+		two, err := approxrank.ApproxRankCtx(ctx, sub, approxrank.Config{})
+		if err != nil {
+			t.Fatalf("ApproxRankCtx: %v", err)
+		}
+		for i := range one.Scores {
+			if one.Scores[i] != two.Scores[i] {
+				t.Fatalf("domain %d: context run differs at %d", d, i)
+			}
+		}
+	}
+}
+
+// TestPublicAPIMixedScores: the generalized chain interpolates between
+// ApproxRank and IdealRank.
+func TestPublicAPIMixedScores(t *testing.T) {
+	g, sub := fig4(t)
+	global, err := approxrank.GlobalPageRank(g, approxrank.PageRankOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("GlobalPageRank: %v", err)
+	}
+	mixed, err := approxrank.MixExternalScores(sub, global.Scores, 1)
+	if err != nil {
+		t.Fatalf("MixExternalScores: %v", err)
+	}
+	chain, err := approxrank.NewChainWithExternalScores(sub, mixed)
+	if err != nil {
+		t.Fatalf("NewChainWithExternalScores: %v", err)
+	}
+	res, err := chain.Run(approxrank.Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for li, gid := range sub.Local {
+		if math.Abs(res.Scores[li]-global.Scores[gid]) > 1e-8 {
+			t.Errorf("alpha=1 chain deviates at %d", li)
+		}
+	}
+}
+
+// TestPublicAPIGraphIO saves and loads through the facade.
+func TestPublicAPIGraphIO(t *testing.T) {
+	g, _ := fig4(t)
+	path := t.TempDir() + "/g.bin"
+	if err := approxrank.SaveGraph(path, g); err != nil {
+		t.Fatalf("SaveGraph: %v", err)
+	}
+	back, err := approxrank.LoadGraph(path)
+	if err != nil {
+		t.Fatalf("LoadGraph: %v", err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch")
+	}
+	st := approxrank.ComputeStats(back)
+	if st.Nodes != 7 || st.Edges != 15 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPublicAPICrawlers exercises the crawl helpers.
+func TestPublicAPICrawlers(t *testing.T) {
+	g, _ := fig4(t)
+	order, err := approxrank.BFSCrawl(g, 0, 5)
+	if err != nil || len(order) != 5 {
+		t.Fatalf("BFSCrawl: %v, %d pages", err, len(order))
+	}
+	hop, err := approxrank.CrawlHops(g, []approxrank.NodeID{0}, 1)
+	if err != nil || len(hop) != 5 { // 0 plus its 4 out-neighbours
+		t.Fatalf("CrawlHops: %v, %v", err, hop)
+	}
+}

@@ -1,0 +1,624 @@
+// Benchmark harness: one testing.B bench per table and figure of the
+// paper's evaluation, plus the ablations DESIGN.md calls out and
+// micro-benchmarks of the hot paths.
+//
+// The table/figure benches run the same drivers as cmd/experiments at a
+// reduced scale (benchmarks must fit a -bench run; the full-scale numbers
+// recorded in EXPERIMENTS.md come from `go run ./cmd/experiments`). Key
+// accuracy values are attached to the bench output via b.ReportMetric, so
+// `go test -bench=.` regenerates both the runtimes and the headline
+// distances of every experiment.
+package approxrank_test
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	approxrank "repro"
+	"repro/internal/baseline"
+	"repro/internal/blockrank"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/distributed"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/hits"
+	"repro/internal/metrics"
+	"repro/internal/pagerank"
+)
+
+// benchScale is large enough for meaningful comparisons, small enough for
+// a -bench run (the experiments suite at this scale builds in ~1 s).
+var benchScale = experiments.Scale{
+	AUPages: 60000, AUDomains: 24, PoliticsPages: 50000, PoliticsTopics: 12, Seed: 2009,
+}
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.NewSuite(benchScale)
+	})
+	if suiteErr != nil {
+		b.Fatalf("building suite: %v", suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkTableII regenerates the dataset-characteristics table.
+func BenchmarkTableII(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteTableII(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := approxrank.ComputeStats(s.AU.Data.Graph)
+	b.ReportMetric(float64(st.Edges), "AU-links")
+	b.ReportMetric(st.AvgOutDegree, "AU-avg-outdeg")
+}
+
+// BenchmarkTableIII regenerates the TS-subgraph accuracy comparison
+// (SC vs ApproxRank, L1 and footrule).
+func BenchmarkTableIII(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var runs []*experiments.SubgraphRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = s.RunTS(experiments.TSParams{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range runs {
+		b.ReportMetric(r.Approx.Footrule, r.Name+"-AR-footrule")
+		b.ReportMetric(r.SC.Footrule, r.Name+"-SC-footrule")
+	}
+}
+
+// BenchmarkTableIV regenerates the DS-subgraph footrule comparison across
+// the four algorithms (reduced to 6 domains per iteration).
+func BenchmarkTableIV(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var runs []*experiments.SubgraphRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = s.RunDS(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	sumAR, sumLP := 0.0, 0.0
+	for _, r := range runs {
+		sumAR += r.Approx.Footrule
+		sumLP += r.Local.Footrule
+	}
+	b.ReportMetric(sumAR/float64(len(runs)), "mean-AR-footrule")
+	b.ReportMetric(sumLP/float64(len(runs)), "mean-localPR-footrule")
+}
+
+// BenchmarkTableV regenerates the TS runtime comparison; the per-algorithm
+// runtimes are the point, so they are reported as metrics.
+func BenchmarkTableV(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var runs []*experiments.SubgraphRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = s.RunTS(experiments.TSParams{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var sc, ar float64
+	for _, r := range runs {
+		sc += r.SC.Elapsed.Seconds()
+		ar += r.Approx.Elapsed.Seconds()
+	}
+	b.ReportMetric(sc, "SC-total-sec")
+	b.ReportMetric(ar, "ApproxRank-total-sec")
+	if ar > 0 {
+		b.ReportMetric(sc/ar, "SC-over-ApproxRank")
+	}
+}
+
+// BenchmarkTableVI regenerates the DS runtime comparison (6 domains).
+func BenchmarkTableVI(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var runs []*experiments.SubgraphRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = s.RunDS(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var sc, ar float64
+	for _, r := range runs {
+		sc += r.SC.Elapsed.Seconds()
+		ar += r.Approx.Elapsed.Seconds()
+	}
+	b.ReportMetric(sc, "SC-total-sec")
+	b.ReportMetric(ar, "ApproxRank-total-sec")
+	if ar > 0 {
+		b.ReportMetric(sc/ar, "SC-over-ApproxRank")
+	}
+	b.ReportMetric(s.AU.Elapsed.Seconds(), "globalPR-sec")
+}
+
+// BenchmarkFigure7 regenerates the BFS-subgraph accuracy series (the three
+// smallest fractions per iteration; the full series runs in
+// cmd/experiments).
+func BenchmarkFigure7(b *testing.B) {
+	s := benchSuite(b)
+	fractions := []float64{0.5, 2, 5}
+	b.ResetTimer()
+	var runs []*experiments.SubgraphRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = s.RunBFS(fractions)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range runs {
+		b.ReportMetric(r.Approx.Footrule, fmt.Sprintf("AR-at-%.1fpct", r.PctOfGlobal))
+		b.ReportMetric(r.Local.Footrule, fmt.Sprintf("localPR-at-%.1fpct", r.PctOfGlobal))
+	}
+}
+
+// BenchmarkAblationEpsilon sweeps the damping factor against the Theorem 2
+// bound.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	s := benchSuite(b)
+	eps := []float64{0.5, 0.85, 0.95}
+	b.ResetTimer()
+	var pts []experiments.AblationPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = s.AblationEpsilon(eps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, p := range pts {
+		b.ReportMetric(p.Gap/p.Bound, "gap-over-bound")
+	}
+}
+
+// BenchmarkAblationMixedE sweeps partial knowledge of external scores.
+func BenchmarkAblationMixedE(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var pts []experiments.AblationPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = s.AblationMixedE(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(pts[0].Gap, "gap-alpha0")
+	b.ReportMetric(pts[len(pts)-1].Gap, "gap-alpha1")
+}
+
+// BenchmarkAblationIntraDomain sweeps the intra-domain link fraction.
+func BenchmarkAblationIntraDomain(b *testing.B) {
+	intras := []float64{0.6, 0.9}
+	b.ResetTimer()
+	var pts []experiments.AblationPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.AblationIntraDomain(intras, 20000, 2009)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(pts[0].Footrule, "footrule-intra0.6")
+	b.ReportMetric(pts[len(pts)-1].Footrule, "footrule-intra0.9")
+}
+
+// BenchmarkAblationSubgraphSize sweeps the subgraph fraction.
+func BenchmarkAblationSubgraphSize(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var pts []experiments.AblationPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = s.AblationSubgraphSize(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(pts) > 1 {
+		b.ReportMetric(pts[0].Footrule, "footrule-smallest")
+		b.ReportMetric(pts[len(pts)-1].Footrule, "footrule-largest")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the hot paths.
+// ---------------------------------------------------------------------
+
+func benchSubgraph(b *testing.B) (*experiments.Suite, *graph.Subgraph) {
+	b.Helper()
+	s := benchSuite(b)
+	order := experiments.DomainsAscending(s.AU.Data)
+	d := order[len(order)/2]
+	sub, err := graph.NewSubgraph(s.AU.Data.Graph, s.AU.Data.DomainPages(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, sub
+}
+
+// BenchmarkGlobalPageRank measures the full-graph power iteration that
+// ApproxRank avoids.
+func BenchmarkGlobalPageRank(b *testing.B) {
+	s := benchSuite(b)
+	g := s.AU.Data.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pagerank.Compute(g, pagerank.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApproxChainBuild measures assembling A_approx for a subgraph
+// (the paper's per-subgraph preprocessing under a shared Context).
+func BenchmarkApproxChainBuild(b *testing.B) {
+	s, sub := benchSubgraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewApproxChainCtx(s.AU.Ctx, sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApproxRankRun measures the (n+1)-state power iteration alone.
+func BenchmarkApproxRankRun(b *testing.B) {
+	s, sub := benchSubgraph(b)
+	chain, err := core.NewApproxChainCtx(s.AU.Ctx, sub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chain.Run(core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIdealRank measures the exact solution given known externals.
+func BenchmarkIdealRank(b *testing.B) {
+	s, sub := benchSubgraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IdealRank(sub, s.AU.PR.Scores, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalPageRank measures the cheapest (and least accurate)
+// baseline.
+func BenchmarkLocalPageRank(b *testing.B) {
+	_, sub := benchSubgraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.LocalPageRank(sub, baseline.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPR2 measures the naïve artificial-node baseline.
+func BenchmarkLPR2(b *testing.B) {
+	_, sub := benchSubgraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.LPR2(sub, baseline.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSC measures the stochastic-complementation competitor at the
+// paper's 25-expansion setting — the order-of-magnitude runtime gap to
+// ApproxRank is the paper's headline efficiency result.
+func BenchmarkSC(b *testing.B) {
+	_, sub := benchSubgraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.SC(sub, baseline.SCConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFootrule measures the partial-ranking metric on a large vector.
+func BenchmarkFootrule(b *testing.B) {
+	s, sub := benchSubgraph(b)
+	truth := s.AU.Truth(sub)
+	est, err := core.ApproxRankCtx(s.AU.Ctx, sub, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.AU.Evaluate(sub, est.Scores); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = truth
+}
+
+// BenchmarkGraphBuild measures CSR construction from an edge stream.
+func BenchmarkGraphBuild(b *testing.B) {
+	s := benchSuite(b)
+	g := s.AU.Data.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := graph.NewBuilder(g.NumNodes())
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+				bl.AddEdge(graph.NodeID(u), v)
+			}
+		}
+		if _, err := bl.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures the synthetic web generator.
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := approxrank.GenerateWeb(approxrank.WebConfig{Pages: 20000, Domains: 16, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Extension benches: the related-work systems.
+// ---------------------------------------------------------------------
+
+// BenchmarkAccelerationSchemes compares the PageRank iteration schemes of
+// the related work on the bench-scale AU graph.
+func BenchmarkAccelerationSchemes(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var rows []experiments.AccelRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.RunAcceleration()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		name := r.Method
+		if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i] // the blockrank row carries a parenthetical
+		}
+		b.ReportMetric(float64(r.Iterations), name+"-iters")
+	}
+}
+
+// BenchmarkJXPRound measures one meeting round of a domain-per-peer JXP
+// network, reporting the error drop.
+func BenchmarkJXPRound(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var pts []experiments.JXPPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = s.RunJXP(3, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(pts[0].MaxError, "round0-maxerr")
+	b.ReportMetric(pts[len(pts)-1].MaxError, "round3-maxerr")
+}
+
+// BenchmarkPointRank measures single-page estimation at the default
+// radius, reporting the mean relative error.
+func BenchmarkPointRank(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var rows []experiments.PointRankRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.RunPointRank([]int{3}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rows[0].MeanRelErr, "mean-rel-err")
+	b.ReportMetric(rows[0].MeanInfluence, "mean-influence")
+}
+
+// BenchmarkServerRank measures the one-shot distributed combination.
+func BenchmarkServerRank(b *testing.B) {
+	s := benchSuite(b)
+	ds := s.AU.Data
+	serverOf := func(p graph.NodeID) int { return int(ds.Domain[p]) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := distributed.ServerRank(ds.Graph, serverOf, ds.NumDomains(), distributed.ServerRankConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKendallExact measures the O(n log n) tie-aware Kendall
+// distance on a large score vector.
+func BenchmarkKendallExact(b *testing.B) {
+	s, sub := benchSubgraph(b)
+	truth := s.AU.Truth(sub)
+	est, err := core.ApproxRankCtx(s.AU.Ctx, sub, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.KendallTau(truth, est.Scores); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateScenario measures the updated-subgraph strategies,
+// reporting the accuracy of the paper's IdealRank-with-stale-externals
+// proposal and IAD's sweep count.
+func BenchmarkUpdateScenario(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var rows []experiments.UpdateRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.RunUpdate(0.33, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		switch r.Strategy {
+		case "IdealRank, stale externals (paper)":
+			b.ReportMetric(r.L1, "ideal-stale-L1")
+		case "IAD update (Langville & Meyer)":
+			b.ReportMetric(float64(r.GlobalSweeps), "iad-sweeps")
+		case "full recomputation":
+			b.ReportMetric(float64(r.GlobalSweeps), "recompute-iters")
+		}
+	}
+}
+
+// BenchmarkBestFirstCrawl measures the focused crawler against BFS on
+// collected authority mass at a fixed budget.
+func BenchmarkBestFirstCrawl(b *testing.B) {
+	s := benchSuite(b)
+	g := s.AU.Data.Graph
+	seed := graph.NodeID(0)
+	for p := 0; p < g.NumNodes(); p++ {
+		if g.OutDegree(graph.NodeID(p)) == 4 {
+			seed = graph.NodeID(p)
+			break
+		}
+	}
+	budget := g.NumNodes() / 50
+	b.ResetTimer()
+	var bf []graph.NodeID
+	for i := 0; i < b.N; i++ {
+		var err error
+		bf, err = crawler.BestFirst(g, seed, crawler.BestFirstConfig{MaxPages: budget})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	bfs, err := crawler.BFS(g, seed, budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mass := func(pages []graph.NodeID) float64 {
+		m := 0.0
+		for _, p := range pages {
+			m += s.AU.PR.Scores[p]
+		}
+		return m
+	}
+	b.ReportMetric(mass(bf), "bestfirst-mass")
+	b.ReportMetric(mass(bfs), "bfs-mass")
+}
+
+// BenchmarkBlockRankFull measures the complete 3-stage BlockRank.
+func BenchmarkBlockRankFull(b *testing.B) {
+	s := benchSuite(b)
+	ds := s.AU.Data
+	blockOf := func(p graph.NodeID) int { return int(ds.Domain[p]) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blockrank.Compute(ds.Graph, blockOf, ds.NumDomains(), blockrank.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGlobalPageRankParallel measures the multi-worker power
+// iteration (compare with BenchmarkGlobalPageRank).
+func BenchmarkGlobalPageRankParallel(b *testing.B) {
+	s := benchSuite(b)
+	g := s.AU.Data.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pagerank.Compute(g, pagerank.Options{Parallelism: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopK measures top-K retrieval accuracy across the four
+// algorithms (the paper's §V-C argument for order accuracy).
+func BenchmarkTopK(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var rows []experiments.TopKRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.RunTopK([]int{10, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(r.Approx, fmt.Sprintf("AR-top%d", r.K))
+		b.ReportMetric(r.Local, fmt.Sprintf("localPR-top%d", r.K))
+	}
+}
+
+// BenchmarkHITS measures hubs-and-authorities on an induced DS subgraph.
+func BenchmarkHITS(b *testing.B) {
+	_, sub := benchSubgraph(b)
+	induced, err := sub.Induce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hits.Compute(induced, hits.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on synthetic stand-ins for its datasets.
+//
+// Usage:
+//
+//	experiments [-scale tiny|paper] [-au N] [-politics N] [-seed S] [what ...]
+//
+// where each "what" is one of: table2, table3, table4, table5, table6,
+// figure7, ablations, all (default: all).
+//
+// At -scale paper the synthetic datasets hold 300k/220k pages (a ~1/13
+// linear scale-down of the paper's 3.9M/4.4M crawls); -scale tiny is a
+// seconds-long smoke configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "paper", "dataset scale: tiny or paper")
+	auPages := flag.Int("au", 0, "override: pages in the AU-analogue dataset")
+	polPages := flag.Int("politics", 0, "override: pages in the politics-analogue dataset")
+	seed := flag.Int64("seed", 0, "override: generation seed")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = experiments.Tiny()
+	case "paper":
+		// zero value fills defaults
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want tiny or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *auPages > 0 {
+		scale.AUPages = *auPages
+	}
+	if *polPages > 0 {
+		scale.PoliticsPages = *polPages
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	what := flag.Args()
+	if len(what) == 0 {
+		what = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, w := range what {
+		switch w {
+		case "all":
+			for _, k := range []string{"table2", "table3", "table4", "table5", "table6", "figure7", "ablations", "extended"} {
+				want[k] = true
+			}
+		case "table2", "table3", "table4", "table5", "table6", "figure7", "ablations", "extended":
+			want[w] = true
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", w)
+			os.Exit(2)
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("generating datasets (AU=%d pages, politics=%d pages, seed=%d)...\n",
+		orDefault(scale.AUPages, 300000), orDefault(scale.PoliticsPages, 220000), orDefault64(scale.Seed, 2009))
+	suite, err := experiments.NewSuite(scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("datasets ready in %v; global PageRank: AU %v (%d iter), politics %v (%d iter)\n\n",
+		time.Since(start).Round(time.Millisecond),
+		suite.AU.Elapsed.Round(time.Millisecond), suite.AU.PR.Iterations,
+		suite.Politics.Elapsed.Round(time.Millisecond), suite.Politics.PR.Iterations)
+
+	if want["table2"] {
+		if err := suite.WriteTableII(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	var tsRuns []*experiments.SubgraphRun
+	if want["table3"] || want["table5"] {
+		fmt.Println("running TS subgraph experiments (Tables III & V)...")
+		tsRuns, err = suite.RunTS(experiments.TSParams{})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if want["table3"] {
+		if err := experiments.WriteTableIII(os.Stdout, tsRuns); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	var dsRuns []*experiments.SubgraphRun
+	if want["table4"] || want["table6"] {
+		fmt.Println("running DS subgraph experiments (Tables IV & VI)...")
+		dsRuns, err = suite.RunDS(12)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if want["table4"] {
+		if err := experiments.WriteTableIV(os.Stdout, dsRuns); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if want["figure7"] {
+		fmt.Println("running BFS subgraph experiments (Figure 7)...")
+		bfsRuns, err := suite.RunBFS(nil)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteFigure7(os.Stdout, bfsRuns); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if want["table5"] {
+		if err := experiments.WriteTableV(os.Stdout, tsRuns); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if want["table6"] {
+		if err := suite.WriteTableVI(os.Stdout, dsRuns); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if want["ablations"] {
+		fmt.Println("running ablations...")
+		if pts, err := suite.AblationEpsilon(nil); err != nil {
+			fatal(err)
+		} else if err := experiments.WriteAblation(os.Stdout, "ABLATION — damping factor vs Theorem 2 bound", "epsilon", pts); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if pts, err := suite.AblationMixedE(nil); err != nil {
+			fatal(err)
+		} else if err := experiments.WriteAblation(os.Stdout, "ABLATION — partial knowledge of external scores (paper future work)", "alpha", pts); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if pts, err := experiments.AblationIntraDomain(nil, 0, 2009); err != nil {
+			fatal(err)
+		} else if err := experiments.WriteAblation(os.Stdout, "ABLATION — intra-domain link fraction", "intra", pts); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if pts, err := suite.AblationSubgraphSize(nil); err != nil {
+			fatal(err)
+		} else if err := experiments.WriteAblation(os.Stdout, "ABLATION — subgraph size (domain unions)", "% of global", pts); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if want["extended"] {
+		fmt.Println("running extended experiments (related-work systems)...")
+		if rows, err := suite.RunAcceleration(); err != nil {
+			fatal(err)
+		} else if err := experiments.WriteAcceleration(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if pts, err := suite.RunJXP(6, 7); err != nil {
+			fatal(err)
+		} else if err := experiments.WriteJXP(os.Stdout, pts); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if rows, err := suite.RunPointRank(nil, 0); err != nil {
+			fatal(err)
+		} else if err := experiments.WritePointRank(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if rows, err := suite.RunUpdate(0.33, 99); err != nil {
+			fatal(err)
+		} else if err := experiments.WriteUpdate(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if rows, err := suite.RunTopK(nil); err != nil {
+			fatal(err)
+		} else if err := experiments.WriteTopK(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("total wall clock: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func orDefault(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func orDefault64(v, d int64) int64 {
+	if v == 0 {
+		return d
+	}
+	return v
+}

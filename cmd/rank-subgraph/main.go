@@ -1,0 +1,223 @@
+// Command rank-subgraph estimates PageRank scores for a subgraph of a
+// graph file using ApproxRank (default), IdealRank, or one of the paper's
+// baselines.
+//
+// Usage:
+//
+//	rank-subgraph -graph web.bin -local pages.txt [-algo approx|ideal|local|lpr2|sc|hits]
+//	              [-scores scores.txt] [-eps 0.85] [-tol 1e-5] [-top 20] [-out out.txt]
+//
+// pages.txt lists one local page id per line ('#' comments allowed).
+// -scores (required for -algo ideal) is a "page score" file such as the
+// one written by the pagerank command.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hits"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "input graph file (required)")
+	localPath := flag.String("local", "", "file listing local page ids (required)")
+	algo := flag.String("algo", "approx", "algorithm: approx, ideal, local, lpr2, sc, hits")
+	scoresPath := flag.String("scores", "", "global score file (required for -algo ideal)")
+	eps := flag.Float64("eps", 0.85, "damping factor")
+	tol := flag.Float64("tol", 1e-5, "L1 convergence tolerance")
+	top := flag.Int("top", 20, "print the top-K local pages")
+	out := flag.String("out", "", "optional output file for all local scores")
+	flag.Parse()
+
+	if *graphPath == "" || *localPath == "" {
+		fmt.Fprintln(os.Stderr, "rank-subgraph: -graph and -local are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := graph.LoadFile(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	local, err := readIDs(*localPath)
+	if err != nil {
+		fatal(err)
+	}
+	sub, err := graph.NewSubgraph(g, local)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{Epsilon: *eps, Tolerance: *tol}
+	blCfg := baseline.Config{Epsilon: *eps, Tolerance: *tol}
+	var scores []float64
+	var lambda float64
+	hasLambda := false
+	var iters int
+
+	switch *algo {
+	case "approx":
+		res, err := core.ApproxRank(sub, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		scores, lambda, hasLambda, iters = res.Scores, res.Lambda, true, res.Iterations
+	case "ideal":
+		if *scoresPath == "" {
+			fatal(fmt.Errorf("-algo ideal requires -scores"))
+		}
+		global, err := readScores(*scoresPath, g.NumNodes())
+		if err != nil {
+			fatal(err)
+		}
+		res, err := core.IdealRank(sub, global, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		scores, lambda, hasLambda, iters = res.Scores, res.Lambda, true, res.Iterations
+	case "local":
+		res, err := baseline.LocalPageRank(sub, blCfg)
+		if err != nil {
+			fatal(err)
+		}
+		scores, iters = res.Scores, res.Iterations
+	case "lpr2":
+		res, err := baseline.LPR2(sub, blCfg)
+		if err != nil {
+			fatal(err)
+		}
+		scores, iters = res.Scores, res.Iterations
+	case "sc":
+		res, err := baseline.SC(sub, baseline.SCConfig{Config: blCfg})
+		if err != nil {
+			fatal(err)
+		}
+		scores, iters = res.Scores, res.Iterations
+		fmt.Printf("SC: supergraph grew to %d pages (k=%d per expansion)\n", res.SupergraphSize, res.K)
+	case "hits":
+		induced, err := sub.Induce()
+		if err != nil {
+			fatal(err)
+		}
+		res, err := hits.Compute(induced, hits.Config{Tolerance: *tol})
+		if err != nil {
+			fatal(err)
+		}
+		scores, iters = res.Authorities, res.Iterations
+		fmt.Println("HITS: reporting authority scores over the induced local graph")
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	fmt.Printf("%s on subgraph of %d pages (global graph: %d pages) — %d iterations\n",
+		*algo, sub.N(), g.NumNodes(), iters)
+	if hasLambda {
+		fmt.Printf("estimated total external score (Λ): %.6f\n", lambda)
+	}
+
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	k := *top
+	if k > len(idx) {
+		k = len(idx)
+	}
+	fmt.Println("rank  page        score")
+	for i := 0; i < k; i++ {
+		fmt.Printf("%4d  %-10d  %.8f\n", i+1, sub.GlobalID(uint32(idx[i])), scores[idx[i]])
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for li, s := range scores {
+			fmt.Fprintf(w, "%d %.12g\n", sub.GlobalID(uint32(li)), s)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote local scores to %s\n", *out)
+	}
+}
+
+func readIDs(path string) ([]graph.NodeID, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ids []graph.NodeID
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		id, err := strconv.ParseUint(text, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad page id %q", path, line, text)
+		}
+		ids = append(ids, graph.NodeID(id))
+	}
+	return ids, sc.Err()
+}
+
+func readScores(path string, n int) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	scores := make([]float64, n)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'page score'", path, line)
+		}
+		id, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil || int(id) >= n {
+			return nil, fmt.Errorf("%s:%d: bad page id %q", path, line, fields[0])
+		}
+		s, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad score %q", path, line, fields[1])
+		}
+		scores[id] = s
+	}
+	return scores, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rank-subgraph:", err)
+	os.Exit(1)
+}

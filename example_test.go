@@ -1,0 +1,128 @@
+package approxrank_test
+
+import (
+	"fmt"
+
+	approxrank "repro"
+)
+
+// The examples below run as tests (their output is verified), and double
+// as godoc usage documentation for the main entry points. They all use
+// the paper's Figure 4 graph: local pages A,B,C,D (0–3) and external
+// pages X,Y,Z (4–6).
+
+func exampleGraph() *approxrank.Graph {
+	return approxrank.MustFromEdges(7, [][2]approxrank.NodeID{
+		{0, 1}, {0, 2}, {0, 4}, {0, 6},
+		{1, 3},
+		{2, 1}, {2, 3},
+		{3, 0},
+		{4, 2}, {4, 5}, {4, 6},
+		{5, 2}, {5, 4},
+		{6, 2}, {6, 3},
+	})
+}
+
+func ExampleApproxRank() {
+	g := exampleGraph()
+	sub, _ := approxrank.NewSubgraph(g, []approxrank.NodeID{0, 1, 2, 3})
+	res, _ := approxrank.ApproxRank(sub, approxrank.Config{Tolerance: 1e-12})
+	fmt.Printf("n=%d external=%d converged=%v\n", sub.N(), sub.External(), res.Converged)
+	fmt.Printf("Λ estimate: %.3f\n", res.Lambda)
+	// Output:
+	// n=4 external=3 converged=true
+	// Λ estimate: 0.239
+}
+
+func ExampleIdealRank() {
+	g := exampleGraph()
+	sub, _ := approxrank.NewSubgraph(g, []approxrank.NodeID{0, 1, 2, 3})
+	global, _ := approxrank.GlobalPageRank(g, approxrank.PageRankOptions{Tolerance: 1e-12})
+	ideal, _ := approxrank.IdealRank(sub, global.Scores, approxrank.Config{Tolerance: 1e-12})
+	// Theorem 1: IdealRank reproduces the true scores exactly.
+	exact := true
+	for li, gid := range sub.Local {
+		if diff := ideal.Scores[li] - global.Scores[gid]; diff > 1e-9 || diff < -1e-9 {
+			exact = false
+		}
+	}
+	fmt.Println("matches global PageRank:", exact)
+	// Output:
+	// matches global PageRank: true
+}
+
+func ExampleGlobalPageRank() {
+	g := exampleGraph()
+	res, _ := approxrank.GlobalPageRank(g, approxrank.PageRankOptions{Tolerance: 1e-12})
+	sum := 0.0
+	for _, s := range res.Scores {
+		sum += s
+	}
+	fmt.Printf("pages=%d sum=%.3f converged=%v\n", len(res.Scores), sum, res.Converged)
+	// Output:
+	// pages=7 sum=1.000 converged=true
+}
+
+func ExampleFootrule() {
+	// Two score vectors that swap the top pair and tie the rest.
+	a := []float64{0.4, 0.3, 0.15, 0.15}
+	b := []float64{0.3, 0.4, 0.15, 0.15}
+	d, _ := approxrank.Footrule(a, b)
+	fmt.Printf("footrule = %.2f\n", d)
+	// Output:
+	// footrule = 0.25
+}
+
+func ExampleNewSubgraph() {
+	g := exampleGraph()
+	sub, _ := approxrank.NewSubgraph(g, []approxrank.NodeID{3, 0, 1, 2}) // any order
+	fmt.Println("local pages:", sub.Local)
+	st := sub.Boundary()
+	fmt.Printf("internal=%d in-links=%d out-links=%d\n",
+		st.InternalEdges, st.InLinksFromExternal, st.OutLinksToExternal)
+	// Output:
+	// local pages: [0 1 2 3]
+	// internal=6 in-links=4 out-links=2
+}
+
+func ExampleBestFirstCrawl() {
+	g := exampleGraph()
+	order, _ := approxrank.BestFirstCrawl(g, 0, approxrank.BestFirstConfig{MaxPages: 4})
+	fmt.Println("fetched", len(order), "pages, seed first:", order[0] == 0)
+	// Output:
+	// fetched 4 pages, seed first: true
+}
+
+func ExampleHITS() {
+	// Three hubs all endorse page 3; only one endorses page 4.
+	g := approxrank.MustFromEdges(5, [][2]approxrank.NodeID{
+		{0, 3}, {1, 3}, {2, 3}, {0, 4},
+	})
+	res, _ := approxrank.HITS(g, approxrank.HITSConfig{})
+	fmt.Println("strongest authority is page 3:", res.Authorities[3] > res.Authorities[4])
+	// Output:
+	// strongest authority is page 3: true
+}
+
+func ExampleKendallTau() {
+	a := []float64{3, 2, 1}
+	b := []float64{1, 2, 3}
+	d, _ := approxrank.KendallTau(a, b) // full reversal
+	fmt.Printf("kendall distance = %.1f\n", d)
+	// Output:
+	// kendall distance = 1.0
+}
+
+func ExampleMixExternalScores() {
+	g := exampleGraph()
+	sub, _ := approxrank.NewSubgraph(g, []approxrank.NodeID{0, 1, 2, 3})
+	global, _ := approxrank.GlobalPageRank(g, approxrank.PageRankOptions{Tolerance: 1e-12})
+	// Blend 50% true external knowledge into ApproxRank's uniform
+	// assumption (the paper's future-work direction).
+	mixed, _ := approxrank.MixExternalScores(sub, global.Scores, 0.5)
+	chain, _ := approxrank.NewChainWithExternalScores(sub, mixed)
+	res, _ := chain.Run(approxrank.Config{Tolerance: 1e-12})
+	fmt.Println("converged:", res.Converged)
+	// Output:
+	// converged: true
+}

@@ -1,0 +1,135 @@
+// Incremental re-ranking: the paper's "updated subgraph" scenario.
+//
+// The web changes constantly, but updates often concentrate in one region
+// while the rest of the graph — and its PageRank scores — stay put. The
+// paper's IdealRank handles exactly this: keep the stale scores for the
+// unchanged external pages, collapse them into Λ, and re-rank only the
+// updated region on an (n+1)-state chain instead of re-running PageRank
+// over all N pages.
+//
+// This example generates a 50k-page web, computes its PageRank, rewires a
+// third of the links inside one domain, and compares three ways of
+// scoring the updated domain: (a) the stale scores (do nothing),
+// (b) IdealRank with the old external scores, and (c) an exact global
+// recomputation. IdealRank gets within a whisker of (c) at a fraction of
+// the cost.
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	approxrank "repro"
+)
+
+func main() {
+	web, err := approxrank.GenerateWeb(approxrank.WebConfig{
+		Pages:   50000,
+		Domains: 16,
+		Seed:    3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oldGraph := web.Graph
+
+	// The region that will change: one mid-sized domain.
+	domain := 5
+	region := web.DomainPages(domain)
+	member := map[approxrank.NodeID]bool{}
+	for _, p := range region {
+		member[p] = true
+	}
+	fmt.Printf("web: %d pages; updated region: domain %d with %d pages\n",
+		oldGraph.NumNodes(), domain, len(region))
+
+	// Yesterday's scores.
+	oldPR, err := approxrank.GlobalPageRank(oldGraph, approxrank.PageRankOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Today: a third of the region's internal links are rewired.
+	rng := rand.New(rand.NewSource(99))
+	nb := approxrank.NewBuilder(oldGraph.NumNodes())
+	rewired := 0
+	for u := 0; u < oldGraph.NumNodes(); u++ {
+		uid := approxrank.NodeID(u)
+		for _, v := range oldGraph.OutNeighbors(uid) {
+			if member[uid] && member[v] && rng.Float64() < 0.33 {
+				// Replace this internal link with a different internal target.
+				w := region[rng.Intn(len(region))]
+				if w != uid {
+					nb.AddEdge(uid, w)
+					rewired++
+					continue
+				}
+			}
+			nb.AddEdge(uid, v)
+		}
+	}
+	newGraph, err := nb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rewired %d links inside the region; external link structure unchanged\n\n", rewired)
+
+	sub, err := approxrank.NewSubgraph(newGraph, region)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (c) Ground truth: full recomputation on the new graph.
+	t0 := time.Now()
+	newPR, err := approxrank.GlobalPageRank(newGraph, approxrank.PageRankOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullCost := time.Since(t0)
+	truth := restrict(newPR.Scores, sub)
+
+	// (a) Do nothing: keep yesterday's scores for the region.
+	stale := restrict(oldPR.Scores, sub)
+
+	// (b) IdealRank on the new subgraph with yesterday's external scores.
+	t0 = time.Now()
+	ir, err := approxrank.IdealRank(sub, oldPR.Scores, approxrank.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	incCost := time.Since(t0)
+	incremental := append([]float64(nil), ir.Scores...)
+	approxrank.Normalize(incremental)
+
+	report := func(name string, est []float64, cost time.Duration) {
+		l1, _ := approxrank.L1(truth, est)
+		fr, _ := approxrank.Footrule(truth, est)
+		costStr := "free"
+		if cost > 0 {
+			costStr = cost.Round(time.Microsecond).String()
+		}
+		fmt.Printf("  %-28s L1 = %.6f  footrule = %.6f  cost = %s\n", name, l1, fr, costStr)
+	}
+	fmt.Println("scoring the updated region against the exact recomputation:")
+	report("stale scores (do nothing)", stale, 0)
+	report("IdealRank, stale externals", incremental, incCost)
+	report("full global recomputation", truth, fullCost)
+	fmt.Printf("\nIdealRank re-ranked %d pages instead of %d (%.1fx cheaper here, and the\n"+
+		"gap widens with graph size since its cost does not depend on N).\n",
+		sub.N(), newGraph.NumNodes(), float64(fullCost)/float64(incCost))
+}
+
+// restrict extracts and normalizes the region's scores from a global
+// vector.
+func restrict(global []float64, sub *approxrank.Subgraph) []float64 {
+	out := make([]float64, sub.N())
+	for li, gid := range sub.Local {
+		out[li] = global[gid]
+	}
+	approxrank.Normalize(out)
+	return out
+}

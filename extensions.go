@@ -1,0 +1,195 @@
+package approxrank
+
+import (
+	"repro/internal/blockrank"
+	"repro/internal/crawler"
+	"repro/internal/distributed"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hits"
+	"repro/internal/iad"
+	"repro/internal/metrics"
+	"repro/internal/objectrank"
+	"repro/internal/pointrank"
+	"repro/internal/search"
+)
+
+// This file exports the extension systems built around the paper's core:
+// ObjectRank-style semantic ranking (the paper's Figure 2/3 motivation)
+// and the decentralized rankers of the related work (JXP, ServerRank).
+
+// Schema is an ObjectRank authority-transfer schema graph.
+type Schema = objectrank.Schema
+
+// DataGraph instantiates a Schema with typed objects and relationships.
+type DataGraph = objectrank.DataGraph
+
+// ObjectRankConfig carries the ObjectRank walk parameters.
+type ObjectRankConfig = objectrank.Config
+
+// ObjectRankResult is the outcome of an ObjectRank computation.
+type ObjectRankResult = objectrank.Result
+
+// NewSchema returns an empty authority-transfer schema.
+func NewSchema() *Schema { return objectrank.NewSchema() }
+
+// NewDataGraph returns an empty data graph over schema.
+func NewDataGraph(schema *Schema) (*DataGraph, error) { return objectrank.NewDataGraph(schema) }
+
+// ObjectRank computes exact ObjectRank scores seeded by baseSet (nil =
+// global ranking).
+func ObjectRank(d *DataGraph, baseSet []NodeID, cfg ObjectRankConfig) (*ObjectRankResult, error) {
+	return objectrank.Compute(d, baseSet, cfg)
+}
+
+// ObjectRankQuery computes ObjectRank seeded by the keyword base set of
+// query.
+func ObjectRankQuery(d *DataGraph, query string, cfg ObjectRankConfig) (*ObjectRankResult, error) {
+	return objectrank.ComputeQuery(d, query, cfg)
+}
+
+// Peer is a JXP participant: a subgraph owner that refines its global
+// score estimates by meeting other peers.
+type Peer = distributed.Peer
+
+// PeerNetwork is a set of JXP peers over one global graph.
+type PeerNetwork = distributed.Network
+
+// NewPeer creates a JXP peer owning the given pages. Its initial estimate
+// is exactly ApproxRank's.
+func NewPeer(name string, global *Graph, local []NodeID, cfg Config) (*Peer, error) {
+	return distributed.NewPeer(name, global, local, cfg)
+}
+
+// NewPeerNetwork creates a JXP network from per-peer page assignments.
+func NewPeerNetwork(global *Graph, assignments map[string][]NodeID, cfg Config, seed int64) (*PeerNetwork, error) {
+	return distributed.NewNetwork(global, assignments, cfg, seed)
+}
+
+// Meet performs one JXP meeting between two peers.
+func Meet(a, b *Peer) error { return distributed.Meet(a, b) }
+
+// ServerRankConfig configures the ServerRank combination.
+type ServerRankConfig = distributed.ServerRankConfig
+
+// ServerRankResult carries a ServerRank estimate and its layers.
+type ServerRankResult = distributed.ServerRankResult
+
+// ServerRank combines per-server local PageRanks with a server-level
+// ranking into global page estimates (Wang & DeWitt, VLDB 2004).
+func ServerRank(g *Graph, serverOf func(NodeID) int, numServers int, cfg ServerRankConfig) (*ServerRankResult, error) {
+	return distributed.ServerRank(g, serverOf, numServers, cfg)
+}
+
+// PointRankConfig configures the single-page local estimator.
+type PointRankConfig = pointrank.Config
+
+// PointRankResult reports a single-page estimate and the work done.
+type PointRankResult = pointrank.Result
+
+// EstimatePageRank estimates the global PageRank of one target page by
+// backward local expansion (Chen, Gan & Suel, CIKM 2004 — the paper's
+// reference [17]), without a global computation.
+func EstimatePageRank(g *Graph, target NodeID, cfg PointRankConfig) (*PointRankResult, error) {
+	return pointrank.Estimate(g, target, cfg)
+}
+
+// KendallTau returns the exact Kendall distance with ties (penalty ½)
+// between the rankings induced by two score vectors.
+func KendallTau(a, b []float64) (float64, error) { return metrics.KendallTau(a, b) }
+
+// Dictionary maps string page identifiers to dense node ids.
+type Dictionary = graph.Dictionary
+
+// NewDictionary returns an empty Dictionary.
+func NewDictionary() *Dictionary { return graph.NewDictionary() }
+
+// NamedEdgeGraph builds a graph plus Dictionary from string-keyed edges.
+func NamedEdgeGraph(edges [][2]string) (*Graph, *Dictionary, error) {
+	return graph.NamedEdgeGraph(edges)
+}
+
+// BlockRankConfig configures the 3-stage BlockRank acceleration.
+type BlockRankConfig = blockrank.Config
+
+// BlockRankResult carries BlockRank's output and per-stage telemetry.
+type BlockRankResult = blockrank.Result
+
+// BlockRank runs the 3-stage BlockRank of Kamvar et al. (the paper's
+// reference [27]): per-block local PageRank, block-graph PageRank, then
+// global PageRank warm-started from their aggregation. The fixpoint
+// equals plain PageRank's; the warm start cuts the global iteration
+// count on block-structured graphs.
+func BlockRank(g *Graph, blockOf func(NodeID) int, numBlocks int, cfg BlockRankConfig) (*BlockRankResult, error) {
+	return blockrank.Compute(g, blockOf, numBlocks, cfg)
+}
+
+// IADConfig configures iterative aggregation/disaggregation updating.
+type IADConfig = iad.Config
+
+// IADResult carries an IAD update's outcome and work counters.
+type IADResult = iad.Result
+
+// UpdatePageRank updates a stationary vector after a change confined to
+// the given pages, using iterative aggregation/disaggregation (Langville
+// & Meyer — the paper's reference [15]). prior is the pre-change
+// PageRank; the result matches a full recomputation on g using fewer
+// global sweeps.
+func UpdatePageRank(g *Graph, changed []NodeID, prior []float64, cfg IADConfig) (*IADResult, error) {
+	return iad.Update(g, changed, prior, cfg)
+}
+
+// BestFirstConfig parameterizes the focused crawler.
+type BestFirstConfig = crawler.BestFirstConfig
+
+// BestFirstCrawl runs the focused crawl of the paper's Figure 1 scenario:
+// fetch the frontier page receiving the most authority from the crawled
+// subgraph, re-ranking periodically with ApproxRank.
+func BestFirstCrawl(g *Graph, seed NodeID, cfg BestFirstConfig) ([]NodeID, error) {
+	return crawler.BestFirst(g, seed, cfg)
+}
+
+// StronglyConnectedComponents returns g's SCCs in reverse topological
+// order of the condensation.
+func StronglyConnectedComponents(g *Graph) [][]NodeID {
+	return graph.StronglyConnectedComponents(g)
+}
+
+// LargestSCCFraction returns the largest SCC's share of the graph.
+func LargestSCCFraction(g *Graph) float64 { return graph.LargestSCCFraction(g) }
+
+// HITSConfig configures the HITS iteration.
+type HITSConfig = hits.Config
+
+// HITSResult carries the hub and authority vectors.
+type HITSResult = hits.Result
+
+// HITS runs Kleinberg's hubs-and-authorities algorithm on g (typically a
+// query-focused subgraph obtained via Subgraph.Induce).
+func HITS(g *Graph, cfg HITSConfig) (*HITSResult, error) { return hits.Compute(g, cfg) }
+
+// SearchIndex is an inverted index with conjunctive (AND) queries.
+type SearchIndex = search.Index
+
+// SearchEngine couples an index over a subgraph's pages with ranking
+// scores — the query-answering layer of the paper's Figure 1.
+type SearchEngine = search.Engine
+
+// SearchHit is one ranked query answer.
+type SearchHit = search.Hit
+
+// NewSearchEngine builds a localized search engine over sub: terms[i] is
+// the sorted term bag of local page i and scores[i] its ranking score
+// (e.g. ApproxRank output).
+func NewSearchEngine(sub *Subgraph, terms [][]uint32, scores []float64) (*SearchEngine, error) {
+	return search.NewEngine(sub, terms, scores)
+}
+
+// TermConfig parameterizes synthetic page-term assignment.
+type TermConfig = gen.TermConfig
+
+// AssignTerms samples a term bag per page of a generated dataset, with
+// topical locality; it never alters the dataset's graph.
+func AssignTerms(ds *WebDataset, cfg TermConfig) ([][]uint32, error) {
+	return gen.AssignTerms(ds, cfg)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// EDistance returns ‖E − E_approx‖₁: the L1 distance between the
+// normalized external weights induced by extScores (length N; entries of
+// local pages ignored) and ApproxRank's uniform assumption. This is the
+// quantity Theorem 2's bound is proportional to.
+func EDistance(sub *graph.Subgraph, extScores []float64) (float64, error) {
+	if sub == nil {
+		return 0, fmt.Errorf("core: nil subgraph")
+	}
+	if len(extScores) != sub.Global.NumNodes() {
+		return 0, fmt.Errorf("core: score vector has length %d, want N=%d",
+			len(extScores), sub.Global.NumNodes())
+	}
+	extSum := 0.0
+	for gid, s := range extScores {
+		if s < 0 || math.IsNaN(s) {
+			return 0, fmt.Errorf("core: invalid external score %v at %d", s, gid)
+		}
+		if _, local := sub.LocalID(graph.NodeID(gid)); !local {
+			extSum += s
+		}
+	}
+	if extSum <= 0 {
+		return 0, fmt.Errorf("core: external scores sum to zero")
+	}
+	uni := 1.0 / float64(sub.External())
+	d := 0.0
+	for gid, s := range extScores {
+		if _, local := sub.LocalID(graph.NodeID(gid)); !local {
+			d += math.Abs(s/extSum - uni)
+		}
+	}
+	return d, nil
+}
+
+// ErrorBound returns Theorem 2's converged error certificate
+//
+//	‖R_ideal − R_approx‖₁ ≤ ε/(1−ε) · ‖E − E_approx‖₁
+//
+// for the given subgraph, external score estimates and damping factor
+// (0 selects the default 0.85). When a caller holds stale or estimated
+// external scores, this bounds how far the cheap uniform-E ApproxRank
+// can be from the chain that uses those scores — a computable accuracy
+// certificate that needs no ranking run at all.
+func ErrorBound(sub *graph.Subgraph, extScores []float64, epsilon float64) (float64, error) {
+	if epsilon == 0 {
+		epsilon = 0.85
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("core: damping factor %v outside (0,1)", epsilon)
+	}
+	d, err := EDistance(sub, extScores)
+	if err != nil {
+		return 0, err
+	}
+	return epsilon / (1 - epsilon) * d, nil
+}

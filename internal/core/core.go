@@ -1,0 +1,553 @@
+// Package core implements the paper's contribution: the IdealRank and
+// ApproxRank algorithms for estimating PageRank-style scores on a subgraph
+// of a global graph (Wu & Raschid, "ApproxRank: Estimating Rank for a
+// Subgraph", ICDE 2009).
+//
+// Both algorithms collapse the N−n external pages into a single external
+// super-node Λ and run a random walk on the resulting extended local graph
+// G_e with n+1 states. The transition matrix of the walk is derived from
+// the global PageRank transition matrix A (A[i][j] = 1/D_i for edge i→j
+// with D_i the global out-degree) as A_e = Q1·A·Q2, where Q2 aggregates
+// authority flowing from local pages into the external block and Q1
+// redistributes authority leaving the external block according to a weight
+// vector E over the external pages:
+//
+//   - IdealRank sets E to the (known) true PageRank scores of the external
+//     pages, normalized by their sum. Theorem 1: the stationary scores of
+//     the local states then equal the true global PageRank scores exactly,
+//     and the Λ score equals the total external score.
+//   - ApproxRank sets E uniform (1/(N−n) each), requiring no knowledge of
+//     external scores. Theorem 2: the L1 gap from IdealRank is bounded by
+//     ε/(1−ε)·‖E − E_approx‖₁.
+//
+// The package never materializes the N×N matrix: the extended chain is
+// assembled from the adjacency of the local pages only (plus per-global-
+// graph aggregates, see Context), so ranking a subgraph costs O(boundary +
+// local edges) per iteration.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+)
+
+// Config carries the random-walk parameters. The zero value selects the
+// paper's settings (ε = 0.85, L1 tolerance 1e-5, at most 1000 iterations,
+// uniform personalization).
+type Config struct {
+	// Epsilon is the damping factor. Default 0.85.
+	Epsilon float64
+	// Tolerance is the L1 convergence threshold. Default 1e-5.
+	Tolerance float64
+	// MaxIterations bounds the power iteration. Default 1000.
+	MaxIterations int
+	// Personalization optionally replaces the paper's uniform jump
+	// distribution with an arbitrary one over the GLOBAL graph (length N,
+	// non-negative, summing to 1). It is collapsed consistently: local
+	// pages keep their entries and Λ receives the external pages' total —
+	// the generalization of the paper's P_ideal, under which Theorem 1
+	// still holds exactly (the proof only needs R = εAᵀR + (1−ε)P and
+	// left-multiplication by Q2ᵀ). nil selects the uniform vector.
+	Personalization []float64
+}
+
+func (c *Config) fill() error {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.85
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("core: damping factor %v outside (0,1)", c.Epsilon)
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-5
+	}
+	if c.Tolerance < 0 {
+		return fmt.Errorf("core: negative tolerance %v", c.Tolerance)
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 1000
+	}
+	if c.MaxIterations < 1 {
+		return fmt.Errorf("core: MaxIterations %d < 1", c.MaxIterations)
+	}
+	return nil
+}
+
+// Result is the outcome of running an extended chain. Scores holds the
+// stationary probabilities of the n local pages in subgraph-local id order;
+// these are directly comparable to the global PageRank vector restricted to
+// the subgraph (they are NOT renormalized — Scores plus Lambda sums to 1).
+type Result struct {
+	pagerank.Result
+	// Lambda is the stationary score of the external super-node Λ. Under
+	// IdealRank it converges to the sum of the true scores of all external
+	// pages (Theorem 1).
+	Lambda float64
+}
+
+// Context caches the per-global-graph aggregates that Λ-row construction
+// needs: the global page count and the set of dangling pages. Building a
+// Context scans the global graph once; afterwards chains for any number of
+// subgraphs of that graph are assembled from local information only. This
+// realizes the paper's precomputation argument for multi-subgraph
+// workloads ("we can preprocess the global graph for one time, and decide
+// A_approx for each subgraph with only local cost").
+type Context struct {
+	g        *graph.Graph
+	dangling []graph.NodeID
+}
+
+// NewContext precomputes the global aggregates for g.
+func NewContext(g *graph.Graph) *Context {
+	return &Context{g: g, dangling: g.DanglingNodes()}
+}
+
+// Graph returns the global graph the context was built for.
+func (ctx *Context) Graph() *graph.Graph { return ctx.g }
+
+// DanglingCount returns the number of dangling pages in the global graph.
+func (ctx *Context) DanglingCount() int { return len(ctx.dangling) }
+
+// ExtendedChain is the n+1-state Markov chain of the extended local graph
+// G_e: states 0..n−1 are the local pages (in subgraph-local id order) and
+// state n is the external super-node Λ. The local block and the column into
+// Λ are shared between IdealRank and ApproxRank; the Λ row is what
+// distinguishes them.
+type ExtendedChain struct {
+	sub  *graph.Subgraph
+	n    int // local pages
+	bigN int // global pages
+
+	// Local block, CSR over local ids: row i transitions to locAdj[k] with
+	// probability locProb[k] for k in [locOff[i], locOff[i+1]), plus
+	// toLambda[i] into Λ. Rows of globally-dangling local pages are empty
+	// and flagged in danglingLocal instead.
+	locOff        []int64
+	locAdj        []uint32
+	locProb       []float64
+	toLambda      []float64
+	danglingLocal []bool
+
+	// Λ row, sparse over local ids, plus the self-loop residual and the
+	// aggregate weight of dangling external pages (whose collapsed rows
+	// are the personalization vector).
+	lamAdj          []uint32
+	lamProb         []float64
+	lamSelf         float64
+	extDanglingMass float64
+}
+
+// Subgraph returns the subgraph the chain ranks.
+func (c *ExtendedChain) Subgraph() *graph.Subgraph { return c.sub }
+
+// NumLocal returns n, the number of local pages.
+func (c *ExtendedChain) NumLocal() int { return c.n }
+
+// LocalTransitions returns the local targets and probabilities of local
+// page i's row (excluding the Λ column). The slices alias internal storage.
+func (c *ExtendedChain) LocalTransitions(i int) ([]uint32, []float64) {
+	return c.locAdj[c.locOff[i]:c.locOff[i+1]], c.locProb[c.locOff[i]:c.locOff[i+1]]
+}
+
+// ToLambda returns the probability that local page i transitions to Λ.
+func (c *ExtendedChain) ToLambda(i int) float64 { return c.toLambda[i] }
+
+// LambdaRow returns the sparse Λ→local transition probabilities. The
+// slices alias internal storage.
+func (c *ExtendedChain) LambdaRow() ([]uint32, []float64) { return c.lamAdj, c.lamProb }
+
+// LambdaSelf returns the Λ→Λ transition probability contributed by
+// non-dangling external pages. The full self-loop probability of the
+// collapsed matrix additionally includes the dangling external pages'
+// uniform-jump mass: see LambdaSelfLoop.
+func (c *ExtendedChain) LambdaSelf() float64 { return c.lamSelf }
+
+// ExtDanglingMass returns the total E-weight of dangling external pages.
+func (c *ExtendedChain) ExtDanglingMass() float64 { return c.extDanglingMass }
+
+// LambdaTo returns the effective Λ→(local k) entry of the collapsed
+// transition matrix, including the dangling external pages' uniform mass.
+// It is O(#nonzero Λ entries); intended for tests and inspection.
+func (c *ExtendedChain) LambdaTo(k int) float64 {
+	p := c.extDanglingMass / float64(c.bigN)
+	for idx, lk := range c.lamAdj {
+		if int(lk) == k {
+			p += c.lamProb[idx]
+		}
+	}
+	return p
+}
+
+// LambdaSelfLoop returns the effective Λ→Λ entry of the collapsed
+// transition matrix, including the dangling external pages' uniform mass.
+func (c *ExtendedChain) LambdaSelfLoop() float64 {
+	return c.lamSelf + c.extDanglingMass*float64(c.bigN-c.n)/float64(c.bigN)
+}
+
+// NewApproxChain builds the ApproxRank chain for sub: external pages are
+// assumed equally important (E_approx uniform). The global graph is
+// scanned once for its dangling set; use NewApproxChainCtx with a shared
+// Context to amortize that scan across many subgraphs.
+func NewApproxChain(sub *graph.Subgraph) (*ExtendedChain, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("core: nil subgraph")
+	}
+	return NewApproxChainCtx(NewContext(sub.Global), sub)
+}
+
+// NewApproxChainCtx builds the ApproxRank chain for sub using the
+// precomputed global Context. ctx must have been built from sub.Global.
+func NewApproxChainCtx(ctx *Context, sub *graph.Subgraph) (*ExtendedChain, error) {
+	if err := checkCtx(ctx, sub); err != nil {
+		return nil, err
+	}
+	c := newChainShell(sub)
+	w := 1.0 / float64(sub.External())
+	extDangling := 0
+	for _, d := range ctx.dangling {
+		if _, local := sub.LocalID(d); !local {
+			extDangling++
+		}
+	}
+	c.buildLambdaRow(func(graph.NodeID) float64 { return w })
+	c.extDanglingMass = float64(extDangling) * w
+	c.finishLambdaRow()
+	return c, nil
+}
+
+// NewIdealChain builds the IdealRank chain for sub from the full global
+// score vector (length N, e.g. a converged global PageRank). Only the
+// entries of external pages are read; they must be non-negative with a
+// positive sum.
+func NewIdealChain(sub *graph.Subgraph, globalScores []float64) (*ExtendedChain, error) {
+	return NewChainWithExternalScores(sub, globalScores)
+}
+
+// NewChainWithExternalScores builds an extended chain whose Λ row weights
+// external pages by extScores (length N; entries of local pages are
+// ignored). extScores need not be normalized. With the true global
+// PageRank vector this is IdealRank; with any other estimate it realizes
+// the paper's future-work direction of improving ApproxRank through
+// partial knowledge of external importance (see MixExternalScores).
+func NewChainWithExternalScores(sub *graph.Subgraph, extScores []float64) (*ExtendedChain, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("core: nil subgraph")
+	}
+	if len(extScores) != sub.Global.NumNodes() {
+		return nil, fmt.Errorf("core: external score vector has length %d, want N=%d",
+			len(extScores), sub.Global.NumNodes())
+	}
+	extSum := 0.0
+	for gid := range extScores {
+		s := extScores[gid]
+		if s < 0 || math.IsNaN(s) {
+			return nil, fmt.Errorf("core: invalid external score %v for page %d", s, gid)
+		}
+		if _, local := sub.LocalID(graph.NodeID(gid)); !local {
+			extSum += s
+		}
+	}
+	if extSum <= 0 {
+		return nil, fmt.Errorf("core: external scores sum to zero")
+	}
+	c := newChainShell(sub)
+	c.buildLambdaRow(func(j graph.NodeID) float64 { return extScores[j] / extSum })
+	extDanglingMass := 0.0
+	for gid := range extScores {
+		id := graph.NodeID(gid)
+		if _, local := sub.LocalID(id); local {
+			continue
+		}
+		if sub.Global.Dangling(id) {
+			extDanglingMass += extScores[gid] / extSum
+		}
+	}
+	c.extDanglingMass = extDanglingMass
+	c.finishLambdaRow()
+	return c, nil
+}
+
+// checkCtx validates that ctx and sub refer to the same global graph.
+func checkCtx(ctx *Context, sub *graph.Subgraph) error {
+	if ctx == nil || sub == nil {
+		return fmt.Errorf("core: nil context or subgraph")
+	}
+	if ctx.g != sub.Global {
+		return fmt.Errorf("core: context built for a different global graph")
+	}
+	return nil
+}
+
+// newChainShell builds the parts shared by every chain flavour: the local
+// block with global out-degree denominators and the column into Λ.
+func newChainShell(sub *graph.Subgraph) *ExtendedChain {
+	g := sub.Global
+	n := sub.N()
+	c := &ExtendedChain{
+		sub:           sub,
+		n:             n,
+		bigN:          g.NumNodes(),
+		locOff:        make([]int64, n+1),
+		toLambda:      make([]float64, n),
+		danglingLocal: make([]bool, n),
+	}
+	// First pass: count local→local edges for the CSR.
+	for li, gid := range sub.Local {
+		if g.Dangling(gid) {
+			c.danglingLocal[li] = true
+			continue
+		}
+		cnt := 0
+		for _, v := range g.OutNeighbors(gid) {
+			if _, local := sub.LocalID(v); local {
+				cnt++
+			}
+		}
+		c.locOff[li+1] = int64(cnt)
+	}
+	for i := 0; i < n; i++ {
+		c.locOff[i+1] += c.locOff[i]
+	}
+	c.locAdj = make([]uint32, c.locOff[n])
+	c.locProb = make([]float64, c.locOff[n])
+	// Second pass: fill probabilities using the GLOBAL out-degree (or
+	// total out-weight) as denominator — the paper's A entries.
+	cursor := make([]int64, n)
+	copy(cursor, c.locOff[:n])
+	for li, gid := range sub.Local {
+		if c.danglingLocal[li] {
+			continue
+		}
+		wout := g.WeightOut(gid)
+		adj := g.OutNeighbors(gid)
+		ws := g.OutWeights(gid)
+		extProb := 0.0
+		for k, v := range adj {
+			p := 1.0 / wout
+			if ws != nil {
+				p = ws[k] / wout
+			}
+			if lv, local := sub.LocalID(v); local {
+				slot := cursor[li]
+				c.locAdj[slot] = lv
+				c.locProb[slot] = p
+				cursor[li]++
+			} else {
+				extProb += p
+			}
+		}
+		c.toLambda[li] = extProb
+	}
+	return c
+}
+
+// buildLambdaRow fills the sparse Λ→local entries: for each local page k,
+// the sum over its external in-neighbours j of weight(j)·A[j][k]. weight
+// must return the normalized E entry for an external page.
+func (c *ExtendedChain) buildLambdaRow(weight func(graph.NodeID) float64) {
+	g := c.sub.Global
+	for li, gid := range c.sub.Local {
+		adj := g.InNeighbors(gid)
+		ws := g.InWeights(gid)
+		p := 0.0
+		for k, j := range adj {
+			if _, local := c.sub.LocalID(j); local {
+				continue
+			}
+			aj := 1.0 / g.WeightOut(j)
+			if ws != nil {
+				aj = ws[k] / g.WeightOut(j)
+			}
+			p += weight(j) * aj
+		}
+		if p > 0 {
+			c.lamAdj = append(c.lamAdj, uint32(li))
+			c.lamProb = append(c.lamProb, p)
+		}
+	}
+}
+
+// finishLambdaRow sets the Λ self-loop to the stochastic residual of the
+// Λ row: the unit E mass minus the dangling mass minus the sparse entries.
+// Tiny negative residuals from float accumulation are clamped to zero.
+func (c *ExtendedChain) finishLambdaRow() {
+	s := 1.0 - c.extDanglingMass
+	for _, p := range c.lamProb {
+		s -= p
+	}
+	if s < 0 {
+		s = 0
+	}
+	c.lamSelf = s
+}
+
+// Run performs the power iteration R = ε·A_eᵀ·R + (1−ε)·P_ideal on the
+// extended chain and returns local scores plus the Λ score.
+func (c *ExtendedChain) Run(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := c.n
+	// Collapsed personalization: the paper's P_ideal (uniform case) or
+	// the caller's global vector with the external mass routed to Λ.
+	pLoc := make([]float64, n)
+	var pLambda float64
+	if cfg.Personalization == nil {
+		u := 1.0 / float64(c.bigN)
+		for i := range pLoc {
+			pLoc[i] = u
+		}
+		pLambda = float64(c.bigN-n) / float64(c.bigN)
+	} else {
+		if len(cfg.Personalization) != c.bigN {
+			return nil, fmt.Errorf("core: personalization has length %d, want N=%d",
+				len(cfg.Personalization), c.bigN)
+		}
+		sum := 0.0
+		for gid, p := range cfg.Personalization {
+			if p < 0 || math.IsNaN(p) {
+				return nil, fmt.Errorf("core: invalid personalization entry %v at %d", p, gid)
+			}
+			sum += p
+			if li, local := c.sub.LocalID(graph.NodeID(gid)); local {
+				pLoc[li] = p
+			} else {
+				pLambda += p
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return nil, fmt.Errorf("core: personalization sums to %v, want 1", sum)
+		}
+	}
+	eps := cfg.Epsilon
+
+	cur := make([]float64, n+1)
+	copy(cur, pLoc)
+	cur[n] = pLambda
+	next := make([]float64, n+1)
+
+	res := &Result{}
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		// Mass that redistributes along the personalization vector: the
+		// random-jump mass, the mass on dangling local pages, and the mass
+		// Λ forwards on behalf of dangling external pages.
+		danglingMass := 0.0
+		for i := 0; i < n; i++ {
+			if c.danglingLocal[i] {
+				danglingMass += cur[i]
+			}
+		}
+		jump := (1 - eps) + eps*danglingMass + eps*cur[n]*c.extDanglingMass
+		for i := 0; i < n; i++ {
+			next[i] = jump * pLoc[i]
+		}
+		next[n] = jump * pLambda
+
+		// Local rows.
+		for i := 0; i < n; i++ {
+			if c.danglingLocal[i] || cur[i] == 0 {
+				continue
+			}
+			xi := eps * cur[i]
+			for k := c.locOff[i]; k < c.locOff[i+1]; k++ {
+				next[c.locAdj[k]] += xi * c.locProb[k]
+			}
+			next[n] += xi * c.toLambda[i]
+		}
+
+		// Λ row (non-dangling part; the dangling part went into jump).
+		xl := eps * cur[n]
+		for k, li := range c.lamAdj {
+			next[li] += xl * c.lamProb[k]
+		}
+		next[n] += xl * c.lamSelf
+
+		delta := 0.0
+		for i := 0; i <= n; i++ {
+			delta += math.Abs(next[i] - cur[i])
+		}
+		res.Deltas = append(res.Deltas, delta)
+		res.Iterations = iter
+		cur, next = next, cur
+		if delta < cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Scores = cur[:n]
+	res.Lambda = cur[n]
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ApproxRank ranks sub with uniform external weights. It is the
+// convenience form of NewApproxChain followed by Run.
+func ApproxRank(sub *graph.Subgraph, cfg Config) (*Result, error) {
+	c, err := NewApproxChain(sub)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(cfg)
+}
+
+// ApproxRankCtx is ApproxRank with a shared precomputed Context (the
+// multi-subgraph workflow).
+func ApproxRankCtx(ctx *Context, sub *graph.Subgraph, cfg Config) (*Result, error) {
+	c, err := NewApproxChainCtx(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(cfg)
+}
+
+// IdealRank ranks sub using the known global score vector for the external
+// pages. By Theorem 1 the returned local scores equal the global PageRank
+// scores of the local pages (when globalScores is the converged global
+// PageRank with the same ε).
+func IdealRank(sub *graph.Subgraph, globalScores []float64, cfg Config) (*Result, error) {
+	c, err := NewIdealChain(sub, globalScores)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(cfg)
+}
+
+// MixExternalScores blends true external scores with the uniform
+// assumption: out[j] = alpha·scores[j]/extSum + (1−alpha)/(N−n). alpha = 0
+// reproduces ApproxRank's E_approx, alpha = 1 IdealRank's E. It feeds the
+// Theorem 2 ablation: the ranking error shrinks with ‖E − E_approx‖₁ as
+// alpha grows.
+func MixExternalScores(sub *graph.Subgraph, scores []float64, alpha float64) ([]float64, error) {
+	if len(scores) != sub.Global.NumNodes() {
+		return nil, fmt.Errorf("core: score vector has length %d, want N=%d", len(scores), sub.Global.NumNodes())
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: mixing coefficient %v outside [0,1]", alpha)
+	}
+	extSum := 0.0
+	extCount := 0
+	for gid := range scores {
+		if _, local := sub.LocalID(graph.NodeID(gid)); !local {
+			extSum += scores[gid]
+			extCount++
+		}
+	}
+	if extSum <= 0 {
+		return nil, fmt.Errorf("core: external scores sum to zero")
+	}
+	uni := 1.0 / float64(extCount)
+	out := make([]float64, len(scores))
+	for gid := range scores {
+		if _, local := sub.LocalID(graph.NodeID(gid)); local {
+			continue
+		}
+		out[gid] = alpha*scores[gid]/extSum + (1-alpha)*uni
+	}
+	return out, nil
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+)
+
+// TestSingleLocalPage: the smallest possible subgraph (n = 1) must still
+// satisfy Theorem 1.
+func TestSingleLocalPage(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		g, _ := randomSubgraph(t, rng, 50, 4)
+		sub, err := graph.NewSubgraph(g, []graph.NodeID{graph.NodeID(rng.Intn(50))})
+		if err != nil {
+			t.Fatalf("NewSubgraph: %v", err)
+		}
+		gr, err := pagerank.Compute(g, pagerank.Options{Tolerance: 1e-13, MaxIterations: 5000})
+		if err != nil {
+			t.Fatalf("pagerank: %v", err)
+		}
+		ir, err := IdealRank(sub, gr.Scores, Config{Tolerance: 1e-13, MaxIterations: 5000})
+		if err != nil {
+			t.Fatalf("IdealRank: %v", err)
+		}
+		gid := sub.Local[0]
+		if math.Abs(ir.Scores[0]-gr.Scores[gid]) > 1e-8 {
+			t.Fatalf("trial %d: single-page IdealRank %v, truth %v", trial, ir.Scores[0], gr.Scores[gid])
+		}
+		ap, err := ApproxRank(sub, Config{Tolerance: 1e-13, MaxIterations: 5000})
+		if err != nil {
+			t.Fatalf("ApproxRank: %v", err)
+		}
+		if ap.Scores[0] <= 0 || ap.Scores[0] >= 1 {
+			t.Fatalf("trial %d: single-page ApproxRank score %v", trial, ap.Scores[0])
+		}
+	}
+}
+
+// TestAlmostWholeGraph: n = N−1 (Λ represents a single external page).
+// IdealRank is exact; ApproxRank is also exact here because with one
+// external page E = E_approx.
+func TestAlmostWholeGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	g, _ := randomSubgraph(t, rng, 40, 4)
+	local := make([]graph.NodeID, 0, 39)
+	for p := 1; p < 40; p++ {
+		local = append(local, graph.NodeID(p))
+	}
+	sub, err := graph.NewSubgraph(g, local)
+	if err != nil {
+		t.Fatalf("NewSubgraph: %v", err)
+	}
+	gr, err := pagerank.Compute(g, pagerank.Options{Tolerance: 1e-13, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("pagerank: %v", err)
+	}
+	ap, err := ApproxRank(sub, Config{Tolerance: 1e-13, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("ApproxRank: %v", err)
+	}
+	for li, gid := range sub.Local {
+		if math.Abs(ap.Scores[li]-gr.Scores[gid]) > 1e-8 {
+			t.Fatalf("page %d: ApproxRank %v, truth %v (should be exact with one external page)",
+				gid, ap.Scores[li], gr.Scores[gid])
+		}
+	}
+	if math.Abs(ap.Lambda-gr.Scores[0]) > 1e-8 {
+		t.Fatalf("Λ %v, want the single external page's score %v", ap.Lambda, gr.Scores[0])
+	}
+}
+
+// TestIsolatedSubgraph: a subgraph with no boundary at all (no links in
+// or out). Λ never exchanges mass with the locals except through jumps.
+func TestIsolatedSubgraph(t *testing.T) {
+	// Locals 0–2 form a cycle; externals 3–5 form a separate cycle.
+	g := graph.MustFromEdges(6, [][2]graph.NodeID{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+	})
+	sub, err := graph.NewSubgraph(g, []graph.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatalf("NewSubgraph: %v", err)
+	}
+	gr, err := pagerank.Compute(g, pagerank.Options{Tolerance: 1e-13, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("pagerank: %v", err)
+	}
+	ir, err := IdealRank(sub, gr.Scores, Config{Tolerance: 1e-13, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("IdealRank: %v", err)
+	}
+	// By symmetry every page has score 1/6; Λ holds 1/2.
+	for i, s := range ir.Scores {
+		if math.Abs(s-1.0/6.0) > 1e-9 {
+			t.Fatalf("score %d = %v, want 1/6", i, s)
+		}
+	}
+	if math.Abs(ir.Lambda-0.5) > 1e-9 {
+		t.Fatalf("Λ = %v, want 1/2", ir.Lambda)
+	}
+	// ApproxRank agrees exactly here: E and E_approx are both uniform
+	// over the three symmetric external pages.
+	ap, err := ApproxRank(sub, Config{Tolerance: 1e-13, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("ApproxRank: %v", err)
+	}
+	for i := range ap.Scores {
+		if math.Abs(ap.Scores[i]-ir.Scores[i]) > 1e-9 {
+			t.Fatalf("ApproxRank deviates on isolated subgraph at %d", i)
+		}
+	}
+}
+
+// TestAllLocalDangling: every local page is dangling; all local mass
+// flows through the jump mechanism.
+func TestAllLocalDangling(t *testing.T) {
+	// Locals 0,1 have no out-links; externals 2,3 link to them and to
+	// each other.
+	g := graph.MustFromEdges(4, [][2]graph.NodeID{
+		{2, 0}, {2, 3}, {3, 1}, {3, 2},
+	})
+	sub, err := graph.NewSubgraph(g, []graph.NodeID{0, 1})
+	if err != nil {
+		t.Fatalf("NewSubgraph: %v", err)
+	}
+	gr, err := pagerank.Compute(g, pagerank.Options{Tolerance: 1e-13, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("pagerank: %v", err)
+	}
+	ir, err := IdealRank(sub, gr.Scores, Config{Tolerance: 1e-13, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("IdealRank: %v", err)
+	}
+	for li, gid := range sub.Local {
+		if math.Abs(ir.Scores[li]-gr.Scores[gid]) > 1e-8 {
+			t.Fatalf("dangling local %d: IdealRank %v, truth %v", gid, ir.Scores[li], gr.Scores[gid])
+		}
+	}
+}
+
+// TestDeterminism: two identical runs produce bit-identical scores.
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	_, sub := randomSubgraph(t, rng, 100, 4)
+	a, err := ApproxRank(sub, Config{})
+	if err != nil {
+		t.Fatalf("ApproxRank: %v", err)
+	}
+	b, err := ApproxRank(sub, Config{})
+	if err != nil {
+		t.Fatalf("ApproxRank: %v", err)
+	}
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatalf("run-to-run difference at %d", i)
+		}
+	}
+	if a.Iterations != b.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", a.Iterations, b.Iterations)
+	}
+}
+
+// TestHeavyMultiplicityBeatLPR2Setup reproduces the paper's §III-A
+// motivating example at the chain level: the Λ→C entry must scale with
+// the NUMBER of external endorsements, which the naive construction
+// (Figure 5 / LPR2) cannot express.
+func TestHeavyMultiplicityChain(t *testing.T) {
+	// Externals 3,4,5 all point to local 2; external 5 also points to 1.
+	g := graph.MustFromEdges(6, [][2]graph.NodeID{
+		{0, 1}, {1, 2}, {2, 0}, // local cycle
+		{3, 2}, {4, 2}, {5, 2}, {5, 1},
+		{0, 3}, // keep externals reachable
+	})
+	sub, err := graph.NewSubgraph(g, []graph.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatalf("NewSubgraph: %v", err)
+	}
+	c, err := NewApproxChain(sub)
+	if err != nil {
+		t.Fatalf("NewApproxChain: %v", err)
+	}
+	// Λ→2 = (1 + 1 + 1/2)/3 = 5/6 of the uniform external mass flow;
+	// Λ→1 = (1/2)/3 = 1/6.
+	if math.Abs(c.LambdaTo(2)-5.0/6.0) > 1e-12 {
+		t.Errorf("Λ→C = %v, want 5/6", c.LambdaTo(2))
+	}
+	if math.Abs(c.LambdaTo(1)-1.0/6.0) > 1e-12 {
+		t.Errorf("Λ→B = %v, want 1/6", c.LambdaTo(1))
+	}
+	if c.LambdaTo(2) <= 4*c.LambdaTo(1) {
+		t.Error("multiplicity not reflected in Λ row")
+	}
+}
+
+// TestPersonalizedIdealRankExact: Theorem 1 extends to arbitrary
+// personalization vectors when they are collapsed consistently — the
+// proof only left-multiplies the fixpoint equation by Q2ᵀ.
+func TestPersonalizedIdealRankExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 10; trial++ {
+		g, sub := randomSubgraph(t, rng, 60, 4)
+		n := g.NumNodes()
+		p := make([]float64, n)
+		sum := 0.0
+		for i := range p {
+			p[i] = 0.1 + rng.Float64()
+			sum += p[i]
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		gr, err := pagerank.Compute(g, pagerank.Options{
+			Tolerance: 1e-13, MaxIterations: 5000, Personalization: p,
+		})
+		if err != nil {
+			t.Fatalf("personalized global PageRank: %v", err)
+		}
+		ir, err := IdealRank(sub, gr.Scores, Config{
+			Tolerance: 1e-13, MaxIterations: 5000, Personalization: p,
+		})
+		if err != nil {
+			t.Fatalf("personalized IdealRank: %v", err)
+		}
+		for li, gid := range sub.Local {
+			if math.Abs(ir.Scores[li]-gr.Scores[gid]) > 1e-8 {
+				t.Fatalf("trial %d: personalized IdealRank deviates at %d: %v vs %v",
+					trial, gid, ir.Scores[li], gr.Scores[gid])
+			}
+		}
+	}
+}
+
+// TestPersonalizationValidation: bad personalization vectors are
+// rejected at Run time.
+func TestPersonalizationValidation(t *testing.T) {
+	_, sub := figureGraph(t)
+	if _, err := ApproxRank(sub, Config{Personalization: []float64{0.5, 0.5}}); err == nil {
+		t.Error("short personalization accepted")
+	}
+	bad := make([]float64, 7)
+	bad[0] = -1
+	bad[1] = 2
+	if _, err := ApproxRank(sub, Config{Personalization: bad}); err == nil {
+		t.Error("negative personalization accepted")
+	}
+	nosum := make([]float64, 7)
+	nosum[0] = 0.5
+	if _, err := ApproxRank(sub, Config{Personalization: nosum}); err == nil {
+		t.Error("non-normalized personalization accepted")
+	}
+}
+
+// TestPersonalizationBiasesSubgraph: concentrating jump mass on one local
+// page raises its ApproxRank score.
+func TestPersonalizationBiasesSubgraph(t *testing.T) {
+	_, sub := figureGraph(t)
+	uniform, err := ApproxRank(sub, Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("ApproxRank: %v", err)
+	}
+	p := make([]float64, 7)
+	p[1] = 0.7 // page B
+	for i := 2; i < 7; i++ {
+		p[i] = 0.05
+	}
+	p[0] = 0.05
+	biased, err := ApproxRank(sub, Config{Tolerance: 1e-12, Personalization: p})
+	if err != nil {
+		t.Fatalf("personalized ApproxRank: %v", err)
+	}
+	if !(biased.Scores[1] > uniform.Scores[1]) {
+		t.Errorf("personalization did not bias page B: %v vs %v", biased.Scores[1], uniform.Scores[1])
+	}
+}
+
+// TestErrorBoundCertificate: the computable Theorem 2 certificate
+// dominates the measured IdealRank↔ApproxRank gap, and EDistance is zero
+// exactly when the scores are uniform over the externals.
+func TestErrorBoundCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 10; trial++ {
+		g, sub := randomSubgraph(t, rng, 70, 4)
+		gr, err := pagerank.Compute(g, pagerank.Options{Tolerance: 1e-12, MaxIterations: 5000})
+		if err != nil {
+			t.Fatalf("pagerank: %v", err)
+		}
+		bound, err := ErrorBound(sub, gr.Scores, 0.85)
+		if err != nil {
+			t.Fatalf("ErrorBound: %v", err)
+		}
+		cfg := Config{Tolerance: 1e-12, MaxIterations: 5000}
+		ideal, err := IdealRank(sub, gr.Scores, cfg)
+		if err != nil {
+			t.Fatalf("IdealRank: %v", err)
+		}
+		ap, err := ApproxRank(sub, cfg)
+		if err != nil {
+			t.Fatalf("ApproxRank: %v", err)
+		}
+		gap := 0.0
+		for i := range ideal.Scores {
+			gap += math.Abs(ideal.Scores[i] - ap.Scores[i])
+		}
+		if gap > bound+1e-9 {
+			t.Fatalf("trial %d: gap %v exceeds certificate %v", trial, gap, bound)
+		}
+	}
+	// Uniform external scores → zero distance and zero bound.
+	g, sub := randomSubgraph(t, rand.New(rand.NewSource(92)), 40, 3)
+	uniform := make([]float64, g.NumNodes())
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	d, err := EDistance(sub, uniform)
+	if err != nil || d > 1e-12 {
+		t.Fatalf("uniform EDistance = %v, %v", d, err)
+	}
+	// Validation.
+	if _, err := EDistance(nil, uniform); err == nil {
+		t.Error("nil subgraph accepted")
+	}
+	if _, err := EDistance(sub, uniform[:3]); err == nil {
+		t.Error("short vector accepted")
+	}
+	if _, err := ErrorBound(sub, uniform, 2); err == nil {
+		t.Error("bad epsilon accepted")
+	}
+	zero := make([]float64, g.NumNodes())
+	if _, err := EDistance(sub, zero); err == nil {
+		t.Error("zero external mass accepted")
+	}
+}
+
+// TestRankMany: batch ranking matches individual runs and validates its
+// inputs.
+func TestRankMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	g, _ := randomSubgraph(t, rng, 120, 4)
+	ctx := NewContext(g)
+	var subs []*graph.Subgraph
+	for i := 0; i < 5; i++ {
+		perm := rng.Perm(120)
+		local := make([]graph.NodeID, 10+rng.Intn(20))
+		for j := range local {
+			local[j] = graph.NodeID(perm[j])
+		}
+		sub, err := graph.NewSubgraph(g, local)
+		if err != nil {
+			t.Fatalf("NewSubgraph: %v", err)
+		}
+		subs = append(subs, sub)
+	}
+	batch, err := RankMany(ctx, subs, Config{}, 3)
+	if err != nil {
+		t.Fatalf("RankMany: %v", err)
+	}
+	if len(batch) != len(subs) {
+		t.Fatalf("got %d results", len(batch))
+	}
+	for i, sub := range subs {
+		single, err := ApproxRankCtx(ctx, sub, Config{})
+		if err != nil {
+			t.Fatalf("ApproxRankCtx: %v", err)
+		}
+		for j := range single.Scores {
+			if batch[i].Scores[j] != single.Scores[j] {
+				t.Fatalf("subgraph %d: batch differs from single run at %d", i, j)
+			}
+		}
+	}
+	// Default parallelism path.
+	if _, err := RankMany(ctx, subs, Config{}, 0); err != nil {
+		t.Fatalf("RankMany default parallelism: %v", err)
+	}
+	// Validation.
+	if _, err := RankMany(nil, subs, Config{}, 1); err == nil {
+		t.Error("nil context accepted")
+	}
+	if _, err := RankMany(ctx, nil, Config{}, 1); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := RankMany(ctx, []*graph.Subgraph{nil}, Config{}, 1); err == nil {
+		t.Error("nil subgraph accepted")
+	}
+	other, _ := randomSubgraph(t, rng, 30, 3)
+	otherSub, _ := graph.NewSubgraph(other, []graph.NodeID{0, 1})
+	if _, err := RankMany(ctx, []*graph.Subgraph{otherSub}, Config{}, 1); err == nil {
+		t.Error("cross-graph subgraph accepted")
+	}
+	// Errors inside workers surface (bad config).
+	if _, err := RankMany(ctx, subs, Config{Epsilon: 5}, 2); err == nil {
+		t.Error("bad config accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// RankMany runs ApproxRank over many subgraphs of one global graph,
+// sharing a single Context and dispatching the independent chains across
+// workers. This is the paper's multi-subgraph scenario ("preprocess the
+// global graph for one time, and decide A_approx for each subgraph with
+// only local cost") — localized search engines serving many domains, or
+// a personalization service ranking many user-defined regions.
+//
+// parallelism ≤ 0 selects one worker per subgraph (capped at 16).
+// Results are positionally aligned with subs. The first error aborts the
+// batch.
+func RankMany(ctx *Context, subs []*graph.Subgraph, cfg Config, parallelism int) ([]*Result, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("core: nil context")
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("core: no subgraphs")
+	}
+	for i, sub := range subs {
+		if sub == nil {
+			return nil, fmt.Errorf("core: nil subgraph at %d", i)
+		}
+		if sub.Global != ctx.g {
+			return nil, fmt.Errorf("core: subgraph %d belongs to a different global graph", i)
+		}
+	}
+	if parallelism <= 0 {
+		parallelism = len(subs)
+		if parallelism > 16 {
+			parallelism = 16
+		}
+	}
+	if parallelism > len(subs) {
+		parallelism = len(subs)
+	}
+
+	results := make([]*Result, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				chain, err := NewApproxChainCtx(ctx, subs[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = chain.Run(cfg)
+			}
+		}()
+	}
+	for i := range subs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: subgraph %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

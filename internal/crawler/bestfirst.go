@@ -1,0 +1,170 @@
+package crawler
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// BestFirstConfig parameterizes the focused crawl.
+type BestFirstConfig struct {
+	// MaxPages is the crawl budget. Required.
+	MaxPages int
+	// RescoreEvery controls how often the crawler re-ranks what it has:
+	// every that many fetches it runs ApproxRank on the crawled subgraph
+	// and rebuilds the frontier priorities from the fresh scores. Default
+	// max(64, MaxPages/16).
+	RescoreEvery int
+	// Walk carries the ApproxRank parameters for the re-ranking runs.
+	Walk core.Config
+}
+
+// BestFirst implements the focused crawler of the paper's introduction
+// (Figure 1): starting from a seed, it repeatedly fetches the most
+// promising frontier page, where promise is the authority flowing into
+// the page from the already-crawled subgraph under its current
+// ApproxRank scores — "it selects links based on their scores". Between
+// periodic re-rankings, newly fetched pages propagate their own priority
+// to their out-links, so the crawl chases authority rather than hop
+// distance (contrast BFS).
+//
+// The returned pages are in fetch order, seed first.
+func BestFirst(g *graph.Graph, seed graph.NodeID, cfg BestFirstConfig) ([]graph.NodeID, error) {
+	if g == nil {
+		return nil, fmt.Errorf("crawler: nil graph")
+	}
+	if int(seed) >= g.NumNodes() {
+		return nil, fmt.Errorf("crawler: seed %d outside graph (N=%d)", seed, g.NumNodes())
+	}
+	if cfg.MaxPages < 1 {
+		return nil, fmt.Errorf("crawler: MaxPages %d < 1", cfg.MaxPages)
+	}
+	if cfg.MaxPages >= g.NumNodes() {
+		return nil, fmt.Errorf("crawler: MaxPages %d must be below the graph size %d (the whole graph needs no crawl)",
+			cfg.MaxPages, g.NumNodes())
+	}
+	if cfg.RescoreEvery == 0 {
+		cfg.RescoreEvery = cfg.MaxPages / 16
+		if cfg.RescoreEvery < 64 {
+			cfg.RescoreEvery = 64
+		}
+	}
+	if cfg.RescoreEvery < 1 {
+		return nil, fmt.Errorf("crawler: RescoreEvery %d < 1", cfg.RescoreEvery)
+	}
+
+	crawled := graph.NewNodeSet(g.NumNodes())
+	crawled.Add(seed)
+	order := []graph.NodeID{seed}
+	// score[p] is the current authority estimate of a crawled page;
+	// priority[f] accumulates the authority flowing into frontier page f.
+	score := map[graph.NodeID]float64{seed: 1}
+	priority := map[graph.NodeID]float64{}
+	pq := &frontierQueue{}
+	heap.Init(pq)
+
+	push := func(u graph.NodeID) {
+		su := score[u]
+		if g.Dangling(u) || su == 0 {
+			return
+		}
+		wout := g.WeightOut(u)
+		adj := g.OutNeighbors(u)
+		ws := g.OutWeights(u)
+		for k, v := range adj {
+			if crawled.Contains(v) {
+				continue
+			}
+			p := 1.0 / wout
+			if ws != nil {
+				p = ws[k] / wout
+			}
+			priority[v] += su * p
+			heap.Push(pq, frontierItem{v, priority[v]})
+		}
+	}
+	push(seed)
+
+	sinceRescore := 0
+	for len(order) < cfg.MaxPages && pq.Len() > 0 {
+		item := heap.Pop(pq).(frontierItem)
+		if crawled.Contains(item.page) || item.prio != priority[item.page] {
+			continue // stale queue entry
+		}
+		crawled.Add(item.page)
+		order = append(order, item.page)
+		delete(priority, item.page)
+		// Until the next re-ranking, the fetched page's own priority
+		// serves as its authority estimate.
+		score[item.page] = item.prio
+		push(item.page)
+
+		sinceRescore++
+		if sinceRescore >= cfg.RescoreEvery && len(order) < cfg.MaxPages {
+			sinceRescore = 0
+			if err := rescore(g, order, score); err != nil {
+				return nil, err
+			}
+			// Rebuild frontier priorities from the fresh scores.
+			for f := range priority {
+				delete(priority, f)
+			}
+			*pq = (*pq)[:0]
+			for _, u := range order {
+				push(u)
+			}
+		}
+	}
+	return order, nil
+}
+
+// rescore runs ApproxRank on the crawled subgraph and refreshes the
+// crawled pages' authority estimates.
+func rescore(g *graph.Graph, order []graph.NodeID, score map[graph.NodeID]float64) error {
+	sub, err := graph.NewSubgraph(g, order)
+	if err != nil {
+		return fmt.Errorf("crawler: rescore: %w", err)
+	}
+	res, err := core.ApproxRank(sub, core.Config{})
+	if err != nil {
+		return fmt.Errorf("crawler: rescore: %w", err)
+	}
+	// Scale so the crawled pages' estimates stay O(1) regardless of how
+	// much mass Λ holds (only relative priorities matter).
+	scale := 1.0
+	if res.Lambda < 1 {
+		scale = 1 / (1 - res.Lambda)
+	}
+	for li, gid := range sub.Local {
+		score[gid] = res.Scores[li] * scale
+	}
+	return nil
+}
+
+// frontierItem is a (page, priority) snapshot; stale snapshots are
+// skipped at pop time by comparing against the live priority map.
+type frontierItem struct {
+	page graph.NodeID
+	prio float64
+}
+
+type frontierQueue []frontierItem
+
+func (q frontierQueue) Len() int { return len(q) }
+func (q frontierQueue) Less(a, b int) bool {
+	if q[a].prio != q[b].prio {
+		return q[a].prio > q[b].prio
+	}
+	return q[a].page < q[b].page
+}
+func (q frontierQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+func (q *frontierQueue) Push(x any)   { *q = append(*q, x.(frontierItem)) }
+func (q *frontierQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

@@ -1,0 +1,105 @@
+// Package crawler builds the subgraph types the paper evaluates on:
+// breadth-first-search crawls from a seed page (BFS subgraphs) and
+// dmoz-style topic crawls (category seed set expanded a bounded number of
+// hops — TS subgraphs). DS subgraphs need no crawler: they are domain
+// blocks read directly off the dataset.
+package crawler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// BFS crawls g breadth-first along out-links from seed and returns the
+// first maxPages distinct pages reached (including the seed), in crawl
+// order. Like a real crawler it may stall before maxPages if the reachable
+// set is smaller; callers should check the returned length.
+func BFS(g *graph.Graph, seed graph.NodeID, maxPages int) ([]graph.NodeID, error) {
+	if int(seed) >= g.NumNodes() {
+		return nil, fmt.Errorf("crawler: seed %d outside graph (N=%d)", seed, g.NumNodes())
+	}
+	if maxPages < 1 {
+		return nil, fmt.Errorf("crawler: maxPages %d < 1", maxPages)
+	}
+	visited := graph.NewNodeSet(g.NumNodes())
+	visited.Add(seed)
+	order := []graph.NodeID{seed}
+	for head := 0; head < len(order) && len(order) < maxPages; head++ {
+		for _, v := range g.OutNeighbors(order[head]) {
+			if visited.Contains(v) {
+				continue
+			}
+			visited.Add(v)
+			order = append(order, v)
+			if len(order) == maxPages {
+				break
+			}
+		}
+	}
+	return order, nil
+}
+
+// Hops returns all pages within the given number of out-link hops of the
+// seed set (hop 0 = the seeds themselves), in BFS order.
+func Hops(g *graph.Graph, seeds []graph.NodeID, hops int) ([]graph.NodeID, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("crawler: empty seed set")
+	}
+	if hops < 0 {
+		return nil, fmt.Errorf("crawler: negative hop count %d", hops)
+	}
+	visited := graph.NewNodeSet(g.NumNodes())
+	var order []graph.NodeID
+	for _, s := range seeds {
+		if int(s) >= g.NumNodes() {
+			return nil, fmt.Errorf("crawler: seed %d outside graph (N=%d)", s, g.NumNodes())
+		}
+		if !visited.Contains(s) {
+			visited.Add(s)
+			order = append(order, s)
+		}
+	}
+	level := append([]graph.NodeID(nil), order...)
+	for h := 0; h < hops; h++ {
+		var next []graph.NodeID
+		for _, u := range level {
+			for _, v := range g.OutNeighbors(u) {
+				if visited.Contains(v) {
+					continue
+				}
+				visited.Add(v)
+				order = append(order, v)
+				next = append(next, v)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		level = next
+	}
+	return order, nil
+}
+
+// TopicCrawl mimics the paper's TS subgraph construction: the "category
+// listing" is a random seedFraction sample of the pages labelled with the
+// topic (identified by the topicOf function), and the subgraph is the seed
+// set plus every page within hops out-link hops of it (the paper crawls
+// "to all pages within three links" of the dmoz category pages).
+func TopicCrawl(g *graph.Graph, topicOf func(graph.NodeID) int, topic int,
+	seedFraction float64, hops int, rng *rand.Rand) ([]graph.NodeID, error) {
+	if seedFraction <= 0 || seedFraction > 1 {
+		return nil, fmt.Errorf("crawler: seed fraction %v outside (0,1]", seedFraction)
+	}
+	var seeds []graph.NodeID
+	for p := 0; p < g.NumNodes(); p++ {
+		if topicOf(graph.NodeID(p)) == topic && rng.Float64() < seedFraction {
+			seeds = append(seeds, graph.NodeID(p))
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("crawler: no seed pages found for topic %d", topic)
+	}
+	return Hops(g, seeds, hops)
+}

@@ -1,0 +1,158 @@
+package crawler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func lineGraph(n int) *graph.Graph {
+	edges := make([][2]graph.NodeID, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]graph.NodeID{graph.NodeID(i), graph.NodeID(i + 1)})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+func TestBFSBasic(t *testing.T) {
+	g := graph.MustFromEdges(7, [][2]graph.NodeID{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {5, 6},
+	})
+	order, err := BFS(g, 0, 10)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	// Reachable from 0: {0,1,2,3,4}; 5 and 6 unreachable.
+	if len(order) != 5 {
+		t.Fatalf("BFS reached %d pages, want 5: %v", len(order), order)
+	}
+	if order[0] != 0 || order[1] != 1 || order[2] != 2 || order[3] != 3 || order[4] != 4 {
+		t.Fatalf("BFS order %v", order)
+	}
+}
+
+func TestBFSRespectsLimit(t *testing.T) {
+	g := lineGraph(100)
+	order, err := BFS(g, 0, 7)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	if len(order) != 7 {
+		t.Fatalf("BFS returned %d pages, want 7", len(order))
+	}
+	for i, p := range order {
+		if int(p) != i {
+			t.Fatalf("BFS order %v", order)
+		}
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	g := lineGraph(5)
+	if _, err := BFS(g, 99, 3); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	if _, err := BFS(g, 0, 0); err == nil {
+		t.Error("maxPages=0 accepted")
+	}
+}
+
+func TestHopsLevels(t *testing.T) {
+	g := lineGraph(10)
+	got, err := Hops(g, []graph.NodeID{0}, 3)
+	if err != nil {
+		t.Fatalf("Hops: %v", err)
+	}
+	if len(got) != 4 { // 0,1,2,3
+		t.Fatalf("Hops(3) reached %v", got)
+	}
+	got, err = Hops(g, []graph.NodeID{0, 5}, 1)
+	if err != nil {
+		t.Fatalf("Hops: %v", err)
+	}
+	if len(got) != 4 { // 0,5,1,6
+		t.Fatalf("Hops from two seeds reached %v", got)
+	}
+	got, err = Hops(g, []graph.NodeID{9}, 5)
+	if err != nil {
+		t.Fatalf("Hops: %v", err)
+	}
+	if len(got) != 1 { // 9 is dangling
+		t.Fatalf("Hops from sink reached %v", got)
+	}
+	// Hop 0 = seeds only, duplicates removed.
+	got, err = Hops(g, []graph.NodeID{2, 2, 3}, 0)
+	if err != nil {
+		t.Fatalf("Hops: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Hops(0) = %v", got)
+	}
+}
+
+func TestHopsErrors(t *testing.T) {
+	g := lineGraph(5)
+	if _, err := Hops(g, nil, 2); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	if _, err := Hops(g, []graph.NodeID{0}, -1); err == nil {
+		t.Error("negative hops accepted")
+	}
+	if _, err := Hops(g, []graph.NodeID{77}, 1); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestTopicCrawl(t *testing.T) {
+	ds, err := gen.Generate(gen.Config{Pages: 5000, Domains: 8, Topics: 5, Seed: 12})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	topicOf := func(p graph.NodeID) int { return int(ds.Topic[p]) }
+	sub, err := TopicCrawl(ds.Graph, topicOf, 2, 0.3, 3, rng)
+	if err != nil {
+		t.Fatalf("TopicCrawl: %v", err)
+	}
+	if len(sub) == 0 {
+		t.Fatal("empty topic crawl")
+	}
+	// The crawl must contain topic-2 seeds and, because of hop expansion,
+	// typically other topics as well; it must stay a strict subgraph.
+	if len(sub) >= ds.Graph.NumNodes() {
+		t.Fatalf("topic crawl swallowed the whole graph: %d pages", len(sub))
+	}
+	hasTopic := false
+	for _, p := range sub {
+		if ds.Topic[p] == 2 {
+			hasTopic = true
+			break
+		}
+	}
+	if !hasTopic {
+		t.Fatal("topic crawl contains no pages of its topic")
+	}
+	// Deterministic for the same rng seed.
+	rng2 := rand.New(rand.NewSource(1))
+	sub2, err := TopicCrawl(ds.Graph, topicOf, 2, 0.3, 3, rng2)
+	if err != nil {
+		t.Fatalf("TopicCrawl: %v", err)
+	}
+	if len(sub) != len(sub2) {
+		t.Fatalf("topic crawl not deterministic: %d vs %d", len(sub), len(sub2))
+	}
+}
+
+func TestTopicCrawlErrors(t *testing.T) {
+	g := lineGraph(5)
+	rng := rand.New(rand.NewSource(1))
+	topicOf := func(p graph.NodeID) int { return 0 }
+	if _, err := TopicCrawl(g, topicOf, 0, 0, 2, rng); err == nil {
+		t.Error("zero seed fraction accepted")
+	}
+	if _, err := TopicCrawl(g, topicOf, 5, 1, 2, rng); err == nil {
+		t.Error("topic with no pages accepted")
+	}
+}

@@ -1,0 +1,248 @@
+package distributed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/pagerank"
+)
+
+// testWorld generates a small domain-structured global graph and its true
+// PageRank.
+func testWorld(t testing.TB, pages, domains int) (*gen.Dataset, []float64) {
+	t.Helper()
+	ds, err := gen.Generate(gen.Config{Pages: pages, Domains: domains, Seed: 13})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	pr, err := pagerank.Compute(ds.Graph, pagerank.Options{Tolerance: 1e-10})
+	if err != nil {
+		t.Fatalf("pagerank: %v", err)
+	}
+	return ds, pr.Scores
+}
+
+// domainAssignments gives every peer one domain (a disjoint full cover).
+func domainAssignments(ds *gen.Dataset) map[string][]graph.NodeID {
+	out := make(map[string][]graph.NodeID, ds.NumDomains())
+	for d := 0; d < ds.NumDomains(); d++ {
+		out[ds.DomainNames[d]] = ds.DomainPages(d)
+	}
+	return out
+}
+
+func TestPeerInitialStateIsApproxRank(t *testing.T) {
+	ds, _ := testWorld(t, 4000, 6)
+	cfg := core.Config{Tolerance: 1e-10}
+	p, err := NewPeer("p0", ds.Graph, ds.DomainPages(0), cfg)
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	sub, err := graph.NewSubgraph(ds.Graph, ds.DomainPages(0))
+	if err != nil {
+		t.Fatalf("NewSubgraph: %v", err)
+	}
+	ap, err := core.ApproxRank(sub, cfg)
+	if err != nil {
+		t.Fatalf("ApproxRank: %v", err)
+	}
+	for i := range ap.Scores {
+		if math.Abs(p.Scores()[i]-ap.Scores[i]) > 1e-12 {
+			t.Fatalf("initial peer score %d = %v, ApproxRank %v", i, p.Scores()[i], ap.Scores[i])
+		}
+	}
+	if p.KnownExternal() != 0 {
+		t.Fatalf("fresh peer knows %d external pages", p.KnownExternal())
+	}
+}
+
+// TestJXPConvergence: with peers covering the graph disjointly, meeting
+// rounds must drive every peer's error toward zero — the JXP convergence
+// claim the paper cites.
+func TestJXPConvergence(t *testing.T) {
+	ds, truth := testWorld(t, 4000, 6)
+	cfg := core.Config{Tolerance: 1e-9}
+	nw, err := NewNetwork(ds.Graph, domainAssignments(ds), cfg, 99)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	initial, err := nw.MaxError(truth)
+	if err != nil {
+		t.Fatalf("MaxError: %v", err)
+	}
+	var final float64
+	for round := 0; round < 8; round++ {
+		if _, err := nw.Round(); err != nil {
+			t.Fatalf("Round %d: %v", round, err)
+		}
+		final, err = nw.MaxError(truth)
+		if err != nil {
+			t.Fatalf("MaxError: %v", err)
+		}
+	}
+	if final > initial/5 {
+		t.Errorf("JXP error did not shrink enough: initial %v, after 8 rounds %v", initial, final)
+	}
+	// Every peer should have learned most of the external world (6 peers
+	// covering the graph, 8 rounds of gossip).
+	for _, p := range nw.Peers {
+		if p.KnownExternal() < p.Subgraph().External()/2 {
+			t.Errorf("peer %s knows only %d of %d external pages",
+				p.Name, p.KnownExternal(), p.Subgraph().External())
+		}
+	}
+}
+
+// TestMeetSymmetric: a meeting teaches both sides and is snapshot-based
+// (A's pre-meeting scores are what B learns, not A's post-meeting ones).
+func TestMeetSymmetric(t *testing.T) {
+	ds, _ := testWorld(t, 3000, 4)
+	cfg := core.Config{Tolerance: 1e-9}
+	a, err := NewPeer("a", ds.Graph, ds.DomainPages(0), cfg)
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	b, err := NewPeer("b", ds.Graph, ds.DomainPages(1), cfg)
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	aScoreBefore := append([]float64(nil), a.Scores()...)
+	if err := Meet(a, b); err != nil {
+		t.Fatalf("Meet: %v", err)
+	}
+	if a.KnownExternal() < b.Subgraph().N() {
+		t.Errorf("a learned %d pages, want at least %d", a.KnownExternal(), b.Subgraph().N())
+	}
+	if b.KnownExternal() < a.Subgraph().N() {
+		t.Errorf("b learned %d pages, want at least %d", b.KnownExternal(), a.Subgraph().N())
+	}
+	// b's learned value for a's first page equals a's PRE-meeting score.
+	gid := a.Subgraph().Local[0]
+	got, ok := b.Estimate(gid)
+	if !ok || got != aScoreBefore[0] {
+		t.Errorf("b's estimate for %d = %v,%v; want pre-meeting %v", gid, got, ok, aScoreBefore[0])
+	}
+}
+
+// TestEstimatePriority: a peer's own page estimates win over gossip.
+func TestEstimatePriority(t *testing.T) {
+	ds, _ := testWorld(t, 3000, 4)
+	cfg := core.Config{Tolerance: 1e-9}
+	a, _ := NewPeer("a", ds.Graph, ds.DomainPages(0), cfg)
+	own := a.Subgraph().Local[0]
+	absorb(a, []knowledge{{own, 123.0, true}})
+	got, _ := a.Estimate(own)
+	if got == 123.0 {
+		t.Error("peer accepted external opinion about its own page")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	ds, _ := testWorld(t, 2000, 4)
+	cfg := core.Config{}
+	if _, err := NewNetwork(ds.Graph, map[string][]graph.NodeID{"solo": ds.DomainPages(0)}, cfg, 1); err == nil {
+		t.Error("single-peer network accepted")
+	}
+	if err := Meet(nil, nil); err == nil {
+		t.Error("nil meeting accepted")
+	}
+	other, _ := gen.Generate(gen.Config{Pages: 500, Domains: 2, Seed: 5})
+	a, _ := NewPeer("a", ds.Graph, ds.DomainPages(0), cfg)
+	b, _ := NewPeer("b", other.Graph, other.DomainPages(0), cfg)
+	if err := Meet(a, b); err == nil {
+		t.Error("cross-graph meeting accepted")
+	}
+	nw, err := NewNetwork(ds.Graph, domainAssignments(ds), cfg, 1)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if _, err := nw.MaxError(make([]float64, 3)); err == nil {
+		t.Error("short truth vector accepted")
+	}
+}
+
+// TestServerRankBeatsLocalOrdering: combining local PageRank with server
+// importance must track the global ranking better than a flat local
+// PageRank glued across servers (ServerRank's reason to exist), measured
+// over the whole page population.
+func TestServerRankBeatsLocalOrdering(t *testing.T) {
+	ds, truth := testWorld(t, 6000, 8)
+	serverOf := func(p graph.NodeID) int { return int(ds.Domain[p]) }
+	res, err := ServerRank(ds.Graph, serverOf, ds.NumDomains(), ServerRankConfig{Tolerance: 1e-9})
+	if err != nil {
+		t.Fatalf("ServerRank: %v", err)
+	}
+	sum := 0.0
+	for _, s := range res.Scores {
+		if s < 0 {
+			t.Fatal("negative combined score")
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("combined scores sum to %v", sum)
+	}
+
+	// Flat baseline: local PageRank per server without server weighting —
+	// i.e. the combined vector with uniform server scores.
+	flat := make([]float64, len(res.Scores))
+	for p := range flat {
+		s := serverOf(graph.NodeID(p))
+		if res.ServerScores[s] > 0 {
+			flat[p] = res.Scores[p] / res.ServerScores[s] / float64(ds.NumDomains())
+		}
+	}
+	srFr, err := metrics.FootruleScores(truth, res.Scores)
+	if err != nil {
+		t.Fatalf("Footrule: %v", err)
+	}
+	flatFr, err := metrics.FootruleScores(truth, flat)
+	if err != nil {
+		t.Fatalf("Footrule: %v", err)
+	}
+	if srFr >= flatFr {
+		t.Errorf("ServerRank footrule %v not better than unweighted local %v", srFr, flatFr)
+	}
+}
+
+func TestServerRankValidation(t *testing.T) {
+	ds, _ := testWorld(t, 2000, 4)
+	serverOf := func(p graph.NodeID) int { return int(ds.Domain[p]) }
+	if _, err := ServerRank(nil, serverOf, 4, ServerRankConfig{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := ServerRank(ds.Graph, serverOf, 1, ServerRankConfig{}); err == nil {
+		t.Error("single server accepted")
+	}
+	if _, err := ServerRank(ds.Graph, func(graph.NodeID) int { return 7 }, 4, ServerRankConfig{}); err == nil {
+		t.Error("out-of-range server accepted")
+	}
+	if _, err := ServerRank(ds.Graph, func(graph.NodeID) int { return 0 }, 4, ServerRankConfig{}); err == nil {
+		t.Error("empty servers accepted")
+	}
+}
+
+// TestServerRankIsolatedServers: with no inter-server links every server
+// gets equal importance.
+func TestServerRankIsolatedServers(t *testing.T) {
+	b := graph.NewBuilder(6)
+	// Two disconnected triangles.
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := ServerRank(g, func(p graph.NodeID) int { return int(p) / 3 }, 2, ServerRankConfig{})
+	if err != nil {
+		t.Fatalf("ServerRank: %v", err)
+	}
+	if math.Abs(res.ServerScores[0]-0.5) > 1e-12 || math.Abs(res.ServerScores[1]-0.5) > 1e-12 {
+		t.Fatalf("isolated servers scored %v", res.ServerScores)
+	}
+}

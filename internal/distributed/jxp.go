@@ -1,0 +1,280 @@
+// Package distributed implements the decentralized ranking systems the
+// paper positions itself against: JXP (Parreira et al., VLDB 2006), where
+// autonomous peers refine global PageRank estimates by meeting and
+// exchanging scores, and ServerRank (Wang & DeWitt, VLDB 2004), where
+// per-server local rankings are combined with a server-level ranking.
+//
+// Both are built on the same Λ-collapse machinery as the paper's
+// algorithms: a JXP peer's "world node" is exactly an extended-local-graph
+// chain whose external weight vector E starts uniform (ApproxRank's
+// assumption) and is progressively replaced by the score estimates learned
+// in meetings — meeting everyone enough times recovers IdealRank, which is
+// the intuition behind JXP's convergence to true PageRank.
+package distributed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Peer is one autonomous participant in a JXP network. It holds a local
+// subgraph of the global graph, knows the global page count and the
+// out-degrees along its boundary (JXP's stated assumptions), and maintains
+// score estimates for its local pages plus everything it has learned about
+// external pages from meetings.
+type Peer struct {
+	// Name identifies the peer in diagnostics.
+	Name string
+
+	sub    *graph.Subgraph
+	scores []float64 // current estimates for local pages (global scale)
+	world  float64   // current estimate of total external score
+
+	// learned[gid] is the most recent score estimate received for an
+	// external page gid during a meeting.
+	learned map[graph.NodeID]float64
+
+	cfg core.Config
+}
+
+// NewPeer creates a peer owning the given local pages of global. Its
+// initial state is the ApproxRank estimate (uniform external weights) —
+// what a peer can compute before meeting anyone.
+func NewPeer(name string, global *graph.Graph, local []graph.NodeID, cfg core.Config) (*Peer, error) {
+	sub, err := graph.NewSubgraph(global, local)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: peer %s: %w", name, err)
+	}
+	p := &Peer{
+		Name:    name,
+		sub:     sub,
+		learned: make(map[graph.NodeID]float64),
+		cfg:     cfg,
+	}
+	if err := p.recompute(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Subgraph returns the peer's local subgraph.
+func (p *Peer) Subgraph() *graph.Subgraph { return p.sub }
+
+// Scores returns the peer's current estimates of the global PageRank of
+// its local pages, in subgraph-local order. The slice aliases internal
+// state and must not be modified.
+func (p *Peer) Scores() []float64 { return p.scores }
+
+// WorldScore returns the peer's estimate of the total external score.
+func (p *Peer) WorldScore() float64 { return p.world }
+
+// KnownExternal returns how many external pages the peer has learned
+// scores for.
+func (p *Peer) KnownExternal() int { return len(p.learned) }
+
+// Estimate returns the peer's current estimate for a global page: its own
+// computation for local pages, learned values for known external pages,
+// and 0 (unknown) otherwise.
+func (p *Peer) Estimate(gid graph.NodeID) (float64, bool) {
+	if li, ok := p.sub.LocalID(gid); ok {
+		return p.scores[li], true
+	}
+	s, ok := p.learned[gid]
+	return s, ok
+}
+
+// recompute rebuilds the peer's extended chain from its current knowledge
+// and re-runs the random walk. External pages with learned scores keep
+// them; the unknown remainder of the world's mass is spread uniformly —
+// with nothing learned this is exactly ApproxRank, and with everything
+// learned exactly (true scores) it is IdealRank.
+func (p *Peer) recompute() error {
+	n := p.sub.Global.NumNodes()
+	ext := make([]float64, n)
+	if p.scores == nil {
+		// First computation: nothing learned and no world estimate yet;
+		// weight externals uniformly (pure ApproxRank).
+		for gid := 0; gid < n; gid++ {
+			id := graph.NodeID(gid)
+			if _, local := p.sub.LocalID(id); !local {
+				ext[gid] = 1
+			}
+		}
+	} else {
+		knownMass := 0.0
+		for gid, s := range p.learned {
+			ext[gid] = s
+			knownMass += s
+		}
+		if unknown := p.sub.External() - len(p.learned); unknown > 0 {
+			// The world holds p.world total mass (estimated); what is not
+			// attributed to known pages is spread uniformly. Keep a floor
+			// so the vector stays positive even if learned mass
+			// temporarily exceeds the world estimate.
+			remaining := p.world - knownMass
+			if remaining < 1e-12 {
+				remaining = 1e-12
+			}
+			share := remaining / float64(unknown)
+			for gid := 0; gid < n; gid++ {
+				id := graph.NodeID(gid)
+				if _, local := p.sub.LocalID(id); local {
+					continue
+				}
+				if _, known := p.learned[id]; known {
+					continue
+				}
+				ext[gid] = share
+			}
+		}
+	}
+	chain, err := core.NewChainWithExternalScores(p.sub, ext)
+	if err != nil {
+		return fmt.Errorf("distributed: peer %s: %w", p.Name, err)
+	}
+	res, err := chain.Run(p.cfg)
+	if err != nil {
+		return fmt.Errorf("distributed: peer %s: %w", p.Name, err)
+	}
+	p.scores = res.Scores
+	p.world = res.Lambda
+	return nil
+}
+
+// Meet performs a JXP meeting: the two peers exchange their current local
+// score estimates, absorb what the other knows about pages they do not
+// hold, and recompute their local walks. Meetings are symmetric.
+func Meet(a, b *Peer) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("distributed: nil peer in meeting")
+	}
+	if a.sub.Global != b.sub.Global {
+		return fmt.Errorf("distributed: peers %s and %s live in different global graphs", a.Name, b.Name)
+	}
+	// Snapshot both sides before either absorbs anything, so the exchange
+	// is order-independent.
+	fromB := exportKnowledge(b)
+	fromA := exportKnowledge(a)
+	absorb(a, fromB)
+	absorb(b, fromA)
+	if err := a.recompute(); err != nil {
+		return err
+	}
+	return b.recompute()
+}
+
+// exportKnowledge collects what a peer can tell others: authoritative
+// estimates for its own pages, plus gossip it has learned. Own pages are
+// marked authoritative so they overwrite stale gossip at the receiver.
+type knowledge struct {
+	gid           graph.NodeID
+	score         float64
+	authoritative bool
+}
+
+func exportKnowledge(p *Peer) []knowledge {
+	out := make([]knowledge, 0, p.sub.N()+len(p.learned))
+	for li, gid := range p.sub.Local {
+		out = append(out, knowledge{gid, p.scores[li], true})
+	}
+	for gid, s := range p.learned {
+		out = append(out, knowledge{gid, s, false})
+	}
+	return out
+}
+
+func absorb(p *Peer, in []knowledge) {
+	for _, k := range in {
+		if _, local := p.sub.LocalID(k.gid); local {
+			continue // the peer's own computation wins for its pages
+		}
+		if k.authoritative {
+			p.learned[k.gid] = k.score
+			continue
+		}
+		if _, seen := p.learned[k.gid]; !seen {
+			p.learned[k.gid] = k.score // gossip only fills gaps
+		}
+	}
+}
+
+// Network is a set of JXP peers over one global graph.
+type Network struct {
+	Peers []*Peer
+	rng   *rand.Rand
+}
+
+// NewNetwork partitions assigns to peers (one subgraph each; they may
+// overlap) and initializes every peer.
+func NewNetwork(global *graph.Graph, assignments map[string][]graph.NodeID, cfg core.Config, seed int64) (*Network, error) {
+	if len(assignments) < 2 {
+		return nil, fmt.Errorf("distributed: a network needs at least 2 peers")
+	}
+	names := make([]string, 0, len(assignments))
+	for name := range assignments {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	nw := &Network{rng: rand.New(rand.NewSource(seed))}
+	for _, name := range names {
+		p, err := NewPeer(name, global, assignments[name], cfg)
+		if err != nil {
+			return nil, err
+		}
+		nw.Peers = append(nw.Peers, p)
+	}
+	return nw, nil
+}
+
+// Round performs one JXP round: every peer meets one uniformly chosen
+// other peer. Returns the number of meetings held.
+func (nw *Network) Round() (int, error) {
+	meetings := 0
+	for i, p := range nw.Peers {
+		j := nw.rng.Intn(len(nw.Peers) - 1)
+		if j >= i {
+			j++
+		}
+		if err := Meet(p, nw.Peers[j]); err != nil {
+			return meetings, err
+		}
+		meetings++
+	}
+	return meetings, nil
+}
+
+// MaxError returns the largest L1 distance between any peer's local
+// estimates and the given global truth (restricted to that peer's pages).
+// It is the convergence measure of the JXP experiments.
+func (nw *Network) MaxError(truth []float64) (float64, error) {
+	worst := 0.0
+	for _, p := range nw.Peers {
+		if len(truth) != p.sub.Global.NumNodes() {
+			return 0, fmt.Errorf("distributed: truth vector has length %d, want %d",
+				len(truth), p.sub.Global.NumNodes())
+		}
+		d := 0.0
+		for li, gid := range p.sub.Local {
+			diff := p.scores[li] - truth[gid]
+			if diff < 0 {
+				diff = -diff
+			}
+			d += diff
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+)
+
+// ServerRankConfig configures the ServerRank combination (Wang & DeWitt,
+// VLDB 2004). The zero value selects the customary walk parameters.
+type ServerRankConfig struct {
+	Epsilon       float64
+	Tolerance     float64
+	MaxIterations int
+}
+
+func (c ServerRankConfig) options() pagerank.Options {
+	return pagerank.Options{Epsilon: c.Epsilon, Tolerance: c.Tolerance, MaxIterations: c.MaxIterations}
+}
+
+// ServerRankResult carries the combined estimate plus its two layers.
+type ServerRankResult struct {
+	// Scores[p] estimates the global PageRank of page p: the page's local
+	// PageRank within its server, scaled by its server's ServerRank.
+	Scores []float64
+	// ServerScores[s] is the PageRank of server s in the server-level
+	// graph (weighted by inter-server link counts).
+	ServerScores []float64
+	// LocalIterations sums the local PageRank iterations over servers;
+	// ServerIterations counts the server-graph iterations.
+	LocalIterations  int
+	ServerIterations int
+}
+
+// ServerRank implements the distributed ranking of Wang & DeWitt: each
+// server computes a local PageRank over its own pages using intra-server
+// links only; the inter-server links induce a weighted server-level graph
+// whose PageRank measures server importance; a page's global estimate is
+// localPR(page) · serverRank(server). serverOf assigns every page to a
+// server 0..numServers−1.
+func ServerRank(g *graph.Graph, serverOf func(graph.NodeID) int, numServers int, cfg ServerRankConfig) (*ServerRankResult, error) {
+	if g == nil {
+		return nil, fmt.Errorf("distributed: nil graph")
+	}
+	if numServers < 2 {
+		return nil, fmt.Errorf("distributed: need at least 2 servers, got %d", numServers)
+	}
+	n := g.NumNodes()
+	server := make([]int, n)
+	pagesOf := make([][]graph.NodeID, numServers)
+	for p := 0; p < n; p++ {
+		s := serverOf(graph.NodeID(p))
+		if s < 0 || s >= numServers {
+			return nil, fmt.Errorf("distributed: page %d assigned to server %d outside [0,%d)", p, s, numServers)
+		}
+		server[p] = s
+		pagesOf[s] = append(pagesOf[s], graph.NodeID(p))
+	}
+	for s, pages := range pagesOf {
+		if len(pages) == 0 {
+			return nil, fmt.Errorf("distributed: server %d has no pages", s)
+		}
+	}
+
+	res := &ServerRankResult{Scores: make([]float64, n)}
+
+	// Layer 1: local PageRank per server over intra-server links.
+	localScore := make([]float64, n)
+	for s, pages := range pagesOf {
+		pos := make(map[graph.NodeID]uint32, len(pages))
+		for i, p := range pages {
+			pos[p] = uint32(i)
+		}
+		b := graph.NewBuilder(len(pages))
+		for i, p := range pages {
+			for _, v := range g.OutNeighbors(p) {
+				if server[v] == s {
+					b.AddEdge(uint32(i), pos[v])
+				}
+			}
+		}
+		lg, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("distributed: server %d local graph: %w", s, err)
+		}
+		pr, err := pagerank.Compute(lg, cfg.options())
+		if err != nil {
+			return nil, fmt.Errorf("distributed: server %d local PageRank: %w", s, err)
+		}
+		res.LocalIterations += pr.Iterations
+		for i, p := range pages {
+			localScore[p] = pr.Scores[i]
+		}
+	}
+
+	// Layer 2: ServerRank on the server-level graph; each inter-server
+	// hyperlink contributes weight 1 to its server pair.
+	sb := graph.NewBuilder(numServers)
+	interLinks := 0
+	for p := 0; p < n; p++ {
+		for _, v := range g.OutNeighbors(graph.NodeID(p)) {
+			if server[p] != server[v] {
+				sb.AddWeightedEdge(uint32(server[p]), uint32(server[v]), 1)
+				interLinks++
+			}
+		}
+	}
+	if interLinks == 0 {
+		// Isolated servers: all equally important.
+		res.ServerScores = make([]float64, numServers)
+		for s := range res.ServerScores {
+			res.ServerScores[s] = 1.0 / float64(numServers)
+		}
+	} else {
+		sg, err := sb.Build()
+		if err != nil {
+			return nil, fmt.Errorf("distributed: server graph: %w", err)
+		}
+		spr, err := pagerank.Compute(sg, cfg.options())
+		if err != nil {
+			return nil, fmt.Errorf("distributed: server PageRank: %w", err)
+		}
+		res.ServerScores = spr.Scores
+		res.ServerIterations = spr.Iterations
+	}
+
+	// Combine: page estimate = local share · server importance. The
+	// result is a probability distribution over all pages.
+	for p := 0; p < n; p++ {
+		res.Scores[p] = localScore[p] * res.ServerScores[server[p]]
+	}
+	return res, nil
+}

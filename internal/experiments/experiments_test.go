@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// The suite is expensive enough to share across tests.
+var (
+	tOnce  sync.Once
+	tSuite *Suite
+	tErr   error
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	tOnce.Do(func() {
+		tSuite, tErr = NewSuite(Tiny())
+	})
+	if tErr != nil {
+		t.Fatalf("NewSuite: %v", tErr)
+	}
+	return tSuite
+}
+
+func TestSuiteConstruction(t *testing.T) {
+	s := testSuite(t)
+	if s.AU.Data.Graph.NumNodes() != 12000 {
+		t.Errorf("AU pages = %d, want 12000", s.AU.Data.Graph.NumNodes())
+	}
+	if s.Politics.Data.Graph.NumNodes() != 10000 {
+		t.Errorf("politics pages = %d, want 10000", s.Politics.Data.Graph.NumNodes())
+	}
+	if !s.AU.PR.Converged || !s.Politics.PR.Converged {
+		t.Error("global PageRank did not converge")
+	}
+	if s.AU.Ctx.DanglingCount() == 0 {
+		t.Error("expected some dangling pages")
+	}
+}
+
+// TestIdealRankIntegration: Theorem 1 holds on the generated dataset (an
+// end-to-end check through dataset → subgraph → IdealRank).
+func TestIdealRankIntegration(t *testing.T) {
+	s := testSuite(t)
+	pages := s.AU.Data.DomainPages(3)
+	// The suite's ground truth uses tolerance 1e-5; IdealRank reproduces
+	// it up to iteration error, so allow a small slack.
+	l1, err := IdealCheck(s.AU, pages, core.Config{Tolerance: 1e-9})
+	if err != nil {
+		t.Fatalf("IdealCheck: %v", err)
+	}
+	if l1 > 1e-3 {
+		t.Errorf("IdealRank L1 from truth = %v, want ~0", l1)
+	}
+}
+
+// TestRunDSShape checks the Table IV invariants the paper reports:
+// ApproxRank beats every competitor on footrule for DS subgraphs, and SC
+// lies between local PageRank and ApproxRank.
+func TestRunDSShape(t *testing.T) {
+	s := testSuite(t)
+	runs, err := s.RunDS(4)
+	if err != nil {
+		t.Fatalf("RunDS: %v", err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(runs))
+	}
+	prevN := 0
+	for _, r := range runs {
+		if r.N < prevN {
+			t.Errorf("domains not ascending by size: %d after %d", r.N, prevN)
+		}
+		prevN = r.N
+		if r.Approx.Footrule >= r.Local.Footrule {
+			t.Errorf("%s: ApproxRank footrule %v not better than local PR %v",
+				r.Name, r.Approx.Footrule, r.Local.Footrule)
+		}
+		// The paper's DS subgraphs are ≤10.4% of the global graph; in that
+		// regime ApproxRank beats SC strictly. At Tiny() scale the largest
+		// domain covers ~30% of the graph, where SC's supergraph is most of
+		// the graph and the two become comparable — allow a small slack
+		// there.
+		if r.PctOfGlobal < 15 {
+			if r.Approx.Footrule >= r.SC.Footrule {
+				t.Errorf("%s: ApproxRank footrule %v not better than SC %v",
+					r.Name, r.Approx.Footrule, r.SC.Footrule)
+			}
+		} else if r.Approx.Footrule > r.SC.Footrule*1.25 {
+			t.Errorf("%s (%.0f%% of global): ApproxRank footrule %v far worse than SC %v",
+				r.Name, r.PctOfGlobal, r.Approx.Footrule, r.SC.Footrule)
+		}
+		if r.Approx.Footrule >= r.LPR2.Footrule {
+			t.Errorf("%s: ApproxRank footrule %v not better than LPR2 %v",
+				r.Name, r.Approx.Footrule, r.LPR2.Footrule)
+		}
+		if r.SCInfo == nil || r.SCInfo.K < 1 {
+			t.Errorf("%s: missing SC telemetry", r.Name)
+		}
+	}
+}
+
+// TestRunTSShape checks Table III's invariant: ApproxRank's footrule beats
+// SC's on every TS subgraph.
+func TestRunTSShape(t *testing.T) {
+	s := testSuite(t)
+	runs, err := s.RunTS(TSParams{})
+	if err != nil {
+		t.Fatalf("RunTS: %v", err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	names := map[string]bool{}
+	wins := 0
+	for _, r := range runs {
+		names[r.Name] = true
+		if r.Approx.Footrule < r.SC.Footrule {
+			wins++
+		}
+		// At Tiny() scale individual crawls can be close calls; require
+		// ApproxRank to stay within 15% of SC everywhere and to win on the
+		// majority (at paper scale it wins on all three, as in Table III).
+		if r.Approx.Footrule > r.SC.Footrule*1.15 {
+			t.Errorf("%s: ApproxRank footrule %v much worse than SC %v",
+				r.Name, r.Approx.Footrule, r.SC.Footrule)
+		}
+	}
+	if wins < 2 {
+		t.Errorf("ApproxRank beat SC on only %d of 3 TS subgraphs", wins)
+	}
+	for _, want := range tsNames {
+		if !names[want] {
+			t.Errorf("missing TS subgraph %q", want)
+		}
+	}
+	// socialism is the deliberately small one.
+	if runs[2].N >= runs[0].N {
+		t.Errorf("socialism (%d pages) should be smaller than conservatism (%d)", runs[2].N, runs[0].N)
+	}
+}
+
+// TestRunBFSShape checks Figure 7's invariants: ApproxRank beats the two
+// baselines on every BFS subgraph, and SC runs only on the two smallest.
+func TestRunBFSShape(t *testing.T) {
+	s := testSuite(t)
+	runs, err := s.RunBFS([]float64{0.5, 2, 8})
+	if err != nil {
+		t.Fatalf("RunBFS: %v", err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	for i, r := range runs {
+		if r.Approx.Footrule >= r.Local.Footrule {
+			t.Errorf("%s: ApproxRank %v not better than local PR %v", r.Name, r.Approx.Footrule, r.Local.Footrule)
+		}
+		if (r.SC != nil) != (i < 2) {
+			t.Errorf("%s: SC presence = %v, want %v", r.Name, r.SC != nil, i < 2)
+		}
+	}
+}
+
+// TestWriters: every table renders without error and contains its header
+// and at least one data row.
+func TestWriters(t *testing.T) {
+	s := testSuite(t)
+	ts, err := s.RunTS(TSParams{})
+	if err != nil {
+		t.Fatalf("RunTS: %v", err)
+	}
+	ds, err := s.RunDS(3)
+	if err != nil {
+		t.Fatalf("RunDS: %v", err)
+	}
+	bfs, err := s.RunBFS([]float64{0.5, 2})
+	if err != nil {
+		t.Fatalf("RunBFS: %v", err)
+	}
+	cases := []struct {
+		name string
+		fn   func(*bytes.Buffer) error
+		want string
+	}{
+		{"TableII", func(b *bytes.Buffer) error { return s.WriteTableII(b) }, "TABLE II"},
+		{"TableIII", func(b *bytes.Buffer) error { return WriteTableIII(b, ts) }, "conservatism"},
+		{"TableIV", func(b *bytes.Buffer) error { return WriteTableIV(b, ds) }, "ApproxRank"},
+		{"TableV", func(b *bytes.Buffer) error { return WriteTableV(b, ts) }, "TABLE V"},
+		{"TableVI", func(b *bytes.Buffer) error { return s.WriteTableVI(b, ds) }, "global PageRank"},
+		{"Figure7", func(b *bytes.Buffer) error { return WriteFigure7(b, bfs) }, "FIGURE 7"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := c.fn(&buf); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		out := buf.String()
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s output missing %q:\n%s", c.name, c.want, out)
+		}
+		if strings.Count(out, "\n") < 3 {
+			t.Errorf("%s output suspiciously short:\n%s", c.name, out)
+		}
+	}
+}
+
+// TestAblationEpsilonShape: the Theorem 2 bound must dominate the measured
+// gap at every ε, and both must grow with ε.
+func TestAblationEpsilonShape(t *testing.T) {
+	s := testSuite(t)
+	pts, err := s.AblationEpsilon([]float64{0.5, 0.85})
+	if err != nil {
+		t.Fatalf("AblationEpsilon: %v", err)
+	}
+	for _, p := range pts {
+		if p.Gap > p.Bound {
+			t.Errorf("eps=%v: gap %v exceeds bound %v", p.X, p.Gap, p.Bound)
+		}
+	}
+	if !(pts[1].Bound > pts[0].Bound) {
+		t.Errorf("bound did not grow with epsilon: %v then %v", pts[0].Bound, pts[1].Bound)
+	}
+}
+
+// TestAblationMixedEShape: the gap vanishes at alpha=1 and never grows
+// with more knowledge.
+func TestAblationMixedEShape(t *testing.T) {
+	s := testSuite(t)
+	pts, err := s.AblationMixedE([]float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatalf("AblationMixedE: %v", err)
+	}
+	if pts[2].Gap > 1e-4 {
+		t.Errorf("alpha=1 gap = %v, want ~0", pts[2].Gap)
+	}
+	if pts[1].Gap > pts[0].Gap+1e-9 {
+		t.Errorf("gap grew with knowledge: %v then %v", pts[0].Gap, pts[1].Gap)
+	}
+}
+
+// TestAblationIntraDomainShape: more intra-domain linkage means easier
+// subgraphs (lower ApproxRank footrule at 0.95 than at 0.5).
+func TestAblationIntraDomainShape(t *testing.T) {
+	pts, err := AblationIntraDomain([]float64{0.5, 0.95}, 8000, 77)
+	if err != nil {
+		t.Fatalf("AblationIntraDomain: %v", err)
+	}
+	if !(pts[1].Footrule < pts[0].Footrule) {
+		t.Errorf("footrule did not improve with intra-domain fraction: %v then %v",
+			pts[0].Footrule, pts[1].Footrule)
+	}
+}
+
+// TestAblationSubgraphSize: runs and yields points with growing X.
+func TestAblationSubgraphSize(t *testing.T) {
+	s := testSuite(t)
+	pts, err := s.AblationSubgraphSize([]float64{0.05, 0.2, 0.5})
+	if err != nil {
+		t.Fatalf("AblationSubgraphSize: %v", err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("too few points: %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Errorf("sizes not increasing: %v after %v", pts[i].X, pts[i-1].X)
+		}
+	}
+}
+
+// TestWriteAblation renders a sweep.
+func TestWriteAblation(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []AblationPoint{{X: 0.5, Gap: 0.1, Bound: 0.2, L1: 0.05, Footrule: 0.01}}
+	if err := WriteAblation(&buf, "title", "x", pts); err != nil {
+		t.Fatalf("WriteAblation: %v", err)
+	}
+	if !strings.Contains(buf.String(), "title") || !strings.Contains(buf.String(), "0.100000") {
+		t.Errorf("unexpected output:\n%s", buf.String())
+	}
+}
+
+// TestPickDomains spans the spectrum and stays ascending.
+func TestPickDomains(t *testing.T) {
+	s := testSuite(t)
+	picked := PickDomains(s.AU.Data, 5)
+	if len(picked) != 5 {
+		t.Fatalf("picked %d domains, want 5", len(picked))
+	}
+	all := DomainsAscending(s.AU.Data)
+	if picked[0] != all[0] || picked[4] != all[len(all)-1] {
+		t.Errorf("picked %v does not span smallest %d to largest %d", picked, all[0], all[len(all)-1])
+	}
+	for i := 1; i < len(picked); i++ {
+		if s.AU.Data.DomainSize(picked[i]) < s.AU.Data.DomainSize(picked[i-1]) {
+			t.Errorf("picked domains not ascending by size")
+		}
+	}
+	if got := PickDomains(s.AU.Data, 100); len(got) != s.AU.Data.NumDomains() {
+		t.Errorf("overlong pick returned %d domains", len(got))
+	}
+}
+
+// TestEvaluateSelf: the truth evaluated against itself is zero distance.
+func TestEvaluateSelf(t *testing.T) {
+	s := testSuite(t)
+	pages := s.AU.Data.DomainPages(2)
+	sub, err := newSub(s, pages)
+	if err != nil {
+		t.Fatalf("subgraph: %v", err)
+	}
+	truth := s.AU.Truth(sub)
+	l1, fr, err := s.AU.Evaluate(sub, truth)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if l1 > 1e-12 || fr != 0 {
+		t.Errorf("self-evaluation: L1=%v footrule=%v", l1, fr)
+	}
+}
+
+func newSub(s *Suite, pages []graph.NodeID) (*graph.Subgraph, error) {
+	return graph.NewSubgraph(s.AU.Data.Graph, pages)
+}
+
+// TestRunSubgraphSelective: only the requested algorithms run.
+func TestRunSubgraphSelective(t *testing.T) {
+	s := testSuite(t)
+	pages := s.AU.Data.DomainPages(1)
+	run, err := RunSubgraph(s.AU, "sel", pages, Algos{Approx: true}, core.Config{}, baseline.SCConfig{})
+	if err != nil {
+		t.Fatalf("RunSubgraph: %v", err)
+	}
+	if run.Approx == nil {
+		t.Error("requested algorithm missing")
+	}
+	if run.Local != nil || run.LPR2 != nil || run.SC != nil || run.SCInfo != nil {
+		t.Error("unrequested algorithms ran")
+	}
+	if run.N != len(pages) {
+		t.Errorf("N = %d, want %d", run.N, len(pages))
+	}
+	if run.AvgOutDegree <= 0 {
+		t.Errorf("AvgOutDegree = %v", run.AvgOutDegree)
+	}
+}
+
+// TestRunSubgraphErrors: invalid subgraph specs are rejected.
+func TestRunSubgraphErrors(t *testing.T) {
+	s := testSuite(t)
+	if _, err := RunSubgraph(s.AU, "bad", nil, AllAlgos(), core.Config{}, baseline.SCConfig{}); err == nil {
+		t.Error("empty page set accepted")
+	}
+	if _, err := RunSubgraph(s.AU, "bad", []graph.NodeID{1 << 30}, AllAlgos(), core.Config{}, baseline.SCConfig{}); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+}
+
+// TestSCConfigPassthrough: a custom SC configuration reaches the
+// algorithm (fewer expansions → smaller supergraph).
+func TestSCConfigPassthrough(t *testing.T) {
+	s := testSuite(t)
+	pages := s.AU.Data.DomainPages(1)
+	run, err := RunSubgraph(s.AU, "sc2", pages, Algos{SC: true},
+		core.Config{}, baseline.SCConfig{Expansions: 2, Config: baseline.Config{Tolerance: 1e-6}})
+	if err != nil {
+		t.Fatalf("RunSubgraph: %v", err)
+	}
+	if run.SCInfo == nil {
+		t.Fatal("missing SC telemetry")
+	}
+	if got := run.SCInfo.SupergraphSize; got > len(pages)+2*run.SCInfo.K {
+		t.Errorf("supergraph %d larger than 2 expansions allow", got)
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAcceleration(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.RunAcceleration()
+	if err != nil {
+		t.Fatalf("RunAcceleration: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	byName := map[string]AccelRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+		// Every scheme must land close to the tightly converged reference.
+		if r.L1 > 1e-2 {
+			t.Errorf("%s: L1 vs reference = %v", r.Method, r.L1)
+		}
+		if r.Iterations < 1 {
+			t.Errorf("%s: %d iterations", r.Method, r.Iterations)
+		}
+	}
+	if byName["adaptive(1e-4)"].Frozen == 0 {
+		t.Error("adaptive scheme froze no pages")
+	}
+	if byName["power"].Frozen != 0 {
+		t.Error("plain power iteration reported frozen pages")
+	}
+	// Gauss–Seidel needs fewer sweeps than power iteration on the blocky
+	// web-like AU graph.
+	if byName["gauss-seidel"].Iterations >= byName["power"].Iterations {
+		t.Errorf("Gauss–Seidel took %d sweeps, power %d",
+			byName["gauss-seidel"].Iterations, byName["power"].Iterations)
+	}
+	var buf bytes.Buffer
+	if err := WriteAcceleration(&buf, rows); err != nil {
+		t.Fatalf("WriteAcceleration: %v", err)
+	}
+	if !strings.Contains(buf.String(), "gauss-seidel") {
+		t.Errorf("missing row:\n%s", buf.String())
+	}
+}
+
+func TestRunJXP(t *testing.T) {
+	s := testSuite(t)
+	pts, err := s.RunJXP(4, 7)
+	if err != nil {
+		t.Fatalf("RunJXP: %v", err)
+	}
+	if len(pts) != 5 { // round 0 + 4 rounds
+		t.Fatalf("got %d points, want 5", len(pts))
+	}
+	if pts[0].Round != 0 || pts[4].Round != 4 {
+		t.Fatalf("round numbering wrong: %+v", pts)
+	}
+	// Meetings must help substantially by the last round.
+	if pts[4].MaxError > pts[0].MaxError/2 {
+		t.Errorf("JXP error did not halve: round0 %v, round4 %v", pts[0].MaxError, pts[4].MaxError)
+	}
+	for _, p := range pts {
+		if p.MeanError > p.MaxError+1e-12 {
+			t.Errorf("round %d: mean %v exceeds max %v", p.Round, p.MeanError, p.MaxError)
+		}
+	}
+	if _, err := s.RunJXP(0, 1); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteJXP(&buf, pts); err != nil {
+		t.Fatalf("WriteJXP: %v", err)
+	}
+	if !strings.Contains(buf.String(), "worst peer") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+}
+
+func TestRunPointRank(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.RunPointRank([]int{1, 4}, 10)
+	if err != nil {
+		t.Fatalf("RunPointRank: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if !(rows[1].MeanRelErr < rows[0].MeanRelErr) {
+		t.Errorf("error did not shrink with radius: %v then %v", rows[0].MeanRelErr, rows[1].MeanRelErr)
+	}
+	if !(rows[1].MeanInfluence > rows[0].MeanInfluence) {
+		t.Errorf("influence set did not grow with radius")
+	}
+	if _, err := s.RunPointRank(nil, -1); err == nil {
+		t.Error("negative target count accepted")
+	}
+	var buf bytes.Buffer
+	if err := WritePointRank(&buf, rows); err != nil {
+		t.Fatalf("WritePointRank: %v", err)
+	}
+	if !strings.Contains(buf.String(), "radius") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+}

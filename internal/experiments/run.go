@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// AlgoResult is one algorithm's outcome on one subgraph.
+type AlgoResult struct {
+	L1         float64
+	Footrule   float64
+	Elapsed    time.Duration
+	Iterations int
+}
+
+// SCExtra carries the expansion telemetry Tables V and VI report for SC.
+type SCExtra struct {
+	K              int
+	FrontierSizes  []int
+	SupergraphSize int
+}
+
+// SubgraphRun is the full outcome of running the selected algorithms on
+// one subgraph — the common substrate of Tables III–VI and Figure 7.
+type SubgraphRun struct {
+	Name         string
+	N            int     // #nodes in local graph
+	PctOfGlobal  float64 // 100·n/N
+	AvgOutDegree float64 // average global out-degree of local pages
+
+	Local  *AlgoResult // local PageRank (■)
+	LPR2   *AlgoResult // LPR2 (●)
+	SC     *AlgoResult // stochastic complementation (◆)
+	SCInfo *SCExtra
+	Approx *AlgoResult // ApproxRank (▲)
+}
+
+// Algos selects which algorithms a run executes. SC is the expensive one;
+// Figure 7 disables it on all but the smallest subgraphs, as the paper
+// does.
+type Algos struct {
+	Local  bool
+	LPR2   bool
+	SC     bool
+	Approx bool
+}
+
+// AllAlgos runs everything.
+func AllAlgos() Algos { return Algos{Local: true, LPR2: true, SC: true, Approx: true} }
+
+// RunSubgraph executes the selected algorithms on the subgraph defined by
+// localPages within grun's dataset and evaluates each against the global
+// truth. cfg applies to every ranker; scCfg additionally configures SC.
+func RunSubgraph(grun *GlobalRun, name string, localPages []graph.NodeID,
+	algos Algos, cfg core.Config, scCfg baseline.SCConfig) (*SubgraphRun, error) {
+
+	sub, err := graph.NewSubgraph(grun.Data.Graph, localPages)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: subgraph %s: %w", name, err)
+	}
+	run := &SubgraphRun{
+		Name:         name,
+		N:            sub.N(),
+		PctOfGlobal:  pct(sub.N(), grun.Data.Graph.NumNodes()),
+		AvgOutDegree: avgOutDegree(sub),
+	}
+	blCfg := baseline.Config{Epsilon: cfg.Epsilon, Tolerance: cfg.Tolerance, MaxIterations: cfg.MaxIterations}
+
+	if algos.Local {
+		res, err := baseline.LocalPageRank(sub, blCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: local PageRank on %s: %w", name, err)
+		}
+		run.Local, err = evaluate(grun, sub, res.Scores, res.Elapsed, res.Iterations)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if algos.LPR2 {
+		res, err := baseline.LPR2(sub, blCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: LPR2 on %s: %w", name, err)
+		}
+		run.LPR2, err = evaluate(grun, sub, res.Scores, res.Elapsed, res.Iterations)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if algos.SC {
+		if scCfg.Epsilon == 0 {
+			scCfg.Config = blCfg
+		}
+		res, err := baseline.SC(sub, scCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: SC on %s: %w", name, err)
+		}
+		run.SC, err = evaluate(grun, sub, res.Scores, res.Elapsed, res.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		run.SCInfo = &SCExtra{K: res.K, FrontierSizes: res.FrontierSizes, SupergraphSize: res.SupergraphSize}
+	}
+	if algos.Approx {
+		start := time.Now()
+		res, err := core.ApproxRankCtx(grun.Ctx, sub, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ApproxRank on %s: %w", name, err)
+		}
+		// Include chain construction in the measured time (the paper's
+		// ApproxRank runtimes cover determining A_approx for the subgraph).
+		run.Approx, err = evaluate(grun, sub, res.Scores, time.Since(start), res.Iterations)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return run, nil
+}
+
+func evaluate(grun *GlobalRun, sub *graph.Subgraph, scores []float64,
+	elapsed time.Duration, iters int) (*AlgoResult, error) {
+	l1, fr, err := grun.Evaluate(sub, scores)
+	if err != nil {
+		return nil, err
+	}
+	return &AlgoResult{L1: l1, Footrule: fr, Elapsed: elapsed, Iterations: iters}, nil
+}
+
+// IdealCheck runs IdealRank on a subgraph and returns its L1 distance from
+// the (normalized) global truth. Used by integration tests: the value must
+// be ~0 by Theorem 1.
+func IdealCheck(grun *GlobalRun, localPages []graph.NodeID, cfg core.Config) (float64, error) {
+	sub, err := graph.NewSubgraph(grun.Data.Graph, localPages)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.IdealRank(sub, grun.PR.Scores, cfg)
+	if err != nil {
+		return 0, err
+	}
+	l1, _, err := grun.Evaluate(sub, res.Scores)
+	return l1, err
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUpdate(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.RunUpdate(0.35, 11)
+	if err != nil {
+		t.Fatalf("RunUpdate: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byName := map[string]UpdateRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	stale := byName["stale scores (do nothing)"]
+	ideal := byName["IdealRank, stale externals (paper)"]
+	iadRow := byName["IAD update (Langville & Meyer)"]
+	full := byName["full recomputation"]
+
+	// The paper's proposal must crush doing nothing.
+	if ideal.L1 >= stale.L1/5 {
+		t.Errorf("IdealRank-with-stale-externals L1 %v not ≪ stale L1 %v", ideal.L1, stale.L1)
+	}
+	// IAD is (numerically) exact.
+	if iadRow.L1 > 1e-4 {
+		t.Errorf("IAD L1 = %v, want ~0", iadRow.L1)
+	}
+	// IAD must need fewer global sweeps than full recomputation.
+	if iadRow.GlobalSweeps >= full.GlobalSweeps {
+		t.Errorf("IAD sweeps %d, recompute %d", iadRow.GlobalSweeps, full.GlobalSweeps)
+	}
+	// IdealRank never sweeps the global graph.
+	if ideal.GlobalSweeps != 0 {
+		t.Errorf("IdealRank reported %d global sweeps", ideal.GlobalSweeps)
+	}
+	if full.L1 != 0 || full.Footrule != 0 {
+		t.Errorf("reference row not exact: %+v", full)
+	}
+
+	if _, err := s.RunUpdate(0, 1); err == nil {
+		t.Error("zero rewire fraction accepted")
+	}
+	if _, err := s.RunUpdate(1.5, 1); err == nil {
+		t.Error("rewire fraction above 1 accepted")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteUpdate(&buf, rows); err != nil {
+		t.Fatalf("WriteUpdate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "IAD update") {
+		t.Errorf("missing row:\n%s", buf.String())
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.RunTopK([]int{5, 25, 100})
+	if err != nil {
+		t.Fatalf("RunTopK: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	sumAR, sumLocal := 0.0, 0.0
+	for _, r := range rows {
+		for name, v := range map[string]float64{"local": r.Local, "lpr2": r.LPR2, "sc": r.SC, "approx": r.Approx} {
+			if v < 0 || v > 1 {
+				t.Errorf("K=%d %s overlap %v outside [0,1]", r.K, name, v)
+			}
+		}
+		sumAR += r.Approx
+		sumLocal += r.Local
+	}
+	// ApproxRank must retrieve the true top-K better than local PageRank
+	// on aggregate.
+	if sumAR <= sumLocal {
+		t.Errorf("ApproxRank mean overlap %v not better than local PR %v", sumAR/3, sumLocal/3)
+	}
+	if _, err := s.RunTopK([]int{0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := s.RunTopK([]int{1 << 30}); err == nil {
+		t.Error("huge K accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteTopK(&buf, rows); err != nil {
+		t.Fatalf("WriteTopK: %v", err)
+	}
+	if !strings.Contains(buf.String(), "top-K") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+}

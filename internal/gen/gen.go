@@ -1,0 +1,462 @@
+// Package gen generates synthetic web graphs that stand in for the
+// paper's crawled datasets (the "politics" dmoz crawl and the "AU"
+// Australian-university crawl), which are not publicly available.
+//
+// The generator produces a global graph with the structural properties the
+// paper's experiments depend on:
+//
+//   - pages grouped into domains whose sizes follow a power law (the AU
+//     dataset's 38 domains span 0.35 %–10.4 % of the graph);
+//   - a configurable intra-domain link fraction (the paper, citing Kamvar
+//     et al., notes a majority of web links are intra-domain) — this is
+//     the knob that separates well-bounded DS subgraphs from heavily
+//     coupled BFS subgraphs;
+//   - heavy-tailed out-degrees around a small mean (Table IV reports
+//     average out-degrees of 3.8–8.7) and preferentially attached
+//     in-degrees;
+//   - a topic label per page with topical locality (linked pages agree on
+//     topic more often than chance), supporting dmoz-style topic-specific
+//     subgraphs;
+//   - a fraction of dangling pages, as a crawl frontier produces.
+//
+// Generation is deterministic for a fixed Config, including the Seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Config parameterizes a synthetic global graph.
+type Config struct {
+	// Pages is the number of pages N. Required.
+	Pages int
+	// Domains is the number of web domains. Default 38 (the AU dataset).
+	Domains int
+	// DomainSkew is the power-law exponent of domain sizes: domain d gets
+	// weight (d+1)^(−DomainSkew). Default 0.85, which spreads 38 domains
+	// over roughly 0.4 %–15 % of the graph.
+	DomainSkew float64
+	// IntraFraction is the page-weighted average probability that a link
+	// stays inside its source page's domain. Default 0.85.
+	IntraFraction float64
+	// SizeLeakExponent makes smaller domains leak relatively more links
+	// out of their domain: domain d's leak rate is proportional to
+	// (medianSize/size_d)^SizeLeakExponent, rescaled so the page-weighted
+	// average leak equals 1−IntraFraction. Real web domains behave this
+	// way (small sites link out proportionally more than large, insular
+	// ones), and it is what makes ranking accuracy improve with domain
+	// size (the trend down the rows of the paper's Table IV). Default
+	// 0.5; set to a negative value for size-independent leakage.
+	SizeLeakExponent float64
+	// MeanOutDegree is the mean out-degree of non-dangling pages.
+	// Default 5.5.
+	MeanOutDegree float64
+	// MaxOutDegree truncates the out-degree distribution. Default 100.
+	MaxOutDegree int
+	// DegreeExponent is the power-law exponent of the out-degree
+	// distribution. Default 2.3.
+	DegreeExponent float64
+	// DanglingFraction is the fraction of pages with no out-links.
+	// Default 0.04.
+	DanglingFraction float64
+	// Topics is the number of topic labels. Default 12.
+	Topics int
+	// TopicAffinity is the probability that a link targets a page of the
+	// source's topic (within the chosen domain scope). Default 0.6.
+	TopicAffinity float64
+	// PrefAttach is the probability that a link target is chosen by
+	// in-degree-biased tournament selection instead of uniformly, which
+	// produces heavy-tailed in-degrees. Default 0.6.
+	PrefAttach float64
+	// Seed drives all randomness. The same Config always yields the same
+	// dataset.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.Pages <= 1 {
+		return fmt.Errorf("gen: need at least 2 pages, got %d", c.Pages)
+	}
+	if c.Domains == 0 {
+		c.Domains = 38
+	}
+	if c.Domains < 1 || c.Domains > c.Pages {
+		return fmt.Errorf("gen: domain count %d outside [1,%d]", c.Domains, c.Pages)
+	}
+	if c.DomainSkew == 0 {
+		c.DomainSkew = 0.85
+	}
+	if c.IntraFraction == 0 {
+		c.IntraFraction = 0.85
+	}
+	if c.IntraFraction < 0 || c.IntraFraction > 1 {
+		return fmt.Errorf("gen: intra-domain fraction %v outside [0,1]", c.IntraFraction)
+	}
+	if c.SizeLeakExponent == 0 {
+		c.SizeLeakExponent = 0.5
+	}
+	if c.SizeLeakExponent < 0 {
+		c.SizeLeakExponent = 0 // explicit opt-out: uniform leakage
+	}
+	if c.SizeLeakExponent > 2 {
+		return fmt.Errorf("gen: size-leak exponent %v > 2", c.SizeLeakExponent)
+	}
+	if c.MeanOutDegree == 0 {
+		c.MeanOutDegree = 5.5
+	}
+	if c.MeanOutDegree < 1 {
+		return fmt.Errorf("gen: mean out-degree %v < 1", c.MeanOutDegree)
+	}
+	if c.MaxOutDegree == 0 {
+		c.MaxOutDegree = 100
+	}
+	if c.DegreeExponent == 0 {
+		c.DegreeExponent = 2.3
+	}
+	if c.DegreeExponent <= 1 {
+		return fmt.Errorf("gen: degree exponent %v must exceed 1", c.DegreeExponent)
+	}
+	if c.DanglingFraction == 0 {
+		c.DanglingFraction = 0.04
+	}
+	if c.DanglingFraction < 0 || c.DanglingFraction > 0.5 {
+		return fmt.Errorf("gen: dangling fraction %v outside [0,0.5]", c.DanglingFraction)
+	}
+	if c.Topics == 0 {
+		c.Topics = 12
+	}
+	if c.Topics < 1 {
+		return fmt.Errorf("gen: topic count %d < 1", c.Topics)
+	}
+	if c.TopicAffinity == 0 {
+		c.TopicAffinity = 0.6
+	}
+	if c.TopicAffinity < 0 || c.TopicAffinity > 1 {
+		return fmt.Errorf("gen: topic affinity %v outside [0,1]", c.TopicAffinity)
+	}
+	if c.PrefAttach == 0 {
+		c.PrefAttach = 0.6
+	}
+	if c.PrefAttach < 0 || c.PrefAttach > 1 {
+		return fmt.Errorf("gen: preferential-attachment probability %v outside [0,1]", c.PrefAttach)
+	}
+	return nil
+}
+
+// Dataset is a generated global graph with its domain and topic labels.
+type Dataset struct {
+	Graph *graph.Graph
+	// Domain[p] is the domain id (0..Domains−1) of page p. Pages of a
+	// domain occupy a contiguous id range.
+	Domain []uint16
+	// Topic[p] is the topic id (0..Topics−1) of page p.
+	Topic []uint16
+	// DomainNames[d] is a synthetic host name for domain d, ordered by
+	// descending domain size.
+	DomainNames []string
+
+	domainStart []int // len Domains+1; pages of domain d are [start[d], start[d+1])
+}
+
+// NumDomains returns the number of domains.
+func (ds *Dataset) NumDomains() int { return len(ds.DomainNames) }
+
+// DomainPages returns the global ids of the pages in domain d.
+func (ds *Dataset) DomainPages(d int) []graph.NodeID {
+	out := make([]graph.NodeID, 0, ds.domainStart[d+1]-ds.domainStart[d])
+	for p := ds.domainStart[d]; p < ds.domainStart[d+1]; p++ {
+		out = append(out, graph.NodeID(p))
+	}
+	return out
+}
+
+// DomainSize returns the number of pages in domain d.
+func (ds *Dataset) DomainSize(d int) int { return ds.domainStart[d+1] - ds.domainStart[d] }
+
+// TopicPages returns the global ids of the pages labelled with topic t.
+func (ds *Dataset) TopicPages(t int) []graph.NodeID {
+	var out []graph.NodeID
+	for p, tp := range ds.Topic {
+		if int(tp) == t {
+			out = append(out, graph.NodeID(p))
+		}
+	}
+	return out
+}
+
+// Generate builds a Dataset from cfg.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ds := &Dataset{}
+	ds.domainStart = domainPartition(cfg, rng)
+	n := cfg.Pages
+
+	ds.Domain = make([]uint16, n)
+	for d := 0; d < cfg.Domains; d++ {
+		for p := ds.domainStart[d]; p < ds.domainStart[d+1]; p++ {
+			ds.Domain[p] = uint16(d)
+		}
+	}
+	ds.DomainNames = make([]string, cfg.Domains)
+	for d := range ds.DomainNames {
+		ds.DomainNames[d] = fmt.Sprintf("u%02d.edu.syn", d)
+	}
+
+	assignTopics(cfg, rng, ds)
+
+	// Index pages by (domain, topic) and by topic for scope-restricted
+	// target sampling.
+	byDomain := make([][]graph.NodeID, cfg.Domains)
+	byDomainTopic := make([][][]graph.NodeID, cfg.Domains)
+	byTopic := make([][]graph.NodeID, cfg.Topics)
+	for d := 0; d < cfg.Domains; d++ {
+		byDomainTopic[d] = make([][]graph.NodeID, cfg.Topics)
+	}
+	for p := 0; p < n; p++ {
+		d, t := int(ds.Domain[p]), int(ds.Topic[p])
+		byDomain[d] = append(byDomain[d], graph.NodeID(p))
+		byDomainTopic[d][t] = append(byDomainTopic[d][t], graph.NodeID(p))
+		byTopic[t] = append(byTopic[t], graph.NodeID(p))
+	}
+	allPages := make([]graph.NodeID, n)
+	for p := range allPages {
+		allPages[p] = graph.NodeID(p)
+	}
+
+	b := graph.NewBuilder(n)
+	inDeg := make([]int32, n)
+	zipf := newBoundedZipf(cfg.DegreeExponent, 1, cfg.MaxOutDegree, cfg.MeanOutDegree)
+	intraProb := domainIntraProbs(cfg, ds)
+
+	for p := 0; p < n; p++ {
+		if rng.Float64() < cfg.DanglingFraction {
+			continue // dangling page
+		}
+		deg := zipf.sample(rng)
+		d, t := int(ds.Domain[p]), int(ds.Topic[p])
+		for e := 0; e < deg; e++ {
+			scope := pickScope(cfg, rng, byDomain, byDomainTopic, byTopic, allPages, d, t, intraProb[d])
+			v := pickTarget(cfg, rng, scope, inDeg, graph.NodeID(p))
+			if v == graph.NodeID(p) {
+				continue // skip self-loop candidates
+			}
+			b.AddEdge(graph.NodeID(p), v)
+			inDeg[v]++
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	ds.Graph = g
+	return ds, nil
+}
+
+// domainPartition splits the page range into Domains contiguous blocks
+// with power-law sizes. Every domain receives at least one page.
+func domainPartition(cfg Config, rng *rand.Rand) []int {
+	d := cfg.Domains
+	weights := make([]float64, d)
+	total := 0.0
+	for i := range weights {
+		// Power-law base with ±20 % jitter so sizes are not perfectly
+		// monotone (real domain sizes are noisy).
+		w := math.Pow(float64(i+1), -cfg.DomainSkew) * (0.8 + 0.4*rng.Float64())
+		weights[i] = w
+		total += w
+	}
+	start := make([]int, d+1)
+	assigned := 0
+	for i := 0; i < d; i++ {
+		start[i] = assigned
+		size := int(math.Round(weights[i] / total * float64(cfg.Pages-d)))
+		assigned += size + 1 // +1 guarantees non-empty domains
+	}
+	start[d] = cfg.Pages
+	// Rounding can overshoot; clamp monotonically from the back.
+	for i := d - 1; i >= 0; i-- {
+		if start[i] > start[i+1]-1 {
+			start[i] = start[i+1] - 1
+		}
+	}
+	return start
+}
+
+// assignTopics gives each domain a dominant topic mixture and samples page
+// topics from it, creating domain-topic correlation (universities have
+// departments; dmoz categories cluster by site).
+func assignTopics(cfg Config, rng *rand.Rand, ds *Dataset) {
+	ds.Topic = make([]uint16, cfg.Pages)
+	for d := 0; d < cfg.Domains; d++ {
+		// Each domain prefers 3 topics with weights 0.5/0.3/0.2 and leaks
+		// 25 % of pages to uniform topics.
+		pref := [3]int{rng.Intn(cfg.Topics), rng.Intn(cfg.Topics), rng.Intn(cfg.Topics)}
+		for p := ds.domainStart[d]; p < ds.domainStart[d+1]; p++ {
+			if rng.Float64() < 0.25 {
+				ds.Topic[p] = uint16(rng.Intn(cfg.Topics))
+				continue
+			}
+			r := rng.Float64()
+			switch {
+			case r < 0.5:
+				ds.Topic[p] = uint16(pref[0])
+			case r < 0.8:
+				ds.Topic[p] = uint16(pref[1])
+			default:
+				ds.Topic[p] = uint16(pref[2])
+			}
+		}
+	}
+}
+
+// domainIntraProbs computes each domain's intra-domain link probability:
+// leak rates scale as (medianSize/size)^SizeLeakExponent, rescaled so the
+// page-weighted average leak equals 1−IntraFraction, then clamped to keep
+// every domain connected to the outside.
+func domainIntraProbs(cfg Config, ds *Dataset) []float64 {
+	d := cfg.Domains
+	sizes := make([]int, d)
+	sorted := make([]int, d)
+	for i := 0; i < d; i++ {
+		sizes[i] = ds.DomainSize(i)
+		sorted[i] = sizes[i]
+	}
+	sort.Ints(sorted)
+	med := float64(sorted[d/2])
+	leakBase := 1 - cfg.IntraFraction
+	raw := make([]float64, d)
+	weighted := 0.0
+	for i := 0; i < d; i++ {
+		raw[i] = math.Pow(med/float64(sizes[i]), cfg.SizeLeakExponent)
+		weighted += float64(sizes[i]) * raw[i]
+	}
+	scale := 1.0
+	if weighted > 0 {
+		scale = leakBase * float64(cfg.Pages) / weighted
+	}
+	out := make([]float64, d)
+	for i := 0; i < d; i++ {
+		leak := scale * raw[i]
+		if leak < 0.02 {
+			leak = 0.02
+		}
+		if leak > 0.6 {
+			leak = 0.6
+		}
+		out[i] = 1 - leak
+	}
+	return out
+}
+
+// pickScope selects the candidate pool for a link target according to the
+// intra-domain and topic-affinity coin flips, falling back to broader
+// pools when a narrow one is empty.
+func pickScope(cfg Config, rng *rand.Rand,
+	byDomain [][]graph.NodeID, byDomainTopic [][][]graph.NodeID, byTopic [][]graph.NodeID,
+	all []graph.NodeID, d, t int, intraProb float64) []graph.NodeID {
+	intra := rng.Float64() < intraProb
+	topical := rng.Float64() < cfg.TopicAffinity
+	if intra && topical && len(byDomainTopic[d][t]) > 1 {
+		return byDomainTopic[d][t]
+	}
+	if intra && len(byDomain[d]) > 1 {
+		return byDomain[d]
+	}
+	if topical && len(byTopic[t]) > 1 {
+		return byTopic[t]
+	}
+	return all
+}
+
+// pickTarget draws a target from scope, using in-degree-biased
+// tournament-of-3 selection with probability PrefAttach (heavy-tailed
+// in-degrees) and uniform selection otherwise.
+func pickTarget(cfg Config, rng *rand.Rand, scope []graph.NodeID, inDeg []int32, self graph.NodeID) graph.NodeID {
+	if rng.Float64() >= cfg.PrefAttach {
+		return scope[rng.Intn(len(scope))]
+	}
+	best := scope[rng.Intn(len(scope))]
+	for i := 0; i < 2; i++ {
+		c := scope[rng.Intn(len(scope))]
+		if inDeg[c] > inDeg[best] || (inDeg[c] == inDeg[best] && c < best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// boundedZipf samples integers in [min, max] with P(k) ∝ k^(−s), then
+// shifts the distribution so its mean matches the requested mean by mixing
+// with a second draw.
+type boundedZipf struct {
+	cdf []float64
+	min int
+}
+
+func newBoundedZipf(s float64, min, max int, targetMean float64) *boundedZipf {
+	z := &boundedZipf{min: min}
+	weights := make([]float64, max-min+1)
+	total := 0.0
+	for k := min; k <= max; k++ {
+		w := math.Pow(float64(k), -s)
+		weights[k-min] = w
+		total += w
+	}
+	mean := 0.0
+	for k := min; k <= max; k++ {
+		mean += float64(k) * weights[k-min] / total
+	}
+	// Raise the raw zipf mean toward the target by shifting probability
+	// mass: blend with a uniform distribution over [min, ceil(2·target)]
+	// until the mean matches. Solve the blend coefficient analytically.
+	hi := int(math.Ceil(2 * targetMean))
+	if hi > max {
+		hi = max
+	}
+	uniMean := float64(min+hi) / 2
+	alpha := 0.0
+	if uniMean > mean {
+		alpha = (targetMean - mean) / (uniMean - mean)
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	z.cdf = make([]float64, max-min+1)
+	acc := 0.0
+	for k := min; k <= max; k++ {
+		p := (1 - alpha) * weights[k-min] / total
+		if k <= hi {
+			p += alpha / float64(hi-min+1)
+		}
+		acc += p
+		z.cdf[k-min] = acc
+	}
+	return z
+}
+
+func (z *boundedZipf) sample(rng *rand.Rand) int {
+	r := rng.Float64() * z.cdf[len(z.cdf)-1]
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return z.min + lo
+}

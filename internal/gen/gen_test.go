@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{Pages: 5000, Domains: 10, Seed: seed}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("same seed produced different sizes: %d/%d vs %d/%d",
+			a.Graph.NumNodes(), a.Graph.NumEdges(), b.Graph.NumNodes(), b.Graph.NumEdges())
+	}
+	for u := 0; u < a.Graph.NumNodes(); u++ {
+		oa := a.Graph.OutNeighbors(graph.NodeID(u))
+		ob := b.Graph.OutNeighbors(graph.NodeID(u))
+		if len(oa) != len(ob) {
+			t.Fatalf("node %d degree differs", u)
+		}
+		for k := range oa {
+			if oa[k] != ob[k] {
+				t.Fatalf("node %d adjacency differs", u)
+			}
+		}
+	}
+	c, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if c.Graph.NumEdges() == a.Graph.NumEdges() {
+		t.Log("different seeds produced identical edge counts (possible but unlikely)")
+	}
+}
+
+func TestDomainPartition(t *testing.T) {
+	ds, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if ds.NumDomains() != 10 {
+		t.Fatalf("NumDomains = %d, want 10", ds.NumDomains())
+	}
+	total := 0
+	for d := 0; d < ds.NumDomains(); d++ {
+		size := ds.DomainSize(d)
+		if size < 1 {
+			t.Fatalf("domain %d empty", d)
+		}
+		total += size
+		pages := ds.DomainPages(d)
+		if len(pages) != size {
+			t.Fatalf("domain %d: %d pages, size %d", d, len(pages), size)
+		}
+		for _, p := range pages {
+			if int(ds.Domain[p]) != d {
+				t.Fatalf("page %d labelled domain %d, listed under %d", p, ds.Domain[p], d)
+			}
+		}
+	}
+	if total != 5000 {
+		t.Fatalf("domain sizes sum to %d, want 5000", total)
+	}
+	// Power-law head: the largest domain should dominate the smallest.
+	if ds.DomainSize(0) < 3*ds.DomainSize(9) {
+		t.Errorf("domain size skew too flat: first %d, last %d", ds.DomainSize(0), ds.DomainSize(9))
+	}
+}
+
+func TestDegreeAndDanglingTargets(t *testing.T) {
+	cfg := Config{Pages: 20000, Domains: 20, Seed: 4}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	st := graph.ComputeStats(ds.Graph)
+	// Mean out-degree should land in the paper's 3.8–8.7 band (dedup and
+	// self-loop skipping shave a little off the target 5.5).
+	if st.AvgOutDegree < 3.5 || st.AvgOutDegree > 8 {
+		t.Errorf("AvgOutDegree = %v, want ≈5.5", st.AvgOutDegree)
+	}
+	// Dangling fraction ≈ 4 %.
+	frac := float64(st.Dangling) / float64(st.Nodes)
+	if frac < 0.02 || frac > 0.07 {
+		t.Errorf("dangling fraction = %v, want ≈0.04", frac)
+	}
+	// Heavy-tailed in-degrees: the max should far exceed the mean.
+	if st.MaxInDegree < 5*int(st.AvgOutDegree) {
+		t.Errorf("MaxInDegree = %d: in-degree distribution too flat", st.MaxInDegree)
+	}
+}
+
+func TestIntraDomainFraction(t *testing.T) {
+	ds, err := Generate(Config{Pages: 20000, Domains: 10, IntraFraction: 0.85, Seed: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	intra, total := 0, 0
+	g := ds.Graph
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+			total++
+			if ds.Domain[u] == ds.Domain[v] {
+				intra++
+			}
+		}
+	}
+	frac := float64(intra) / float64(total)
+	// Scope fallbacks (tiny domain-topic pools) leak a few percent.
+	if frac < 0.75 || frac > 0.95 {
+		t.Errorf("intra-domain fraction = %v, want ≈0.85", frac)
+	}
+}
+
+func TestTopicLabels(t *testing.T) {
+	ds, err := Generate(Config{Pages: 8000, Domains: 8, Topics: 6, Seed: 6})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	counts := make([]int, 6)
+	for _, tp := range ds.Topic {
+		if int(tp) >= 6 {
+			t.Fatalf("topic label %d out of range", tp)
+		}
+		counts[tp]++
+	}
+	for tp, c := range counts {
+		if c == 0 {
+			t.Errorf("topic %d has no pages", tp)
+		}
+		if got := len(ds.TopicPages(tp)); got != c {
+			t.Errorf("TopicPages(%d) = %d pages, count %d", tp, got, c)
+		}
+	}
+}
+
+// TestTopicalLocality: linked pages share a topic more often than two
+// random pages would.
+func TestTopicalLocality(t *testing.T) {
+	ds, err := Generate(Config{Pages: 20000, Domains: 10, Topics: 8, TopicAffinity: 0.6, Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	g := ds.Graph
+	same, total := 0, 0
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+			total++
+			if ds.Topic[u] == ds.Topic[v] {
+				same++
+			}
+		}
+	}
+	frac := float64(same) / float64(total)
+	// Baseline for 8 random topics would be ≈ 0.125 plus domain-topic
+	// correlation; affinity must push it well past that.
+	if frac < 0.3 {
+		t.Errorf("topical locality %v too weak", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Pages: 0},
+		{Pages: 10, Domains: 20},
+		{Pages: 100, IntraFraction: -0.5},
+		{Pages: 100, MeanOutDegree: 0.2},
+		{Pages: 100, DegreeExponent: 0.5},
+		{Pages: 100, DanglingFraction: 0.9},
+		{Pages: 100, Topics: -1},
+		{Pages: 100, TopicAffinity: 2},
+		{Pages: 100, PrefAttach: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestBoundedZipfMean(t *testing.T) {
+	z := newBoundedZipf(2.3, 1, 100, 5.5)
+	rng := newTestRand()
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		d := z.sample(rng)
+		if d < 1 || d > 100 {
+			t.Fatalf("sample %d outside [1,100]", d)
+		}
+		sum += float64(d)
+	}
+	mean := sum / draws
+	if math.Abs(mean-5.5) > 0.5 {
+		t.Errorf("zipf mean = %v, want ≈5.5", mean)
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

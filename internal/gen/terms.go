@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TermConfig parameterizes synthetic page content: every page receives a
+// bag of term ids drawn from a zipf-ish vocabulary with topical locality
+// (pages of one topic share a vocabulary region), so keyword queries hit
+// topically coherent page sets — what a localized search engine indexes.
+type TermConfig struct {
+	// VocabSize is the number of distinct terms. Default 5000.
+	VocabSize int
+	// MeanTerms is the mean number of terms per page. Default 8.
+	MeanTerms int
+	// TopicVocabFraction is the probability that a term is drawn from the
+	// page's topic-specific vocabulary region rather than the global
+	// vocabulary. Default 0.7.
+	TopicVocabFraction float64
+	// Seed drives the term sampling; it is independent of the graph seed,
+	// so assigning terms never changes the generated graph.
+	Seed int64
+}
+
+func (c *TermConfig) fill() error {
+	if c.VocabSize == 0 {
+		c.VocabSize = 5000
+	}
+	if c.VocabSize < 1 {
+		return fmt.Errorf("gen: vocabulary size %d < 1", c.VocabSize)
+	}
+	if c.MeanTerms == 0 {
+		c.MeanTerms = 8
+	}
+	if c.MeanTerms < 1 {
+		return fmt.Errorf("gen: mean terms %d < 1", c.MeanTerms)
+	}
+	if c.TopicVocabFraction == 0 {
+		c.TopicVocabFraction = 0.7
+	}
+	if c.TopicVocabFraction < 0 || c.TopicVocabFraction > 1 {
+		return fmt.Errorf("gen: topic vocabulary fraction %v outside [0,1]", c.TopicVocabFraction)
+	}
+	return nil
+}
+
+// AssignTerms samples a term bag for every page of ds. The same
+// (Dataset, TermConfig) pair always yields the same assignment. Returned
+// as terms[page] = sorted distinct term ids.
+func AssignTerms(ds *Dataset, cfg TermConfig) ([][]uint32, error) {
+	if ds == nil || ds.Graph == nil {
+		return nil, fmt.Errorf("gen: nil dataset")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	topics := 0
+	for _, t := range ds.Topic {
+		if int(t)+1 > topics {
+			topics = int(t) + 1
+		}
+	}
+	if topics == 0 {
+		return nil, fmt.Errorf("gen: dataset has no topic labels")
+	}
+	// Each topic owns a contiguous vocabulary region.
+	regionSize := cfg.VocabSize / topics
+	if regionSize < 1 {
+		regionSize = 1
+	}
+	// Zipf sampler over a region (favours low offsets → shared "head"
+	// terms within a topic).
+	zipf := newBoundedZipf(1.3, 1, regionSize, float64(regionSize)/4)
+	globalZipf := newBoundedZipf(1.3, 1, cfg.VocabSize, float64(cfg.VocabSize)/4)
+
+	n := ds.Graph.NumNodes()
+	terms := make([][]uint32, n)
+	for p := 0; p < n; p++ {
+		k := 1 + rng.Intn(2*cfg.MeanTerms-1) // mean ≈ MeanTerms
+		seen := make(map[uint32]struct{}, k)
+		bag := make([]uint32, 0, k)
+		topic := int(ds.Topic[p])
+		for d := 0; d < k; d++ {
+			var term uint32
+			if rng.Float64() < cfg.TopicVocabFraction {
+				off := zipf.sample(rng) - 1
+				term = uint32((topic*regionSize + off) % cfg.VocabSize)
+			} else {
+				term = uint32(globalZipf.sample(rng) - 1)
+			}
+			if _, dup := seen[term]; dup {
+				continue
+			}
+			seen[term] = struct{}{}
+			bag = append(bag, term)
+		}
+		sortUint32(bag)
+		terms[p] = bag
+	}
+	return terms, nil
+}
+
+func sortUint32(v []uint32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Edge-list text format: one "src dst" or "src dst weight" pair per line,
+// '#' starts a comment, blank lines are skipped. Node count is the largest
+// id seen plus one unless a "# nodes: N" header raises it.
+
+// WriteEdgeList writes g in the text edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# nodes: %d\n# edges: %d\n", g.NumNodes(), g.NumEdges())
+	for u := 0; u < g.NumNodes(); u++ {
+		adj := g.OutNeighbors(NodeID(u))
+		ws := g.OutWeights(NodeID(u))
+		for k, v := range adj {
+			if ws != nil {
+				fmt.Fprintf(bw, "%d %d %g\n", u, v, ws[k])
+			} else {
+				fmt.Fprintf(bw, "%d %d\n", u, v)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	b := NewBuilder(0)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if rest, ok := strings.CutPrefix(text, "# nodes:"); ok {
+				n, err := strconv.Atoi(strings.TrimSpace(rest))
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("graph: bad node header at line %d", line)
+				}
+				b.EnsureNode(NodeID(n - 1))
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source id: %v", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target id: %v", line, err)
+		}
+		if len(fields) == 3 {
+			w, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+			}
+			b.AddWeightedEdge(NodeID(u), NodeID(v), w)
+		} else {
+			b.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// Binary format: a fixed magic, a version byte, node and edge counts, then
+// the out-CSR as varints (offsets delta-coded, adjacency delta-coded within
+// each node). The in-CSR is rebuilt on load. Weighted graphs append the
+// weight array as raw float64s.
+
+const binaryMagic = "APXGRAPH"
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	version := byte(1)
+	flags := byte(0)
+	if g.Weighted() {
+		flags |= 1
+	}
+	bw.WriteByte(version)
+	bw.WriteByte(flags)
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) {
+		n := binary.PutUvarint(buf[:], x)
+		bw.Write(buf[:n])
+	}
+	putUvarint(uint64(g.NumNodes()))
+	putUvarint(uint64(g.NumEdges()))
+	for u := 0; u < g.NumNodes(); u++ {
+		adj := g.OutNeighbors(NodeID(u))
+		putUvarint(uint64(len(adj)))
+		prev := uint64(0)
+		for k, v := range adj {
+			if k == 0 {
+				putUvarint(uint64(v))
+			} else {
+				putUvarint(uint64(v) - prev) // adjacency is sorted strictly ascending after dedup
+			}
+			prev = uint64(v)
+		}
+	}
+	if g.Weighted() {
+		for _, w := range g.outW {
+			if err := binary.Write(bw, binary.LittleEndian, w); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format and validates the result.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", version)
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	weighted := flags&1 != 0
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	m64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n64 == 0 || n64 > 1<<31 || m64 > 1<<40 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n64, m64)
+	}
+	n, m := int(n64), int(m64)
+	g := &Graph{n: n}
+	g.outOff = make([]int64, n+1)
+	g.outAdj = make([]NodeID, 0, m)
+	for u := 0; u < n; u++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: node %d degree: %w", u, err)
+		}
+		prev := uint64(0)
+		for k := uint64(0); k < deg; k++ {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("graph: node %d adjacency: %w", u, err)
+			}
+			v := d
+			if k > 0 {
+				v = prev + d
+			}
+			if v >= n64 {
+				return nil, fmt.Errorf("graph: node %d edge target %d out of range", u, v)
+			}
+			g.outAdj = append(g.outAdj, NodeID(v))
+			prev = v
+		}
+		g.outOff[u+1] = g.outOff[u] + int64(deg)
+	}
+	if len(g.outAdj) != m {
+		return nil, fmt.Errorf("graph: edge count mismatch: header %d, body %d", m, len(g.outAdj))
+	}
+	if weighted {
+		g.outW = make([]float64, m)
+		if err := binary.Read(br, binary.LittleEndian, g.outW); err != nil {
+			return nil, fmt.Errorf("graph: weights: %w", err)
+		}
+		g.wOut = make([]float64, n)
+		for u := 0; u < n; u++ {
+			for k := g.outOff[u]; k < g.outOff[u+1]; k++ {
+				g.wOut[u] += g.outW[k]
+			}
+		}
+	}
+	buildIn(g)
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SaveFile writes g to path, choosing the format by extension: ".txt" or
+// ".edges" selects the text edge list, everything else the binary format.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".edges") {
+		if err := WriteEdgeList(f, g); err != nil {
+			return err
+		}
+	} else if err := WriteBinary(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph written by SaveFile, choosing the format by
+// extension the same way.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".edges") {
+		return ReadEdgeList(f)
+	}
+	return ReadBinary(f)
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() || a.Weighted() != b.Weighted() {
+		return false
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		oa, ob := a.OutNeighbors(NodeID(u)), b.OutNeighbors(NodeID(u))
+		if len(oa) != len(ob) {
+			return false
+		}
+		for k := range oa {
+			if oa[k] != ob[k] {
+				return false
+			}
+		}
+		if a.Weighted() {
+			wa, wb := a.OutWeights(NodeID(u)), b.OutWeights(NodeID(u))
+			for k := range wa {
+				if wa[k] != wb[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func randomGraph(rng *rand.Rand, weighted bool) *Graph {
+	n := 2 + rng.Intn(40)
+	b := NewBuilder(n)
+	m := rng.Intn(150)
+	for i := 0; i < m; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if weighted {
+			b.AddWeightedEdge(u, v, 0.25*float64(1+rng.Intn(8)))
+		} else {
+			b.AddEdge(u, v)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	check := func(seed int64, weighted bool) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), weighted)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	check := func(seed int64, weighted bool) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), weighted)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeListParsing(t *testing.T) {
+	in := `# nodes: 5
+# a comment
+0 1
+
+1 2
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5 (header)", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",              // too few fields
+		"0 1 2 3\n",        // too many fields
+		"a 1\n",            // bad source
+		"0 b\n",            // bad target
+		"0 1 x\n",          // bad weight
+		"# nodes: -3\n0 1", // bad header
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := MustFromEdges(3, [][2]NodeID{{0, 1}, {1, 2}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:4])); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	bad := append([]byte("WRONGMAG"), raw[8:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	badVer := append([]byte(nil), raw...)
+	badVer[8] = 99
+	if _, err := ReadBinary(bytes.NewReader(badVer)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := MustFromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	dir := t.TempDir()
+	for _, name := range []string{"g.txt", "g.edges", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestBinaryNeverPanics: random single-byte corruptions of a valid
+// binary image must produce either a clean error or a valid graph —
+// never a panic or an invariant-violating graph.
+func TestBinaryNeverPanics(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(1)), false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	raw := buf.Bytes()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		mutated := append([]byte(nil), raw...)
+		// Flip one random byte, or truncate.
+		if rng.Intn(4) == 0 {
+			mutated = mutated[:rng.Intn(len(mutated))]
+		} else {
+			pos := rng.Intn(len(mutated))
+			mutated[pos] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: ReadBinary panicked: %v", trial, r)
+				}
+			}()
+			back, err := ReadBinary(bytes.NewReader(mutated))
+			if err != nil {
+				return // clean rejection
+			}
+			// Accepted: must still satisfy all structural invariants.
+			if verr := back.validate(); verr != nil {
+				t.Fatalf("trial %d: corrupted graph accepted with broken invariants: %v", trial, verr)
+			}
+		}()
+	}
+}
+
+// TestEdgeListNeverPanics: random text mutations of a valid edge list.
+func TestEdgeListNeverPanics(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), true)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	raw := buf.String()
+	rng := rand.New(rand.NewSource(4))
+	garble := []byte("xX9-# .\t\n")
+	for trial := 0; trial < 300; trial++ {
+		mutated := []byte(raw)
+		pos := rng.Intn(len(mutated))
+		mutated[pos] = garble[rng.Intn(len(garble))]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: ReadEdgeList panicked: %v", trial, r)
+				}
+			}()
+			back, err := ReadEdgeList(strings.NewReader(string(mutated)))
+			if err != nil {
+				return
+			}
+			if verr := back.validate(); verr != nil {
+				t.Fatalf("trial %d: corrupted edge list accepted with broken invariants: %v", trial, verr)
+			}
+		}()
+	}
+}

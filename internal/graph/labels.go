@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Dictionary maps external page identifiers (URLs, DOIs, entity keys) to
+// dense NodeIDs and back. Real link data arrives keyed by string; the
+// ranking engines want dense ids. A Dictionary is append-only: ids are
+// assigned in first-seen order, so the same input stream always produces
+// the same numbering.
+type Dictionary struct {
+	byName map[string]NodeID
+	names  []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byName: make(map[string]NodeID)}
+}
+
+// Intern returns the id for name, assigning the next dense id on first
+// sight.
+func (d *Dictionary) Intern(name string) NodeID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(d.names))
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the id for name and whether it is known.
+func (d *Dictionary) Lookup(name string) (NodeID, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the name assigned to id; it panics if id was never
+// assigned (a programming error, like indexing past a slice).
+func (d *Dictionary) Name(id NodeID) string { return d.names[id] }
+
+// Len returns the number of interned names.
+func (d *Dictionary) Len() int { return len(d.names) }
+
+// WriteTo serializes the dictionary as one name per line, in id order.
+// Names must not contain newlines; Intern rejects nothing, so WriteTo
+// validates here.
+func (d *Dictionary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for id, name := range d.names {
+		if strings.ContainsAny(name, "\n\r") {
+			return n, fmt.Errorf("graph: name %q of page %d contains a newline", name, id)
+		}
+		k, err := fmt.Fprintln(bw, name)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDictionary parses the WriteTo format.
+func ReadDictionary(r io.Reader) (*Dictionary, error) {
+	d := NewDictionary()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		name := sc.Text()
+		if _, dup := d.byName[name]; dup {
+			return nil, fmt.Errorf("graph: duplicate name %q at line %d", name, line)
+		}
+		d.Intern(name)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// NamedEdgeGraph builds a Graph and Dictionary from string-keyed edges —
+// the convenience path from raw crawl output to a rankable graph.
+func NamedEdgeGraph(edges [][2]string) (*Graph, *Dictionary, error) {
+	d := NewDictionary()
+	b := NewBuilder(0)
+	for _, e := range edges {
+		b.AddEdge(d.Intern(e[0]), d.Intern(e[1]))
+	}
+	if d.Len() == 0 {
+		return nil, nil, fmt.Errorf("graph: no edges")
+	}
+	b.EnsureNode(NodeID(d.Len() - 1))
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, d, nil
+}
+
+// DomainOf extracts the host-like prefix of a URL-ish name: the text
+// between the optional scheme and the first '/'. It backs domain-subgraph
+// construction from named edge lists.
+func DomainOf(name string) string {
+	s := name
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// GroupByDomain buckets all interned names by DomainOf and returns the
+// domains in descending bucket-size order with their members.
+func (d *Dictionary) GroupByDomain() []DomainGroup {
+	buckets := map[string][]NodeID{}
+	for id, name := range d.names {
+		dom := DomainOf(name)
+		buckets[dom] = append(buckets[dom], NodeID(id))
+	}
+	out := make([]DomainGroup, 0, len(buckets))
+	for dom, ids := range buckets {
+		out = append(out, DomainGroup{Domain: dom, Pages: ids})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Pages) != len(out[b].Pages) {
+			return len(out[a].Pages) > len(out[b].Pages)
+		}
+		return out[a].Domain < out[b].Domain
+	})
+	return out
+}
+
+// DomainGroup is one domain's pages within a Dictionary.
+type DomainGroup struct {
+	Domain string
+	Pages  []NodeID
+}

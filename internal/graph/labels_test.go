@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDictionaryIntern(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("http://a.example/x")
+	b := d.Intern("http://b.example/y")
+	a2 := d.Intern("http://a.example/x")
+	if a != a2 {
+		t.Fatalf("re-intern changed id: %d vs %d", a, a2)
+	}
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Name(a) != "http://a.example/x" {
+		t.Fatalf("Name(%d) = %q", a, d.Name(a))
+	}
+	if id, ok := d.Lookup("http://b.example/y"); !ok || id != b {
+		t.Fatalf("Lookup = %d,%v", id, ok)
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("Lookup found a missing name")
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	for _, n := range []string{"x", "y", "z/with/slash", "päge"} {
+		d.Intern(n)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := ReadDictionary(&buf)
+	if err != nil {
+		t.Fatalf("ReadDictionary: %v", err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if back.Name(NodeID(i)) != d.Name(NodeID(i)) {
+			t.Fatalf("name %d changed: %q vs %q", i, back.Name(NodeID(i)), d.Name(NodeID(i)))
+		}
+	}
+}
+
+func TestDictionaryWriteRejectsNewlines(t *testing.T) {
+	d := NewDictionary()
+	d.Intern("bad\nname")
+	if _, err := d.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("newline in name accepted")
+	}
+}
+
+func TestReadDictionaryRejectsDuplicates(t *testing.T) {
+	if _, err := ReadDictionary(strings.NewReader("a\nb\na\n")); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestNamedEdgeGraph(t *testing.T) {
+	g, d, err := NamedEdgeGraph([][2]string{
+		{"a.com/1", "b.com/1"},
+		{"a.com/1", "a.com/2"},
+		{"b.com/1", "a.com/1"},
+	})
+	if err != nil {
+		t.Fatalf("NamedEdgeGraph: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("graph %d/%d, want 3/3", g.NumNodes(), g.NumEdges())
+	}
+	a1, _ := d.Lookup("a.com/1")
+	b1, _ := d.Lookup("b.com/1")
+	if !g.HasEdge(a1, b1) || !g.HasEdge(b1, a1) {
+		t.Fatal("edges missing")
+	}
+	if _, _, err := NamedEdgeGraph(nil); err == nil {
+		t.Fatal("empty edge list accepted")
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	cases := map[string]string{
+		"http://www.anu.edu.au/science/x.html": "www.anu.edu.au",
+		"https://cs.umd.edu/":                  "cs.umd.edu",
+		"cs.umd.edu/page":                      "cs.umd.edu",
+		"plainhost":                            "plainhost",
+	}
+	for in, want := range cases {
+		if got := DomainOf(in); got != want {
+			t.Errorf("DomainOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGroupByDomain(t *testing.T) {
+	d := NewDictionary()
+	for _, n := range []string{"a.com/1", "a.com/2", "a.com/3", "b.com/1", "b.com/2", "c.com/1"} {
+		d.Intern(n)
+	}
+	groups := d.GroupByDomain()
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	if groups[0].Domain != "a.com" || len(groups[0].Pages) != 3 {
+		t.Fatalf("largest group = %+v", groups[0])
+	}
+	if groups[2].Domain != "c.com" || len(groups[2].Pages) != 1 {
+		t.Fatalf("smallest group = %+v", groups[2])
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+import "math/bits"
+
+// NodeSet is a bitset over dense node ids. It is the membership structure
+// used to split a global graph into local and external pages: algorithms
+// probe it once per edge endpoint, so Contains must be O(1).
+type NodeSet struct {
+	words []uint64
+	count int
+}
+
+// NewNodeSet returns an empty set able to hold ids 0..capacity-1.
+func NewNodeSet(capacity int) *NodeSet {
+	return &NodeSet{words: make([]uint64, (capacity+63)/64)}
+}
+
+// NodeSetOf builds a set containing exactly the given ids.
+func NodeSetOf(capacity int, ids []NodeID) *NodeSet {
+	s := NewNodeSet(capacity)
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id into the set.
+func (s *NodeSet) Add(id NodeID) {
+	w, b := id/64, id%64
+	if int(w) >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Remove deletes id from the set.
+func (s *NodeSet) Remove(id NodeID) {
+	w, b := id/64, id%64
+	if int(w) >= len(s.words) {
+		return
+	}
+	if s.words[w]&(1<<b) != 0 {
+		s.words[w] &^= 1 << b
+		s.count--
+	}
+}
+
+// Contains reports whether id is in the set.
+func (s *NodeSet) Contains(id NodeID) bool {
+	w, b := id/64, id%64
+	return int(w) < len(s.words) && s.words[w]&(1<<b) != 0
+}
+
+// Len returns the number of ids in the set.
+func (s *NodeSet) Len() int { return s.count }
+
+// Slice returns the members in increasing id order.
+func (s *NodeSet) Slice() []NodeID {
+	out := make([]NodeID, 0, s.count)
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, NodeID(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *NodeSet) Clone() *NodeSet {
+	c := &NodeSet{words: make([]uint64, len(s.words)), count: s.count}
+	copy(c.words, s.words)
+	return c
+}

@@ -1,0 +1,113 @@
+package graph
+
+// StronglyConnectedComponents returns the strongly connected components
+// of g using an iterative Tarjan algorithm (explicit stacks — web-scale
+// graphs overflow a recursive one). Components are emitted in reverse
+// topological order of the condensation (every edge between components
+// points from a later-emitted component to an earlier one), and the node
+// lists are in ascending id order.
+//
+// PageRank's Ergodic-theorem argument requires irreducibility; the
+// damping term supplies it on any graph, but the SCC structure still
+// matters for diagnostics: a subgraph that splits into many tiny SCCs
+// behaves very differently under local PageRank than one dominated by a
+// giant component.
+func StronglyConnectedComponents(g *Graph) [][]NodeID {
+	n := g.NumNodes()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int32
+		stack   []NodeID // Tarjan's component stack
+		comps   [][]NodeID
+	)
+
+	// Explicit DFS frame: node plus the position within its adjacency.
+	type frame struct {
+		v   NodeID
+		idx int
+	}
+	var dfs []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{NodeID(root), 0})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, NodeID(root))
+		onStack[root] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			adj := g.OutNeighbors(f.v)
+			if f.idx < len(adj) {
+				w := adj[f.idx]
+				f.idx++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// f.v is finished: propagate its low-link and pop a component
+			// if it is a root.
+			v := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := dfs[len(dfs)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sortIDs(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// LargestSCCFraction returns the size of the largest strongly connected
+// component as a fraction of the graph.
+func LargestSCCFraction(g *Graph) float64 {
+	best := 0
+	for _, c := range StronglyConnectedComponents(g) {
+		if len(c) > best {
+			best = len(c)
+		}
+	}
+	return float64(best) / float64(g.NumNodes())
+}
+
+func sortIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCKnownGraphs(t *testing.T) {
+	// Two 3-cycles bridged by one edge, plus an isolated node.
+	g := MustFromEdges(7, [][2]NodeID{
+		{0, 1}, {1, 2}, {2, 0},
+		{2, 3}, // bridge
+		{3, 4}, {4, 5}, {5, 3},
+	})
+	comps := StronglyConnectedComponents(g)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3: %v", len(comps), comps)
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 2 || sizes[1] != 1 {
+		t.Fatalf("component sizes wrong: %v", comps)
+	}
+	// Reverse topological order: the downstream cycle {3,4,5} must be
+	// emitted before the upstream {0,1,2}.
+	pos := map[NodeID]int{}
+	for i, c := range comps {
+		for _, v := range c {
+			pos[v] = i
+		}
+	}
+	if !(pos[3] < pos[0]) {
+		t.Errorf("condensation order wrong: %v", comps)
+	}
+}
+
+func TestSCCSingleCycle(t *testing.T) {
+	n := 50
+	edges := make([][2]NodeID, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]NodeID{NodeID(i), NodeID((i + 1) % n)}
+	}
+	g := MustFromEdges(n, edges)
+	comps := StronglyConnectedComponents(g)
+	if len(comps) != 1 || len(comps[0]) != n {
+		t.Fatalf("cycle should be one SCC, got %d comps", len(comps))
+	}
+	if LargestSCCFraction(g) != 1 {
+		t.Fatalf("LargestSCCFraction = %v", LargestSCCFraction(g))
+	}
+}
+
+func TestSCCDAG(t *testing.T) {
+	g := MustFromEdges(4, [][2]NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	comps := StronglyConnectedComponents(g)
+	if len(comps) != 4 {
+		t.Fatalf("DAG should have singleton SCCs, got %v", comps)
+	}
+}
+
+// TestSCCPartitionProperty: components partition the node set, and any
+// two nodes in one component reach each other (checked by BFS on random
+// small graphs).
+func TestSCCPartitionProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		m := rng.Intn(90)
+		for i := 0; i < m; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		comps := StronglyConnectedComponents(g)
+		seen := make([]bool, n)
+		for _, c := range comps {
+			for _, v := range c {
+				if seen[v] {
+					return false // node in two components
+				}
+				seen[v] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false // node missing
+			}
+		}
+		// Mutual reachability within each component.
+		reach := func(from, to NodeID) bool {
+			if from == to {
+				return true
+			}
+			visited := NewNodeSet(n)
+			visited.Add(from)
+			queue := []NodeID{from}
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for _, v := range g.OutNeighbors(u) {
+					if v == to {
+						return true
+					}
+					if !visited.Contains(v) {
+						visited.Add(v)
+						queue = append(queue, v)
+					}
+				}
+			}
+			return false
+		}
+		for _, c := range comps {
+			if len(c) < 2 {
+				continue
+			}
+			// Spot-check first against last member both ways.
+			a, z := c[0], c[len(c)-1]
+			if !reach(a, z) || !reach(z, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCDeepChain: the iterative implementation must handle chains far
+// deeper than any recursion limit.
+func TestSCCDeepChain(t *testing.T) {
+	n := 200000
+	edges := make([][2]NodeID, 0, n)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]NodeID{NodeID(i), NodeID(i + 1)})
+	}
+	g := MustFromEdges(n, edges)
+	comps := StronglyConnectedComponents(g)
+	if len(comps) != n {
+		t.Fatalf("chain of %d nodes produced %d SCCs", n, len(comps))
+	}
+}

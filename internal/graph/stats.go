@@ -1,0 +1,77 @@
+package graph
+
+import "sort"
+
+// Stats summarizes the degree structure of a graph. It backs the dataset
+// characterization table (the analogue of the paper's Table II) and the
+// generator tests.
+type Stats struct {
+	Nodes           int
+	Edges           int
+	Dangling        int     // nodes with no outgoing edges
+	Sources         int     // nodes with no incoming edges
+	SelfLoops       int     // edges u→u
+	AvgOutDegree    float64 // Edges / Nodes
+	MaxOutDegree    int
+	MaxInDegree     int
+	MedianOutDegree int
+}
+
+// ComputeStats scans g once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	st := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	outDegs := make([]int, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		id := NodeID(u)
+		od := g.OutDegree(id)
+		outDegs[u] = od
+		if od == 0 {
+			st.Dangling++
+		}
+		if od > st.MaxOutDegree {
+			st.MaxOutDegree = od
+		}
+		if g.InDegree(id) == 0 {
+			st.Sources++
+		}
+		if d := g.InDegree(id); d > st.MaxInDegree {
+			st.MaxInDegree = d
+		}
+		if g.HasEdge(id, id) {
+			st.SelfLoops++
+		}
+	}
+	if st.Nodes > 0 {
+		st.AvgOutDegree = float64(st.Edges) / float64(st.Nodes)
+		sort.Ints(outDegs)
+		st.MedianOutDegree = outDegs[len(outDegs)/2]
+	}
+	return st
+}
+
+// OutDegreeHistogram returns counts[d] = number of nodes with out-degree d,
+// capping the histogram at maxDeg (larger degrees land in the last bucket).
+func OutDegreeHistogram(g *Graph, maxDeg int) []int {
+	counts := make([]int, maxDeg+1)
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.OutDegree(NodeID(u))
+		if d > maxDeg {
+			d = maxDeg
+		}
+		counts[d]++
+	}
+	return counts
+}
+
+// InDegreeHistogram is OutDegreeHistogram for in-degrees.
+func InDegreeHistogram(g *Graph, maxDeg int) []int {
+	counts := make([]int, maxDeg+1)
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.InDegree(NodeID(u))
+		if d > maxDeg {
+			d = maxDeg
+		}
+		counts[d]++
+	}
+	return counts
+}

@@ -1,0 +1,140 @@
+// Package hits implements Kleinberg's HITS algorithm (JACM 1999) — the
+// other seminal link-analysis method the paper's introduction discusses.
+// HITS separates each page's role into a hub score (the value of its
+// outgoing links) and an authority score (the endorsement it receives),
+// computed as the mutually recursive fixpoint
+//
+//	auth(v) = Σ_{u→v} hub(u),   hub(u) = Σ_{u→v} auth(v),
+//
+// normalized each iteration. Like local PageRank, HITS is typically run
+// on a query-focused subgraph; the package therefore works on any
+// *graph.Graph, including induced subgraphs.
+package hits
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Config parameterizes the HITS iteration. The zero value selects an L1
+// convergence threshold of 1e-8 and at most 1000 iterations.
+type Config struct {
+	// Tolerance is the combined L1 change threshold of the two vectors.
+	Tolerance float64
+	// MaxIterations bounds the iteration.
+	MaxIterations int
+}
+
+func (c *Config) fill() error {
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-8
+	}
+	if c.Tolerance < 0 {
+		return fmt.Errorf("hits: negative tolerance %v", c.Tolerance)
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 1000
+	}
+	if c.MaxIterations < 1 {
+		return fmt.Errorf("hits: MaxIterations %d < 1", c.MaxIterations)
+	}
+	return nil
+}
+
+// Result carries the two HITS score vectors, each normalized to sum 1.
+type Result struct {
+	Authorities []float64
+	Hubs        []float64
+	Iterations  int
+	Converged   bool
+	Elapsed     time.Duration
+}
+
+// Compute runs HITS on g. Edge weights, when present, weight the mutual
+// reinforcement (a weighted endorsement counts proportionally).
+func Compute(g *graph.Graph, cfg Config) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("hits: nil graph")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	start := time.Now()
+
+	auth := make([]float64, n)
+	hub := make([]float64, n)
+	for i := range auth {
+		auth[i] = 1.0 / float64(n)
+		hub[i] = 1.0 / float64(n)
+	}
+	newAuth := make([]float64, n)
+	newHub := make([]float64, n)
+
+	res := &Result{}
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		// auth ← Aᵀ·hub
+		for v := 0; v < n; v++ {
+			acc := 0.0
+			ws := g.InWeights(graph.NodeID(v))
+			for k, u := range g.InNeighbors(graph.NodeID(v)) {
+				if ws != nil {
+					acc += hub[u] * ws[k]
+				} else {
+					acc += hub[u]
+				}
+			}
+			newAuth[v] = acc
+		}
+		normalize(newAuth)
+		// hub ← A·auth (with the fresh authorities, the standard update).
+		for u := 0; u < n; u++ {
+			acc := 0.0
+			ws := g.OutWeights(graph.NodeID(u))
+			for k, v := range g.OutNeighbors(graph.NodeID(u)) {
+				if ws != nil {
+					acc += newAuth[v] * ws[k]
+				} else {
+					acc += newAuth[v]
+				}
+			}
+			newHub[u] = acc
+		}
+		normalize(newHub)
+
+		delta := 0.0
+		for i := 0; i < n; i++ {
+			delta += math.Abs(newAuth[i]-auth[i]) + math.Abs(newHub[i]-hub[i])
+		}
+		auth, newAuth = newAuth, auth
+		hub, newHub = newHub, hub
+		res.Iterations = iter
+		if delta < cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	res.Authorities = auth
+	res.Hubs = hub
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// normalize rescales to sum 1 (a graph with no edges yields all-zero
+// vectors, which are left untouched — HITS is undefined there and the
+// caller sees zeros rather than NaNs).
+func normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s <= 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}

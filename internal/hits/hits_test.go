@@ -1,0 +1,161 @@
+package hits
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestBipartiteClosedForm: k hub pages each link to the same m authority
+// pages. The fixpoint gives every hub 1/k of the hub mass and every
+// authority 1/m of the authority mass.
+func TestBipartiteClosedForm(t *testing.T) {
+	k, m := 3, 4
+	b := graph.NewBuilder(k + m)
+	for h := 0; h < k; h++ {
+		for a := 0; a < m; a++ {
+			b.AddEdge(graph.NodeID(h), graph.NodeID(k+a))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := Compute(g, Config{Tolerance: 1e-14})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	for h := 0; h < k; h++ {
+		if math.Abs(res.Hubs[h]-1.0/float64(k)) > 1e-10 {
+			t.Fatalf("hub %d = %v, want %v", h, res.Hubs[h], 1.0/float64(k))
+		}
+		if res.Authorities[h] > 1e-12 {
+			t.Fatalf("pure hub %d has authority %v", h, res.Authorities[h])
+		}
+	}
+	for a := 0; a < m; a++ {
+		if math.Abs(res.Authorities[k+a]-1.0/float64(m)) > 1e-10 {
+			t.Fatalf("authority %d = %v, want %v", a, res.Authorities[k+a], 1.0/float64(m))
+		}
+		if res.Hubs[k+a] > 1e-12 {
+			t.Fatalf("pure authority %d has hub score %v", a, res.Hubs[k+a])
+		}
+	}
+}
+
+// TestMoreEndorsedWins: an authority with more hub endorsements outranks
+// one with fewer.
+func TestMoreEndorsedWins(t *testing.T) {
+	// Hubs 0,1,2 all endorse 3; only hub 0 endorses 4.
+	g := graph.MustFromEdges(5, [][2]graph.NodeID{
+		{0, 3}, {1, 3}, {2, 3}, {0, 4},
+	})
+	res, err := Compute(g, Config{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if !(res.Authorities[3] > res.Authorities[4]) {
+		t.Fatalf("authorities = %v: 3 should beat 4", res.Authorities)
+	}
+	// Hub 0 endorses both the strong and the weak authority; hubs 1,2
+	// endorse only the strong one. Kleinberg's fixpoint rewards pointing
+	// at high authorities, and hub 0's extra link to a weak authority
+	// still adds value: hub(0) ≥ hub(1).
+	if !(res.Hubs[0] >= res.Hubs[1]-1e-12) {
+		t.Fatalf("hubs = %v: 0 should be at least as good as 1", res.Hubs)
+	}
+}
+
+// TestDistributionInvariants: both vectors are non-negative and sum to 1
+// on random graphs with edges.
+func TestDistributionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(60)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			d := rng.Intn(5)
+			for e := 0; e < d; e++ {
+				v := rng.Intn(n)
+				if v != u {
+					b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+				}
+			}
+		}
+		b.AddEdge(0, graph.NodeID(n-1)) // at least one edge
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		res, err := Compute(g, Config{})
+		if err != nil {
+			t.Fatalf("Compute: %v", err)
+		}
+		sumA, sumH := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if res.Authorities[i] < 0 || res.Hubs[i] < 0 {
+				t.Fatalf("negative score at %d", i)
+			}
+			sumA += res.Authorities[i]
+			sumH += res.Hubs[i]
+		}
+		if math.Abs(sumA-1) > 1e-9 || math.Abs(sumH-1) > 1e-9 {
+			t.Fatalf("trial %d: sums %v / %v", trial, sumA, sumH)
+		}
+	}
+}
+
+// TestWeightedEndorsement: a heavier edge confers more authority.
+func TestWeightedEndorsement(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 3)
+	b.AddWeightedEdge(0, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := Compute(g, Config{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if !(res.Authorities[1] > res.Authorities[2]) {
+		t.Fatalf("authorities = %v: heavier endorsement should win", res.Authorities)
+	}
+}
+
+// TestEdgelessGraph: HITS on an edgeless graph returns zeros, not NaNs.
+func TestEdgelessGraph(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.EnsureNode(2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := Compute(g, Config{MaxIterations: 5})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	for i := range res.Authorities {
+		if res.Authorities[i] != 0 || res.Hubs[i] != 0 {
+			t.Fatalf("edgeless graph produced nonzero scores: %v %v", res.Authorities, res.Hubs)
+		}
+		if math.IsNaN(res.Authorities[i]) || math.IsNaN(res.Hubs[i]) {
+			t.Fatal("NaN scores")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]graph.NodeID{{0, 1}})
+	if _, err := Compute(nil, Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Compute(g, Config{Tolerance: -1}); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := Compute(g, Config{MaxIterations: -1}); err == nil {
+		t.Error("negative MaxIterations accepted")
+	}
+}

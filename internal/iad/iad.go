@@ -1,0 +1,200 @@
+// Package iad implements iterative aggregation/disaggregation (IAD)
+// updating of PageRank (Langville & Meyer, SIAM J. Matrix Anal. Appl.
+// 2006) — reference [15] of the paper, discussed in its related work
+// §II-E. When the Web changes only inside a known region G, IAD updates
+// the stationary vector by alternating (a) an exact solve of a small
+// aggregated chain — the region's pages kept as states, everything else
+// censored into one super-state weighted by the current estimate — with
+// (b) a single global power-iteration sweep. Changes confined to G make
+// the aggregated solve absorb most of the movement, so only a handful of
+// global sweeps are needed instead of a full recomputation.
+//
+// The aggregated chain of step (a) is built with the paper's own
+// machinery (core.NewChainWithExternalScores): IAD's censored super-state
+// is exactly an IdealRank Λ whose weights are the current estimate. This
+// is the formal link the paper draws between its framework and the
+// aggregation literature.
+package iad
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+)
+
+// Config parameterizes the update. The zero value selects ε = 0.85,
+// global L1 residual 1e-8, and at most 100 outer iterations.
+type Config struct {
+	// Epsilon is the damping factor of the chain being updated.
+	Epsilon float64
+	// Tolerance is the global L1 residual at which the update stops.
+	Tolerance float64
+	// MaxOuter bounds the outer aggregation/sweep iterations.
+	MaxOuter int
+	// InnerTolerance is the aggregated chain's convergence threshold.
+	// Default Tolerance/10.
+	InnerTolerance float64
+}
+
+func (c *Config) fill() error {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.85
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("iad: damping factor %v outside (0,1)", c.Epsilon)
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-8
+	}
+	if c.Tolerance <= 0 {
+		return fmt.Errorf("iad: non-positive tolerance %v", c.Tolerance)
+	}
+	if c.MaxOuter == 0 {
+		c.MaxOuter = 100
+	}
+	if c.MaxOuter < 1 {
+		return fmt.Errorf("iad: MaxOuter %d < 1", c.MaxOuter)
+	}
+	if c.InnerTolerance == 0 {
+		c.InnerTolerance = c.Tolerance / 10
+	}
+	if c.InnerTolerance <= 0 {
+		return fmt.Errorf("iad: non-positive inner tolerance %v", c.InnerTolerance)
+	}
+	return nil
+}
+
+// Result carries the updated vector and the work done.
+type Result struct {
+	// Scores is the updated stationary distribution of the (new) graph.
+	Scores []float64
+	// OuterIterations counts aggregation+sweep rounds; GlobalSweeps
+	// counts full-graph power sweeps (one per outer round) — the quantity
+	// to compare against a from-scratch recomputation's iteration count.
+	OuterIterations int
+	GlobalSweeps    int
+	// InnerIterations sums the aggregated-chain iterations (each over
+	// only n+1 states).
+	InnerIterations int
+	Converged       bool
+	Elapsed         time.Duration
+}
+
+// Update recomputes the stationary distribution of g, assuming prior was
+// the stationary distribution before a change confined to the changed
+// pages. prior must have length g.NumNodes() and a positive sum (it is
+// renormalized internally; the paper's scenario passes yesterday's
+// PageRank against today's graph).
+func Update(g *graph.Graph, changed []graph.NodeID, prior []float64, cfg Config) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("iad: nil graph")
+	}
+	if len(prior) != g.NumNodes() {
+		return nil, fmt.Errorf("iad: prior has length %d, want %d", len(prior), g.NumNodes())
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	sub, err := graph.NewSubgraph(g, changed)
+	if err != nil {
+		return nil, fmt.Errorf("iad: changed set: %w", err)
+	}
+	start := time.Now()
+
+	// Current estimate φ, normalized.
+	phi := make([]float64, len(prior))
+	sum := 0.0
+	for i, p := range prior {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("iad: invalid prior entry %v at %d", p, i)
+		}
+		phi[i] = p
+		sum += p
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("iad: prior sums to zero")
+	}
+	for i := range phi {
+		phi[i] /= sum
+	}
+
+	res := &Result{}
+	innerCfg := core.Config{Epsilon: cfg.Epsilon, Tolerance: cfg.InnerTolerance, MaxIterations: 1000}
+	for outer := 1; outer <= cfg.MaxOuter; outer++ {
+		// (a) Aggregate: censor the exterior into Λ weighted by φ and
+		// solve the (n+1)-state chain exactly.
+		ext := make([]float64, len(phi))
+		extMass := 0.0
+		for gid := range phi {
+			if _, local := sub.LocalID(graph.NodeID(gid)); !local {
+				ext[gid] = phi[gid]
+				extMass += phi[gid]
+			}
+		}
+		if extMass <= 0 {
+			return nil, fmt.Errorf("iad: estimate has no exterior mass")
+		}
+		chain, err := core.NewChainWithExternalScores(sub, ext)
+		if err != nil {
+			return nil, fmt.Errorf("iad: aggregation: %w", err)
+		}
+		agg, err := chain.Run(innerCfg)
+		if err != nil {
+			return nil, fmt.Errorf("iad: aggregated solve: %w", err)
+		}
+		res.InnerIterations += agg.Iterations
+
+		// Disaggregate: keep the solved scores inside G; scale the
+		// exterior's old relative distribution to the new Λ mass.
+		x := make([]float64, len(phi))
+		for li, gid := range sub.Local {
+			x[gid] = agg.Scores[li]
+		}
+		scale := agg.Lambda / extMass
+		for gid := range phi {
+			if _, local := sub.LocalID(graph.NodeID(gid)); !local {
+				x[gid] = phi[gid] * scale
+			}
+		}
+		normalize(x)
+
+		// (b) One global power sweep from x; its L1 displacement is the
+		// global residual.
+		sweep, err := pagerank.Compute(g, pagerank.Options{
+			Epsilon:       cfg.Epsilon,
+			Tolerance:     1e-300, // never stop on tolerance; we want exactly one sweep
+			MaxIterations: 1,
+			Start:         x,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("iad: global sweep: %w", err)
+		}
+		res.GlobalSweeps++
+		res.OuterIterations = outer
+		phi = sweep.Scores
+		if sweep.Deltas[0] < cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = phi
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s <= 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KendallTau returns the exact Kendall distance with penalty ½ for ties
+// (the K^(1/2) measure of Fagin et al., PODS 2004) between the partial
+// rankings induced by two score vectors, normalized by the number of
+// pairs:
+//
+//   - a pair ordered strictly and oppositely in the two rankings costs 1;
+//   - a pair tied in exactly one ranking costs ½;
+//   - a pair ordered the same way, or tied in both, costs 0.
+//
+// The computation is O(n log n): discordant pairs are counted as strict
+// inversions of the second ranking after sorting by the first, and the
+// tie terms come from run lengths.
+func KendallTau(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: kendall length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, nil
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by (a desc, b desc); the direction is irrelevant to pair
+	// classification as long as both keys use the same one.
+	sort.Slice(idx, func(x, y int) bool {
+		if a[idx[x]] != a[idx[y]] {
+			return a[idx[x]] > a[idx[y]]
+		}
+		if b[idx[x]] != b[idx[y]] {
+			return b[idx[x]] > b[idx[y]]
+		}
+		return idx[x] < idx[y]
+	})
+
+	// Tie pair counts: n1 = pairs tied in a, n2 = pairs tied in b,
+	// n3 = pairs tied in both.
+	n1 := tiePairs(idx, func(i, j int) bool { return a[i] == a[j] })
+	n3 := tiePairs(idx, func(i, j int) bool { return a[i] == a[j] && b[i] == b[j] })
+	// n2 needs b-sorted order.
+	bIdx := make([]int, n)
+	copy(bIdx, idx)
+	sort.Slice(bIdx, func(x, y int) bool {
+		if b[bIdx[x]] != b[bIdx[y]] {
+			return b[bIdx[x]] > b[bIdx[y]]
+		}
+		return bIdx[x] < bIdx[y]
+	})
+	n2 := tiePairs(bIdx, func(i, j int) bool { return b[i] == b[j] })
+
+	// Discordant pairs: strict inversions of the b sequence in (a desc,
+	// b desc) order. Within an a-tie run the sequence is b-sorted, so
+	// those pairs contribute no inversions; equal b values are not strict
+	// inversions.
+	seq := make([]float64, n)
+	for k, i := range idx {
+		seq[k] = b[i]
+	}
+	disc := strictInversions(seq)
+
+	total := float64(n) * float64(n-1) / 2
+	tiedExactlyOne := float64(n1-n3) + float64(n2-n3)
+	return (float64(disc) + 0.5*tiedExactlyOne) / total, nil
+}
+
+// tiePairs counts Σ t·(t−1)/2 over maximal runs of idx where eq holds
+// between consecutive members (idx must be sorted so that equal elements
+// are adjacent).
+func tiePairs(idx []int, eq func(i, j int) bool) int {
+	pairs := 0
+	run := 1
+	for k := 1; k < len(idx); k++ {
+		if eq(idx[k-1], idx[k]) {
+			run++
+			continue
+		}
+		pairs += run * (run - 1) / 2
+		run = 1
+	}
+	pairs += run * (run - 1) / 2
+	return pairs
+}
+
+// strictInversions counts pairs k < l with seq[k] < seq[l] (the sequence
+// is expected descending, so an ascending pair is an inversion) by merge
+// sort. Equal values are not inversions.
+func strictInversions(seq []float64) int64 {
+	buf := make([]float64, len(seq))
+	work := make([]float64, len(seq))
+	copy(work, seq)
+	return mergeCount(work, buf)
+}
+
+func mergeCount(s, buf []float64) int64 {
+	n := len(s)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(s[:mid], buf[:mid]) + mergeCount(s[mid:], buf[mid:n])
+	// Merge descending; count strict ascents across the split.
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if s[i] >= s[j] {
+			buf[k] = s[i]
+			i++
+		} else {
+			// s[j] is strictly greater than s[i..mid): each remaining left
+			// element forms an inversion with s[j].
+			inv += int64(mid - i)
+			buf[k] = s[j]
+			j++
+		}
+		k++
+	}
+	copy(buf[k:], s[i:mid])
+	copy(buf[k+mid-i:], s[j:n])
+	copy(s, buf[:n])
+	return inv
+}

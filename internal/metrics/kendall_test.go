@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteKendall is the O(n²) reference implementation of K^(1/2).
+func bruteKendall(a, b []float64) float64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	cost := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ca := cmpScore(a[i], a[j])
+			cb := cmpScore(b[i], b[j])
+			switch {
+			case ca == cb:
+			case ca == 0 || cb == 0:
+				cost += 0.5
+			default:
+				cost++
+			}
+		}
+	}
+	return cost / (float64(n) * float64(n-1) / 2)
+}
+
+// TestKendallAgainstBruteForce: the O(n log n) implementation matches the
+// quadratic reference on random vectors with heavy ties.
+func TestKendallAgainstBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(7)) // coarse grid forces ties
+			b[i] = float64(rng.Intn(7))
+		}
+		fast, err := KendallTau(a, b)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fast-bruteKendall(a, b)) < 1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallEndpoints(t *testing.T) {
+	n := 50
+	a := make([]float64, n)
+	rev := make([]float64, n)
+	same := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+		rev[i] = float64(n - i)
+		same[i] = 1
+	}
+	if d, _ := KendallTau(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if d, _ := KendallTau(a, rev); d != 1 {
+		t.Errorf("reversal distance = %v", d)
+	}
+	// All-tied vs strict: every pair tied in exactly one → 0.5.
+	if d, _ := KendallTau(a, same); d != 0.5 {
+		t.Errorf("tied-vs-strict distance = %v", d)
+	}
+	// Tied in both → 0.
+	if d, _ := KendallTau(same, same); d != 0 {
+		t.Errorf("all-tied self distance = %v", d)
+	}
+}
+
+func TestKendallSymmetric(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(5))
+			b[i] = rng.Float64()
+		}
+		ab, err1 := KendallTau(a, b)
+		ba, err2 := KendallTau(b, a)
+		return err1 == nil && err2 == nil && math.Abs(ab-ba) < 1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallErrorsAndDegenerate(t *testing.T) {
+	if _, err := KendallTau([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if d, err := KendallTau([]float64{3}, []float64{5}); err != nil || d != 0 {
+		t.Errorf("singleton = %v, %v", d, err)
+	}
+	if d, err := KendallTau(nil, nil); err != nil || d != 0 {
+		t.Errorf("empty = %v, %v", d, err)
+	}
+}
+
+// TestKendallSampleConsistency: the sampler approximates the exact value.
+func TestKendallSampleConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = a[i] + 0.3*rng.Float64() // correlated
+	}
+	exact, err := KendallTau(a, b)
+	if err != nil {
+		t.Fatalf("KendallTau: %v", err)
+	}
+	approx, err := KendallTauSample(a, b, 200000, 1)
+	if err != nil {
+		t.Fatalf("KendallTauSample: %v", err)
+	}
+	if math.Abs(exact-approx) > 0.01 {
+		t.Errorf("sampled %v vs exact %v", approx, exact)
+	}
+}
+
+func TestStrictInversions(t *testing.T) {
+	cases := []struct {
+		seq  []float64
+		want int64
+	}{
+		{[]float64{3, 2, 1}, 0},       // descending: no inversions
+		{[]float64{1, 2, 3}, 3},       // ascending: all pairs
+		{[]float64{2, 2, 2}, 0},       // ties: none
+		{[]float64{2, 1, 2}, 1},       // (1,2) ascends
+		{[]float64{1}, 0},             //
+		{[]float64{5, 1, 4, 2, 3}, 4}, // (1,4),(1,2),(1,3),(2,3)
+	}
+	for _, c := range cases {
+		if got := strictInversions(c.seq); got != c.want {
+			t.Errorf("strictInversions(%v) = %d, want %d", c.seq, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package metrics implements the ranking-distance measures used in the
+// paper's evaluation: the L1 distance between score vectors and the
+// Spearman's footrule distance between partial rankings with ties (Fagin
+// et al., PODS 2004), plus auxiliary measures (Kendall-tau sampling and
+// top-K overlap) used by the extended experiments.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// L1 returns the L1 (Manhattan) distance Σ|a[i] − b[i]| between two score
+// vectors of equal length. This is the paper's score-accuracy measure.
+func L1(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: L1 length mismatch %d vs %d", len(a), len(b))
+	}
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d, nil
+}
+
+// Positions converts a score vector into bucket positions for a partial
+// ranking: pages are ranked by descending score, pages with equal scores
+// form a bucket, and every page in bucket B_i receives the bucket position
+//
+//	pos(B_i) = Σ_{j<i} |B_j| + (|B_i|+1)/2,
+//
+// the average 1-based location within the bucket. Scores within tol of one
+// another (after sorting) are merged into the same bucket; tol = 0 demands
+// exact equality.
+func Positions(scores []float64, tol float64) []float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b] // deterministic order inside a bucket
+	})
+	pos := make([]float64, n)
+	covered := 0
+	for start := 0; start < n; {
+		end := start + 1
+		for end < n && scores[idx[start]]-scores[idx[end]] <= tol {
+			end++
+		}
+		size := end - start
+		p := float64(covered) + (float64(size)+1)/2
+		for k := start; k < end; k++ {
+			pos[idx[k]] = p
+		}
+		covered += size
+		start = end
+	}
+	return pos
+}
+
+// Footrule returns the Spearman's footrule distance between two partial
+// rankings given as bucket-position vectors (from Positions):
+//
+//	F(σ1, σ2) = Σ|σ1(i) − σ2(i)| / ⌊n²/2⌋,
+//
+// the paper's order-accuracy measure, normalized to [0, 1] by the maximum
+// possible footrule.
+func Footrule(pos1, pos2 []float64) (float64, error) {
+	if len(pos1) != len(pos2) {
+		return 0, fmt.Errorf("metrics: footrule length mismatch %d vs %d", len(pos1), len(pos2))
+	}
+	n := len(pos1)
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: footrule of empty rankings")
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range pos1 {
+		sum += math.Abs(pos1[i] - pos2[i])
+	}
+	return sum / math.Floor(float64(n)*float64(n)/2), nil
+}
+
+// FootruleScores is the composition of Positions (with exact-tie buckets)
+// and Footrule: the distance between the partial rankings induced by two
+// score vectors.
+func FootruleScores(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: footrule length mismatch %d vs %d", len(a), len(b))
+	}
+	return Footrule(Positions(a, 0), Positions(b, 0))
+}
+
+// TopKOverlap returns |topK(a) ∩ topK(b)| / k: the fraction of the k
+// highest-scored pages under a that are also among the k highest-scored
+// under b (ties broken by index for determinism). Used by the top-K
+// query-answering experiments.
+func TopKOverlap(a, b []float64, k int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: topK length mismatch %d vs %d", len(a), len(b))
+	}
+	if k <= 0 || k > len(a) {
+		return 0, fmt.Errorf("metrics: k=%d outside [1,%d]", k, len(a))
+	}
+	ta := topK(a, k)
+	tb := make(map[int]struct{}, k)
+	for _, i := range topK(b, k) {
+		tb[i] = struct{}{}
+	}
+	hit := 0
+	for _, i := range ta {
+		if _, ok := tb[i]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k), nil
+}
+
+func topK(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+// KendallTauSample estimates the Kendall-tau distance (fraction of
+// discordant pairs, ties counting half) between the rankings induced by
+// two score vectors by sampling pairs uniformly with the given seed.
+// Exact Kendall with ties is O(n²) in the general bucket case; sampling
+// keeps the extended experiments tractable on large subgraphs.
+func KendallTauSample(a, b []float64, pairs int, seed int64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: kendall length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, nil
+	}
+	if pairs <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive sample size %d", pairs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	disc := 0.0
+	for s := 0; s < pairs; s++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		ca := cmpScore(a[i], a[j])
+		cb := cmpScore(b[i], b[j])
+		switch {
+		case ca == cb:
+			// concordant (or tied the same way): no penalty
+		case ca == 0 || cb == 0:
+			disc += 0.5 // tie on one side only
+		default:
+			disc++ // strictly discordant
+		}
+	}
+	return disc / float64(pairs), nil
+}
+
+func cmpScore(x, y float64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestL1(t *testing.T) {
+	d, err := L1([]float64{1, 2, 3}, []float64{0, 4, 3})
+	if err != nil {
+		t.Fatalf("L1: %v", err)
+	}
+	if d != 3 {
+		t.Fatalf("L1 = %v, want 3", d)
+	}
+	if _, err := L1([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// TestPositionsNoTies: distinct scores get ranks 1..n by descending score.
+func TestPositionsNoTies(t *testing.T) {
+	pos := Positions([]float64{0.1, 0.4, 0.2, 0.3}, 0)
+	want := []float64{4, 1, 3, 2}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("Positions = %v, want %v", pos, want)
+		}
+	}
+}
+
+// TestPositionsWithTies reproduces the paper's bucket-position definition:
+// pos(B_i) = Σ_{j<i}|B_j| + (|B_i|+1)/2.
+func TestPositionsWithTies(t *testing.T) {
+	pos := Positions([]float64{0.4, 0.3, 0.3, 0.1, 0.1, 0.1}, 0)
+	// Buckets: {0.4} pos 1; {0.3,0.3} pos 1+(2+1)/2 = 2.5;
+	// {0.1×3} pos 3+(3+1)/2 = 5.
+	want := []float64{1, 2.5, 2.5, 5, 5, 5}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("Positions = %v, want %v", pos, want)
+		}
+	}
+}
+
+// TestFootruleHandExample: scores a=[0.4,0.3,0.3], b=[0.3,0.4,0.3] give
+// footrule (1.5+1.5+0)/⌊9/2⌋ = 0.75.
+func TestFootruleHandExample(t *testing.T) {
+	f, err := FootruleScores([]float64{0.4, 0.3, 0.3}, []float64{0.3, 0.4, 0.3})
+	if err != nil {
+		t.Fatalf("FootruleScores: %v", err)
+	}
+	if math.Abs(f-0.75) > 1e-12 {
+		t.Fatalf("footrule = %v, want 0.75", f)
+	}
+}
+
+// TestFootruleAxioms: identity gives 0, distance is symmetric, and values
+// lie in [0, ~1] for reversed rankings.
+func TestFootruleAxioms(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			// Coarse grid to force ties.
+			a[i] = float64(rng.Intn(6)) / 6
+			b[i] = float64(rng.Intn(6)) / 6
+		}
+		self, err := FootruleScores(a, a)
+		if err != nil || self != 0 {
+			return false
+		}
+		ab, err1 := FootruleScores(a, b)
+		ba, err2 := FootruleScores(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab == ba && ab >= 0 && ab <= 1.0+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFootruleReversal: fully reversed distinct rankings approach the
+// normalization bound.
+func TestFootruleReversal(t *testing.T) {
+	n := 10
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i)
+		b[i] = float64(n - i)
+	}
+	f, err := FootruleScores(a, b)
+	if err != nil {
+		t.Fatalf("FootruleScores: %v", err)
+	}
+	// Σ|σ1−σ2| for a reversal of 10 = 2·(9+7+5+3+1) = 50; ⌊100/2⌋ = 50.
+	if math.Abs(f-1.0) > 1e-12 {
+		t.Fatalf("reversal footrule = %v, want 1", f)
+	}
+}
+
+// TestFootruleSingleAndErrors covers degenerate inputs.
+func TestFootruleSingleAndErrors(t *testing.T) {
+	if f, err := FootruleScores([]float64{5}, []float64{7}); err != nil || f != 0 {
+		t.Fatalf("single-element footrule = %v, %v", f, err)
+	}
+	if _, err := FootruleScores([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Footrule(nil, nil); err == nil {
+		t.Fatal("empty rankings accepted")
+	}
+}
+
+// TestPositionsTolerance: near-ties within tol share a bucket.
+func TestPositionsTolerance(t *testing.T) {
+	pos := Positions([]float64{0.5, 0.5 - 1e-9, 0.1}, 1e-6)
+	if pos[0] != pos[1] {
+		t.Fatalf("near-tie not merged: %v", pos)
+	}
+	if pos[2] != 3 {
+		t.Fatalf("pos[2] = %v, want 3", pos[2])
+	}
+	exact := Positions([]float64{0.5, 0.5 - 1e-9, 0.1}, 0)
+	if exact[0] == exact[1] {
+		t.Fatalf("tol=0 merged distinct scores: %v", exact)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []float64{0.5, 0.4, 0.3, 0.2, 0.1}
+	b := []float64{0.5, 0.1, 0.3, 0.2, 0.4} // top3(a)={0,1,2}, top3(b)={0,4,2}
+	ov, err := TopKOverlap(a, b, 3)
+	if err != nil {
+		t.Fatalf("TopKOverlap: %v", err)
+	}
+	if math.Abs(ov-2.0/3.0) > 1e-12 {
+		t.Fatalf("overlap = %v, want 2/3", ov)
+	}
+	if _, err := TopKOverlap(a, b, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := TopKOverlap(a, b, 6); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := TopKOverlap(a, b[:3], 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	full, _ := TopKOverlap(a, a, 5)
+	if full != 1 {
+		t.Fatalf("self overlap = %v, want 1", full)
+	}
+}
+
+func TestKendallTauSample(t *testing.T) {
+	n := 200
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	// Identical rankings: distance 0.
+	d, err := KendallTauSample(a, a, 2000, 1)
+	if err != nil {
+		t.Fatalf("KendallTauSample: %v", err)
+	}
+	if d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+	// Reversed rankings: every pair discordant, distance 1.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(n - i)
+	}
+	d, err = KendallTauSample(a, b, 2000, 1)
+	if err != nil {
+		t.Fatalf("KendallTauSample: %v", err)
+	}
+	if d != 1 {
+		t.Fatalf("reversal distance = %v, want 1", d)
+	}
+	// Errors.
+	if _, err := KendallTauSample(a, b[:10], 100, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := KendallTauSample(a, b, 0, 1); err == nil {
+		t.Fatal("zero sample size accepted")
+	}
+	if d, err := KendallTauSample(a[:1], b[:1], 10, 1); err != nil || d != 0 {
+		t.Fatalf("singleton distance = %v, %v", d, err)
+	}
+}

@@ -1,0 +1,138 @@
+package objectrank
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Config carries the ObjectRank walk parameters. The zero value selects
+// the customary settings (ε = 0.85, L1 tolerance 1e-5, ≤1000 iterations).
+type Config struct {
+	Epsilon       float64
+	Tolerance     float64
+	MaxIterations int
+}
+
+func (c *Config) fill() error {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.85
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("objectrank: damping factor %v outside (0,1)", c.Epsilon)
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-5
+	}
+	if c.Tolerance < 0 {
+		return fmt.Errorf("objectrank: negative tolerance %v", c.Tolerance)
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 1000
+	}
+	if c.MaxIterations < 1 {
+		return fmt.Errorf("objectrank: MaxIterations %d < 1", c.MaxIterations)
+	}
+	return nil
+}
+
+// Result is the outcome of an ObjectRank computation.
+type Result struct {
+	// Scores holds one score per object. Unlike PageRank these need not
+	// sum to 1: authority leaks at objects whose total outgoing transfer
+	// rate is below 1 (exact ObjectRank semantics).
+	Scores     []float64
+	Iterations int
+	Converged  bool
+	Elapsed    time.Duration
+}
+
+// Compute runs the exact ObjectRank fixpoint
+//
+//	r = ε·Aᵀ·r + (1−ε)·q
+//
+// where A carries the per-edge transfer weights (rate/outdeg-of-kind, NOT
+// normalized to be stochastic) and q is the base-set distribution: 1/|B|
+// on each object of baseSet, or uniform over all objects when baseSet is
+// empty (global ObjectRank).
+func Compute(d *DataGraph, baseSet []graph.NodeID, cfg Config) (*Result, error) {
+	if d == nil || d.NumObjects() == 0 {
+		return nil, fmt.Errorf("objectrank: empty data graph")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	n := d.NumObjects()
+	q := make([]float64, n)
+	if len(baseSet) == 0 {
+		u := 1.0 / float64(n)
+		for i := range q {
+			q[i] = u
+		}
+	} else {
+		share := 1.0 / float64(len(baseSet))
+		for _, id := range baseSet {
+			if int(id) >= n {
+				return nil, fmt.Errorf("objectrank: base object %d out of range", id)
+			}
+			q[id] += share
+		}
+	}
+
+	// Precompute per-edge weights grouped by source for the push sweep.
+	type outEdge struct {
+		to graph.NodeID
+		w  float64
+	}
+	out := make([][]outEdge, n)
+	for _, e := range d.edges {
+		out[e.from] = append(out[e.from], outEdge{e.to, d.transferWeight(e)})
+	}
+
+	start := time.Now()
+	cur := make([]float64, n)
+	copy(cur, q)
+	next := make([]float64, n)
+	res := &Result{}
+	eps := cfg.Epsilon
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		for v := 0; v < n; v++ {
+			next[v] = (1 - eps) * q[v]
+		}
+		for u := 0; u < n; u++ {
+			if cur[u] == 0 || len(out[u]) == 0 {
+				continue
+			}
+			xu := eps * cur[u]
+			for _, e := range out[u] {
+				next[e.to] += xu * e.w
+			}
+		}
+		delta := 0.0
+		for i := 0; i < n; i++ {
+			delta += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		res.Iterations = iter
+		if delta < cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = cur
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ComputeQuery is Compute seeded by the keyword base set of query. It
+// returns an error when no object matches the query (an empty base set
+// would silently compute the global ranking instead).
+func ComputeQuery(d *DataGraph, query string, cfg Config) (*Result, error) {
+	base := d.BaseSet(query)
+	if len(base) == 0 {
+		return nil, fmt.Errorf("objectrank: no objects match query %q", query)
+	}
+	return Compute(d, base, cfg)
+}

@@ -1,0 +1,190 @@
+package objectrank
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// DataGraph instantiates a Schema: typed objects connected by labelled
+// relationships. Objects carry a name whose lower-cased whitespace-split
+// terms form the keyword index for query base sets (ObjectRank seeds the
+// walk at the objects matching the query keywords).
+type DataGraph struct {
+	schema *Schema
+
+	names   []string
+	types   []int
+	byName  map[string]graph.NodeID
+	keyword map[string][]graph.NodeID
+
+	edges []dataEdge
+	// outByKind[u][kind] = number of outgoing edges of u with that
+	// (label, target type) kind — the ObjectRank denominator.
+	outByKind []map[transferKey]int
+}
+
+type dataEdge struct {
+	from, to graph.NodeID
+	label    string
+}
+
+// NewDataGraph returns an empty data graph over schema.
+func NewDataGraph(schema *Schema) (*DataGraph, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("objectrank: nil schema")
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return &DataGraph{
+		schema:  schema,
+		byName:  make(map[string]graph.NodeID),
+		keyword: make(map[string][]graph.NodeID),
+	}, nil
+}
+
+// Schema returns the schema the data graph instantiates.
+func (d *DataGraph) Schema() *Schema { return d.schema }
+
+// AddObject registers a typed object and indexes its name's terms.
+// Object names must be unique.
+func (d *DataGraph) AddObject(name, typeName string) (graph.NodeID, error) {
+	t, ok := d.schema.typeOf(typeName)
+	if !ok {
+		return 0, fmt.Errorf("objectrank: unknown type %q", typeName)
+	}
+	if name == "" {
+		return 0, fmt.Errorf("objectrank: empty object name")
+	}
+	if _, dup := d.byName[name]; dup {
+		return 0, fmt.Errorf("objectrank: object %q already exists", name)
+	}
+	id := graph.NodeID(len(d.names))
+	d.names = append(d.names, name)
+	d.types = append(d.types, t)
+	d.byName[name] = id
+	d.outByKind = append(d.outByKind, nil)
+	for _, term := range strings.Fields(strings.ToLower(name)) {
+		d.keyword[term] = append(d.keyword[term], id)
+	}
+	return id, nil
+}
+
+// AddRelation records a labelled edge between two objects. The label must
+// carry a transfer rate for the endpoint types in the schema.
+func (d *DataGraph) AddRelation(from, to graph.NodeID, label string) error {
+	if int(from) >= len(d.names) || int(to) >= len(d.names) {
+		return fmt.Errorf("objectrank: relation endpoints out of range")
+	}
+	ft, tt := d.types[from], d.types[to]
+	if _, ok := d.schema.rate(ft, tt, label); !ok {
+		return fmt.Errorf("objectrank: schema has no transfer %s -%s-> %s",
+			d.schema.TypeName(ft), label, d.schema.TypeName(tt))
+	}
+	d.edges = append(d.edges, dataEdge{from, to, label})
+	k := transferKey{ft, tt, label}
+	if d.outByKind[from] == nil {
+		d.outByKind[from] = make(map[transferKey]int)
+	}
+	d.outByKind[from][k]++
+	return nil
+}
+
+// NumObjects returns the number of objects.
+func (d *DataGraph) NumObjects() int { return len(d.names) }
+
+// Name returns object id's name.
+func (d *DataGraph) Name(id graph.NodeID) string { return d.names[id] }
+
+// TypeOf returns object id's type name.
+func (d *DataGraph) TypeOf(id graph.NodeID) string { return d.schema.TypeName(d.types[id]) }
+
+// Lookup resolves an object by name.
+func (d *DataGraph) Lookup(name string) (graph.NodeID, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// BaseSet returns the objects whose names contain every query term
+// (lower-cased exact term match) — ObjectRank's keyword base set.
+func (d *DataGraph) BaseSet(query string) []graph.NodeID {
+	terms := strings.Fields(strings.ToLower(query))
+	if len(terms) == 0 {
+		return nil
+	}
+	counts := make(map[graph.NodeID]int)
+	for _, term := range terms {
+		seen := make(map[graph.NodeID]bool)
+		for _, id := range d.keyword[term] {
+			if !seen[id] {
+				seen[id] = true
+				counts[id]++
+			}
+		}
+	}
+	var out []graph.NodeID
+	for id, c := range counts {
+		if c == len(terms) {
+			out = append(out, id)
+		}
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// ObjectsOfTypes returns all objects whose type is among the given type
+// names — the natural subgraph of a domain expert's interest (the paper's
+// Figure 3 scenario).
+func (d *DataGraph) ObjectsOfTypes(typeNames ...string) ([]graph.NodeID, error) {
+	want := make(map[int]bool, len(typeNames))
+	for _, tn := range typeNames {
+		t, ok := d.schema.typeOf(tn)
+		if !ok {
+			return nil, fmt.Errorf("objectrank: unknown type %q", tn)
+		}
+		want[t] = true
+	}
+	var out []graph.NodeID
+	for id, t := range d.types {
+		if want[t] {
+			out = append(out, graph.NodeID(id))
+		}
+	}
+	return out, nil
+}
+
+// transferWeight returns the ObjectRank authority transferred along one
+// concrete edge: rate(kind)/#edges-of-that-kind-from-u.
+func (d *DataGraph) transferWeight(e dataEdge) float64 {
+	k := transferKey{d.types[e.from], d.types[e.to], e.label}
+	rate, _ := d.schema.rate(k.from, k.to, e.label)
+	return rate / float64(d.outByKind[e.from][k])
+}
+
+// AuthorityGraph materializes the weighted authority-transfer graph: edge
+// u→v carries weight rate/outdeg-of-kind. Parallel relations of the same
+// kind merge (their weights sum back to the kind's total). The result
+// plugs into the subgraph-ranking framework; note that graph-based walks
+// normalize each node's outgoing weights to 1, so they match exact
+// ObjectRank semantics precisely when every object's total outgoing
+// transfer is 1 (see Compute for the unnormalized semantics).
+func (d *DataGraph) AuthorityGraph() (*graph.Graph, error) {
+	if len(d.names) == 0 {
+		return nil, fmt.Errorf("objectrank: empty data graph")
+	}
+	b := graph.NewBuilder(len(d.names))
+	for _, e := range d.edges {
+		b.AddWeightedEdge(e.from, e.to, d.transferWeight(e))
+	}
+	return b.Build()
+}
+
+func sortNodeIDs(ids []graph.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

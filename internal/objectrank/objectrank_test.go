@@ -1,0 +1,385 @@
+package objectrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+)
+
+// dblpSchema builds the paper's Figure 2 style authority-transfer schema.
+func dblpSchema(t testing.TB) *Schema {
+	t.Helper()
+	s := NewSchema()
+	for _, ty := range []string{"paper", "author", "conference"} {
+		if err := s.AddType(ty); err != nil {
+			t.Fatalf("AddType(%s): %v", ty, err)
+		}
+	}
+	add := func(from, to, label string, rate float64) {
+		t.Helper()
+		if err := s.AddTransfer(from, to, label, rate); err != nil {
+			t.Fatalf("AddTransfer(%s,%s,%s): %v", from, to, label, err)
+		}
+	}
+	add("paper", "paper", "cites", 0.7)
+	add("paper", "author", "written-by", 0.2)
+	add("paper", "conference", "published-in", 0.1)
+	add("author", "paper", "writes", 1.0)
+	add("conference", "paper", "publishes", 1.0)
+	return s
+}
+
+func dblpData(t testing.TB) *DataGraph {
+	t.Helper()
+	d, err := NewDataGraph(dblpSchema(t))
+	if err != nil {
+		t.Fatalf("NewDataGraph: %v", err)
+	}
+	mustObj := func(name, ty string) graph.NodeID {
+		t.Helper()
+		id, err := d.AddObject(name, ty)
+		if err != nil {
+			t.Fatalf("AddObject(%s): %v", name, err)
+		}
+		return id
+	}
+	icde := mustObj("ICDE", "conference")
+	vldb := mustObj("VLDB", "conference")
+	alice := mustObj("Alice Liddell", "author")
+	bob := mustObj("Bob Stone", "author")
+	p1 := mustObj("ApproxRank subgraph ranking", "paper")
+	p2 := mustObj("ObjectRank keyword search", "paper")
+	p3 := mustObj("PageRank citation ranking", "paper")
+	rel := func(u, v graph.NodeID, label string) {
+		t.Helper()
+		if err := d.AddRelation(u, v, label); err != nil {
+			t.Fatalf("AddRelation(%s,%s): %v", d.Name(u), d.Name(v), err)
+		}
+	}
+	rel(p1, p2, "cites")
+	rel(p1, p3, "cites")
+	rel(p2, p3, "cites")
+	rel(p1, alice, "written-by")
+	rel(p2, alice, "written-by")
+	rel(p2, bob, "written-by")
+	rel(p3, bob, "written-by")
+	rel(alice, p1, "writes")
+	rel(alice, p2, "writes")
+	rel(bob, p2, "writes")
+	rel(bob, p3, "writes")
+	rel(p1, icde, "published-in")
+	rel(p2, vldb, "published-in")
+	rel(p3, vldb, "published-in")
+	rel(icde, p1, "publishes")
+	rel(vldb, p2, "publishes")
+	rel(vldb, p3, "publishes")
+	return d
+}
+
+func TestSchemaValidation(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddType(""); err == nil {
+		t.Error("empty type accepted")
+	}
+	if err := s.AddType("paper"); err != nil {
+		t.Fatalf("AddType: %v", err)
+	}
+	if err := s.AddType("paper"); err == nil {
+		t.Error("duplicate type accepted")
+	}
+	if err := s.AddTransfer("paper", "ghost", "cites", 0.5); err == nil {
+		t.Error("unknown target type accepted")
+	}
+	if err := s.AddTransfer("ghost", "paper", "cites", 0.5); err == nil {
+		t.Error("unknown source type accepted")
+	}
+	if err := s.AddTransfer("paper", "paper", "cites", 1.5); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if err := s.AddTransfer("paper", "paper", "", 0.5); err == nil {
+		t.Error("empty label accepted")
+	}
+	if err := s.AddTransfer("paper", "paper", "cites", 0.7); err != nil {
+		t.Fatalf("AddTransfer: %v", err)
+	}
+	if err := s.AddTransfer("paper", "paper", "cites", 0.7); err == nil {
+		t.Error("duplicate transfer accepted")
+	}
+	if err := s.AddTransfer("paper", "paper", "extends", 0.7); err != nil {
+		t.Fatalf("AddTransfer: %v", err)
+	}
+	// Total rate 1.4 > 1: Validate must reject.
+	if err := s.Validate(); err == nil {
+		t.Error("schema emitting 1.4 accepted")
+	}
+	if _, err := NewDataGraph(s); err == nil {
+		t.Error("NewDataGraph accepted a divergent schema")
+	}
+}
+
+func TestDataGraphConstruction(t *testing.T) {
+	d := dblpData(t)
+	if d.NumObjects() != 7 {
+		t.Fatalf("NumObjects = %d, want 7", d.NumObjects())
+	}
+	id, ok := d.Lookup("VLDB")
+	if !ok || d.TypeOf(id) != "conference" {
+		t.Fatalf("Lookup(VLDB) = %d,%v type %s", id, ok, d.TypeOf(id))
+	}
+	if _, err := d.AddObject("VLDB", "conference"); err == nil {
+		t.Error("duplicate object accepted")
+	}
+	if _, err := d.AddObject("X", "ghost"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	p1, _ := d.Lookup("ApproxRank subgraph ranking")
+	icde, _ := d.Lookup("ICDE")
+	if err := d.AddRelation(icde, p1, "cites"); err == nil {
+		t.Error("conference-cites-paper accepted (no such transfer)")
+	}
+	if err := d.AddRelation(99, p1, "cites"); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+func TestBaseSet(t *testing.T) {
+	d := dblpData(t)
+	base := d.BaseSet("ranking")
+	if len(base) != 2 { // two paper titles contain "ranking"
+		t.Fatalf("BaseSet(ranking) = %v", base)
+	}
+	base = d.BaseSet("subgraph ranking")
+	if len(base) != 1 {
+		t.Fatalf("BaseSet(subgraph ranking) = %v", base)
+	}
+	if d.Name(base[0]) != "ApproxRank subgraph ranking" {
+		t.Fatalf("wrong match %q", d.Name(base[0]))
+	}
+	if got := d.BaseSet("zebra"); got != nil {
+		t.Fatalf("BaseSet(zebra) = %v", got)
+	}
+	if got := d.BaseSet(""); got != nil {
+		t.Fatalf("BaseSet(empty) = %v", got)
+	}
+}
+
+func TestObjectsOfTypes(t *testing.T) {
+	d := dblpData(t)
+	papers, err := d.ObjectsOfTypes("paper")
+	if err != nil || len(papers) != 3 {
+		t.Fatalf("ObjectsOfTypes(paper) = %v, %v", papers, err)
+	}
+	both, err := d.ObjectsOfTypes("paper", "author")
+	if err != nil || len(both) != 5 {
+		t.Fatalf("ObjectsOfTypes(paper,author) = %v, %v", both, err)
+	}
+	if _, err := d.ObjectsOfTypes("ghost"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+// TestComputeGlobal: global ObjectRank converges, scores are positive,
+// and the much-cited paper dominates the leaf paper.
+func TestComputeGlobal(t *testing.T) {
+	d := dblpData(t)
+	res, err := Compute(d, nil, Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	p1, _ := d.Lookup("ApproxRank subgraph ranking")
+	p3, _ := d.Lookup("PageRank citation ranking")
+	if !(res.Scores[p3] > res.Scores[p1]) {
+		t.Errorf("cited paper %v should outrank citing paper %v", res.Scores[p3], res.Scores[p1])
+	}
+	for i, s := range res.Scores {
+		if s <= 0 {
+			t.Errorf("score[%d] = %v", i, s)
+		}
+	}
+}
+
+// TestQueryBiasesRanking: seeding at the "objectrank" paper raises its
+// score relative to the global ranking.
+func TestQueryBiasesRanking(t *testing.T) {
+	d := dblpData(t)
+	global, err := Compute(d, nil, Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	q, err := ComputeQuery(d, "objectrank", Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("ComputeQuery: %v", err)
+	}
+	p2, _ := d.Lookup("ObjectRank keyword search")
+	gSum, qSum := 0.0, 0.0
+	for i := range global.Scores {
+		gSum += global.Scores[i]
+		qSum += q.Scores[i]
+	}
+	if !(q.Scores[p2]/qSum > global.Scores[p2]/gSum) {
+		t.Errorf("query seeding did not bias the matching paper: %v vs %v",
+			q.Scores[p2]/qSum, global.Scores[p2]/gSum)
+	}
+	if _, err := ComputeQuery(d, "zebra", Config{}); err == nil {
+		t.Error("query with empty base set accepted")
+	}
+}
+
+// TestAuthorityLeak: a paper-only chain with total out-rate < 1 leaks, so
+// scores sum to less than 1 (exact ObjectRank semantics, unlike PageRank).
+func TestAuthorityLeak(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddType("paper"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransfer("paper", "paper", "cites", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDataGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev graph.NodeID
+	for i := 0; i < 5; i++ {
+		id, err := d.AddObject(string(rune('a'+i)), "paper")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := d.AddRelation(prev, id, "cites"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	res, err := Compute(d, nil, Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	sum := 0.0
+	for _, sc := range res.Scores {
+		sum += sc
+	}
+	if sum >= 1 {
+		t.Errorf("scores sum to %v; expected leakage below 1", sum)
+	}
+}
+
+// TestCalibratedMatchesPageRank: when every object's total outgoing
+// transfer is exactly 1 and no object is dangling, exact ObjectRank
+// equals PageRank on the authority graph with the base set as the
+// personalization vector. This cross-validates the two engines.
+func TestCalibratedMatchesPageRank(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddType("page"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransfer("page", "page", "links", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDataGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := d.AddObject(string(rune('A'+i/26))+string(rune('a'+i%26)), "page"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := 0; u < n; u++ {
+		deg := 1 + rng.Intn(4)
+		for e := 0; e < deg; e++ {
+			v := rng.Intn(n)
+			if v == u {
+				v = (v + 1) % n
+			}
+			if err := d.AddRelation(graph.NodeID(u), graph.NodeID(v), "links"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	or, err := Compute(d, nil, Config{Tolerance: 1e-13, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	ag, err := d.AuthorityGraph()
+	if err != nil {
+		t.Fatalf("AuthorityGraph: %v", err)
+	}
+	pr, err := pagerank.Compute(ag, pagerank.Options{Tolerance: 1e-13, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("pagerank: %v", err)
+	}
+	for i := range or.Scores {
+		if math.Abs(or.Scores[i]-pr.Scores[i]) > 1e-8 {
+			t.Fatalf("object %d: ObjectRank %v vs PageRank %v", i, or.Scores[i], pr.Scores[i])
+		}
+	}
+}
+
+// TestSubgraphObjectRank: the Figure 3 scenario end to end — rank only
+// the objects of interest with ApproxRank/IdealRank over the authority
+// graph; IdealRank must reproduce the global weighted walk exactly.
+func TestSubgraphObjectRank(t *testing.T) {
+	d := dblpData(t)
+	ag, err := d.AuthorityGraph()
+	if err != nil {
+		t.Fatalf("AuthorityGraph: %v", err)
+	}
+	local, err := d.ObjectsOfTypes("paper", "author")
+	if err != nil {
+		t.Fatalf("ObjectsOfTypes: %v", err)
+	}
+	sub, err := graph.NewSubgraph(ag, local)
+	if err != nil {
+		t.Fatalf("NewSubgraph: %v", err)
+	}
+	global, err := pagerank.Compute(ag, pagerank.Options{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("pagerank: %v", err)
+	}
+	ideal, err := core.IdealRank(sub, global.Scores, core.Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("IdealRank: %v", err)
+	}
+	for li, gid := range sub.Local {
+		if math.Abs(ideal.Scores[li]-global.Scores[gid]) > 1e-8 {
+			t.Fatalf("IdealRank deviates on %s", d.Name(gid))
+		}
+	}
+	ap, err := core.ApproxRank(sub, core.Config{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("ApproxRank: %v", err)
+	}
+	if len(ap.Scores) != len(local) {
+		t.Fatalf("ApproxRank returned %d scores", len(ap.Scores))
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	d := dblpData(t)
+	if _, err := Compute(nil, nil, Config{}); err == nil {
+		t.Error("nil data graph accepted")
+	}
+	if _, err := Compute(d, []graph.NodeID{999}, Config{}); err == nil {
+		t.Error("out-of-range base object accepted")
+	}
+	if _, err := Compute(d, nil, Config{Epsilon: 2}); err == nil {
+		t.Error("bad epsilon accepted")
+	}
+	if _, err := Compute(d, nil, Config{Tolerance: -1}); err == nil {
+		t.Error("bad tolerance accepted")
+	}
+	if _, err := Compute(d, nil, Config{MaxIterations: -1}); err == nil {
+		t.Error("bad MaxIterations accepted")
+	}
+}

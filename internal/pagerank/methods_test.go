@@ -1,0 +1,178 @@
+package pagerank
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomTestGraph(rng *rand.Rand, n int, danglingFrac float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		if rng.Float64() < danglingFrac {
+			continue
+		}
+		d := 1 + rng.Intn(6)
+		for e := 0; e < d; e++ {
+			v := rng.Intn(n)
+			if v != u {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestGaussSeidelAgreement: Gauss–Seidel converges to the same stationary
+// vector as power iteration, on unweighted and weighted graphs with
+// dangling pages.
+func TestGaussSeidelAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 12; trial++ {
+		g := randomTestGraph(rng, 40+rng.Intn(60), 0.1)
+		plain := computeOrDie(t, g, Options{Tolerance: 1e-12, MaxIterations: 5000})
+		gs := computeOrDie(t, g, Options{Tolerance: 1e-12, MaxIterations: 5000, Method: MethodGaussSeidel})
+		if d := L1(plain.Scores, gs.Scores); d > 1e-8 {
+			t.Fatalf("trial %d: Gauss–Seidel differs by L1=%g", trial, d)
+		}
+		if !gs.Converged {
+			t.Fatalf("trial %d: Gauss–Seidel did not converge", trial)
+		}
+	}
+}
+
+// TestGaussSeidelFasterConvergence: on a web-like graph (communities with
+// mostly internal links, i.e. a slowly mixing chain) Gauss–Seidel needs
+// fewer sweeps than power iteration for the same tolerance. On fast-mixing
+// expander-like random graphs the displacement norm of plain power
+// iteration can decay faster than Gauss–Seidel's, so the blocky structure
+// here is essential — it is also the structure of the paper's workloads.
+func TestGaussSeidelFasterConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const (
+		blocks    = 20
+		blockSize = 50
+	)
+	n := blocks * blockSize
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		blk := u / blockSize
+		d := 1 + rng.Intn(5)
+		for e := 0; e < d; e++ {
+			var v int
+			if rng.Float64() < 0.92 { // intra-community link
+				v = blk*blockSize + rng.Intn(blockSize)
+			} else {
+				v = rng.Intn(n)
+			}
+			if v != u {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	plain := computeOrDie(t, g, Options{Tolerance: 1e-10, MaxIterations: 5000})
+	gs := computeOrDie(t, g, Options{Tolerance: 1e-10, MaxIterations: 5000, Method: MethodGaussSeidel})
+	if gs.Iterations >= plain.Iterations {
+		t.Errorf("Gauss–Seidel took %d sweeps, power iteration %d", gs.Iterations, plain.Iterations)
+	}
+}
+
+// TestGaussSeidelWeighted: agreement on weighted graphs.
+func TestGaussSeidelWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := graph.NewBuilder(60)
+	for u := 0; u < 60; u++ {
+		d := 1 + rng.Intn(5)
+		for e := 0; e < d; e++ {
+			v := rng.Intn(60)
+			if v != u {
+				b.AddWeightedEdge(graph.NodeID(u), graph.NodeID(v), 0.2+rng.Float64())
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	plain := computeOrDie(t, g, Options{Tolerance: 1e-12, MaxIterations: 5000})
+	gs := computeOrDie(t, g, Options{Tolerance: 1e-12, MaxIterations: 5000, Method: MethodGaussSeidel})
+	if d := L1(plain.Scores, gs.Scores); d > 1e-8 {
+		t.Fatalf("weighted Gauss–Seidel differs by L1=%g", d)
+	}
+}
+
+// TestAdaptiveAgreement: adaptive freezing perturbs the result by at most
+// ~N·threshold, and actually freezes pages.
+func TestAdaptiveAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 8; trial++ {
+		g := randomTestGraph(rng, 200, 0.1)
+		plain := computeOrDie(t, g, Options{Tolerance: 1e-10, MaxIterations: 5000})
+		ad := computeOrDie(t, g, Options{Tolerance: 1e-10, MaxIterations: 5000, AdaptiveFreeze: 1e-4})
+		if d := L1(plain.Scores, ad.Scores); d > 1e-2 {
+			t.Fatalf("trial %d: adaptive differs by L1=%g", trial, d)
+		}
+		if ad.FrozenPages == 0 {
+			t.Errorf("trial %d: adaptive froze no pages", trial)
+		}
+	}
+}
+
+// TestAdaptiveTinyThresholdExact: with a freeze threshold far below the
+// tolerance, adaptive matches plain iteration almost exactly.
+func TestAdaptiveTinyThresholdExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	g := randomTestGraph(rng, 150, 0.05)
+	plain := computeOrDie(t, g, Options{Tolerance: 1e-9, MaxIterations: 5000})
+	ad := computeOrDie(t, g, Options{Tolerance: 1e-9, MaxIterations: 5000, AdaptiveFreeze: 1e-9})
+	if d := L1(plain.Scores, ad.Scores); d > 1e-5 {
+		t.Fatalf("adaptive(tiny) differs by L1=%g", d)
+	}
+}
+
+// TestAdaptivePreservesRanking: the freeze error must not disturb the
+// top of the ranking.
+func TestAdaptivePreservesRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := randomTestGraph(rng, 400, 0.08)
+	plain := computeOrDie(t, g, Options{Tolerance: 1e-10, MaxIterations: 5000})
+	ad := computeOrDie(t, g, Options{Tolerance: 1e-10, MaxIterations: 5000, AdaptiveFreeze: 1e-5})
+	top := func(s []float64) int {
+		best := 0
+		for i, x := range s {
+			if x > s[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	if top(plain.Scores) != top(ad.Scores) {
+		t.Errorf("adaptive changed the top page: %d vs %d", top(plain.Scores), top(ad.Scores))
+	}
+}
+
+// TestMethodValidation: invalid method combinations are rejected.
+func TestMethodValidation(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}})
+	bad := []Options{
+		{Method: Method(9)},
+		{AdaptiveFreeze: -1},
+		{Method: MethodGaussSeidel, ExtrapolateEvery: 5},
+		{Method: MethodGaussSeidel, AdaptiveFreeze: 1e-4},
+		{AdaptiveFreeze: 1e-4, ExtrapolateEvery: 5},
+	}
+	for i, o := range bad {
+		if _, err := Compute(g, o); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package pagerank implements the PageRank power iteration used both as
+// the ground-truth global computation and as the inner engine of the
+// local-PageRank, LPR2 and stochastic-complementation baselines.
+//
+// The iteration follows the paper's formulation
+//
+//	R = ε·Aᵀ·R + (1−ε)·P
+//
+// with damping ε (default 0.85), personalization vector P (default
+// uniform), and dangling pages complemented with jumps: a page without
+// out-links behaves as if it linked to every page according to the
+// dangling distribution (default: the personalization vector). Convergence
+// is declared when the L1 norm of the change drops below the tolerance
+// (the paper uses 1e-5).
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DirectedGraph is the view of a graph the engine needs. *graph.Graph
+// satisfies it; the Λ-extended chains in internal/core run their own
+// specialized iteration instead.
+type DirectedGraph interface {
+	NumNodes() int
+	OutNeighbors(u uint32) []uint32
+	OutWeights(u uint32) []float64 // nil for unweighted graphs
+	WeightOut(u uint32) float64
+	Dangling(u uint32) bool
+}
+
+// InEdgeGraph is the additional view the Gauss–Seidel method needs: it
+// pulls scores along in-edges so freshly updated values can be used
+// within the same sweep. *graph.Graph satisfies it.
+type InEdgeGraph interface {
+	DirectedGraph
+	InNeighbors(u uint32) []uint32
+	InWeights(u uint32) []float64 // nil for unweighted graphs
+}
+
+// Method selects the iteration scheme.
+type Method int
+
+const (
+	// MethodPower is the standard Jacobi-style power iteration (the
+	// paper's formulation). Default.
+	MethodPower Method = iota
+	// MethodGaussSeidel updates scores in place, pulling along in-edges
+	// so each page sees the current sweep's values for already-updated
+	// pages. Typically converges in fewer sweeps than MethodPower for the
+	// same tolerance. Requires a graph with in-adjacency (InEdgeGraph).
+	MethodGaussSeidel
+)
+
+// Options configures a PageRank computation. The zero value selects the
+// paper's settings.
+type Options struct {
+	// Epsilon is the damping factor (probability of following links).
+	// Default 0.85.
+	Epsilon float64
+	// Tolerance is the L1 convergence threshold. Default 1e-5.
+	Tolerance float64
+	// MaxIterations bounds the power iteration. Default 1000.
+	MaxIterations int
+	// Personalization is the random-jump distribution P. nil selects the
+	// uniform vector. Must have length NumNodes and sum to 1 (±1e-9).
+	Personalization []float64
+	// DanglingDist is the distribution dangling pages jump to. nil selects
+	// the personalization vector.
+	DanglingDist []float64
+	// Start is the initial vector. nil selects the personalization vector.
+	// It is not modified.
+	Start []float64
+	// ExtrapolateEvery, when positive, applies Aitken quadratic
+	// extrapolation every that many iterations (Kamvar et al., WWW 2003),
+	// an acceleration that suppresses the second eigenvector term. Only
+	// valid with MethodPower and without AdaptiveFreeze.
+	ExtrapolateEvery int
+	// Method selects the iteration scheme (default MethodPower).
+	Method Method
+	// Parallelism selects the number of workers for the power iteration:
+	// 0 or 1 runs sequentially, k > 1 uses k workers, and a negative
+	// value selects the CPU count. Results are bit-deterministic for a
+	// fixed Parallelism; across values they agree up to floating-point
+	// reassociation (≪ any practical tolerance). Only MethodPower without
+	// extrapolation or adaptive freezing parallelizes.
+	Parallelism int
+	// AdaptiveFreeze, when positive, enables adaptive PageRank (Kamvar et
+	// al., "Adaptive methods for the computation of PageRank", 2003):
+	// once a page's score changes by less than AdaptiveFreeze·(1/N) for
+	// two consecutive iterations it is frozen — its outgoing contribution
+	// is folded into a fixed base vector and it is no longer recomputed.
+	// Only valid with MethodPower; the final vector agrees with the plain
+	// iteration up to roughly N·AdaptiveFreeze in L1.
+	AdaptiveFreeze float64
+}
+
+func (o *Options) fill(n int) error {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.85
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("pagerank: damping factor %v outside (0,1)", o.Epsilon)
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-5
+	}
+	if o.Tolerance < 0 {
+		return fmt.Errorf("pagerank: negative tolerance %v", o.Tolerance)
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 1000
+	}
+	if o.MaxIterations < 1 {
+		return fmt.Errorf("pagerank: MaxIterations %d < 1", o.MaxIterations)
+	}
+	for name, v := range map[string][]float64{
+		"Personalization": o.Personalization,
+		"DanglingDist":    o.DanglingDist,
+		"Start":           o.Start,
+	} {
+		if v == nil {
+			continue
+		}
+		if len(v) != n {
+			return fmt.Errorf("pagerank: %s has length %d, want %d", name, len(v), n)
+		}
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 || math.IsNaN(x) {
+				return fmt.Errorf("pagerank: %s has invalid entry %v", name, x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("pagerank: %s sums to %v, want 1", name, sum)
+		}
+	}
+	if o.Method != MethodPower && o.Method != MethodGaussSeidel {
+		return fmt.Errorf("pagerank: unknown method %d", o.Method)
+	}
+	if o.AdaptiveFreeze < 0 {
+		return fmt.Errorf("pagerank: negative AdaptiveFreeze %v", o.AdaptiveFreeze)
+	}
+	if o.Method == MethodGaussSeidel && (o.ExtrapolateEvery > 0 || o.AdaptiveFreeze > 0) {
+		return fmt.Errorf("pagerank: Gauss–Seidel cannot combine with extrapolation or adaptive freezing")
+	}
+	if o.AdaptiveFreeze > 0 && o.ExtrapolateEvery > 0 {
+		return fmt.Errorf("pagerank: adaptive freezing cannot combine with extrapolation")
+	}
+	if o.Parallelism < 0 {
+		o.Parallelism = DefaultParallelism()
+	}
+	if o.Parallelism > 1 && (o.Method != MethodPower || o.ExtrapolateEvery > 0 || o.AdaptiveFreeze > 0) {
+		return fmt.Errorf("pagerank: parallelism requires plain power iteration")
+	}
+	return nil
+}
+
+// Result carries the output of a ranking computation. All rankers in this
+// repository return this shape.
+type Result struct {
+	// Scores is the stationary distribution (sums to 1).
+	Scores []float64
+	// Iterations is the number of power-iteration steps performed.
+	Iterations int
+	// Converged reports whether the tolerance was reached before
+	// MaxIterations.
+	Converged bool
+	// Elapsed is the wall-clock duration of the iteration.
+	Elapsed time.Duration
+	// Deltas[i] is the L1 change after iteration i+1 (for convergence
+	// plots and the adaptive experiments).
+	Deltas []float64
+	// FrozenPages is the number of pages frozen by the adaptive method at
+	// termination (0 unless AdaptiveFreeze was set).
+	FrozenPages int
+}
+
+// Compute runs the PageRank power iteration on g.
+func Compute(g DirectedGraph, opts Options) (*Result, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("pagerank: empty graph")
+	}
+	if err := opts.fill(n); err != nil {
+		return nil, err
+	}
+	if opts.Method == MethodGaussSeidel {
+		ig, ok := g.(InEdgeGraph)
+		if !ok {
+			return nil, fmt.Errorf("pagerank: Gauss–Seidel needs a graph with in-adjacency")
+		}
+		return computeGaussSeidel(ig, opts)
+	}
+	if opts.AdaptiveFreeze > 0 {
+		return computeAdaptive(g, opts)
+	}
+	if opts.Parallelism > 1 {
+		return computeParallel(g, opts)
+	}
+	start := time.Now()
+
+	uniform := 1.0 / float64(n)
+	pAt := func(i int) float64 {
+		if opts.Personalization == nil {
+			return uniform
+		}
+		return opts.Personalization[i]
+	}
+	dAt := func(i int) float64 {
+		if opts.DanglingDist == nil {
+			return pAt(i)
+		}
+		return opts.DanglingDist[i]
+	}
+
+	cur := make([]float64, n)
+	if opts.Start != nil {
+		copy(cur, opts.Start)
+	} else {
+		for i := range cur {
+			cur[i] = pAt(i)
+		}
+	}
+	next := make([]float64, n)
+	res := &Result{}
+	var prev1, prev2 []float64
+	if opts.ExtrapolateEvery > 0 {
+		prev1 = make([]float64, n)
+		prev2 = make([]float64, n)
+	}
+
+	eps := opts.Epsilon
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		danglingMass := 0.0
+		for u := 0; u < n; u++ {
+			if g.Dangling(uint32(u)) {
+				danglingMass += cur[u]
+			}
+		}
+		for v := 0; v < n; v++ {
+			next[v] = (1-eps)*pAt(v) + eps*danglingMass*dAt(v)
+		}
+		for u := 0; u < n; u++ {
+			if cur[u] == 0 {
+				continue
+			}
+			adj := g.OutNeighbors(uint32(u))
+			if len(adj) == 0 {
+				continue
+			}
+			ws := g.OutWeights(uint32(u))
+			if ws == nil {
+				share := eps * cur[u] / float64(len(adj))
+				for _, v := range adj {
+					next[v] += share
+				}
+			} else {
+				wout := g.WeightOut(uint32(u))
+				if wout == 0 {
+					continue
+				}
+				scale := eps * cur[u] / wout
+				for k, v := range adj {
+					next[v] += scale * ws[k]
+				}
+			}
+		}
+
+		delta := 0.0
+		for i := 0; i < n; i++ {
+			delta += math.Abs(next[i] - cur[i])
+		}
+		res.Deltas = append(res.Deltas, delta)
+		res.Iterations = iter
+
+		if opts.ExtrapolateEvery > 0 {
+			if iter > 2 && iter%opts.ExtrapolateEvery == 0 {
+				extrapolate(next, prev1, prev2)
+			}
+			copy(prev2, prev1)
+			copy(prev1, next)
+		}
+
+		cur, next = next, cur
+		if delta < opts.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+
+	normalize(cur)
+	res.Scores = cur
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// extrapolate applies componentwise Aitken Δ² extrapolation in place:
+// x* = xₖ − (Δxₖ)²/(Δ²xₖ) with xₖ₋₁ = prev1 and xₖ₋₂ = prev2, then
+// renormalizes. Components with a vanishing second difference are left
+// unchanged, and any negative extrapolated value is clamped to the
+// un-extrapolated one (the iterate must stay a distribution).
+func extrapolate(x, prev1, prev2 []float64) {
+	for i := range x {
+		d1 := prev1[i] - prev2[i]
+		d2 := x[i] - 2*prev1[i] + prev2[i]
+		if math.Abs(d2) < 1e-12 {
+			continue
+		}
+		e := x[i] - d1*d1/d2
+		if e > 0 && !math.IsNaN(e) && !math.IsInf(e, 0) {
+			x[i] = e
+		}
+	}
+	normalize(x)
+}
+
+// normalize rescales v to sum to 1 (no-op on a zero vector).
+func normalize(v []float64) {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		return
+	}
+	inv := 1.0 / sum
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Uniform returns the uniform distribution of length n.
+func Uniform(n int) []float64 {
+	p := make([]float64, n)
+	u := 1.0 / float64(n)
+	for i := range p {
+		p[i] = u
+	}
+	return p
+}
+
+// L1 returns the L1 distance Σ|a[i]−b[i]|. The slices must have equal
+// length.
+func L1(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("pagerank: L1 length mismatch %d vs %d", len(a), len(b)))
+	}
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}

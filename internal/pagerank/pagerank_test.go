@@ -1,0 +1,280 @@
+package pagerank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func computeOrDie(t testing.TB, g *graph.Graph, opts Options) *Result {
+	t.Helper()
+	res, err := Compute(g, opts)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	return res
+}
+
+// TestCycleUniform: on a directed cycle every page has the same score 1/n.
+func TestCycleUniform(t *testing.T) {
+	n := 7
+	edges := make([][2]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]graph.NodeID{graph.NodeID(i), graph.NodeID((i + 1) % n)}
+	}
+	g := graph.MustFromEdges(n, edges)
+	res := computeOrDie(t, g, Options{Tolerance: 1e-12})
+	for i, s := range res.Scores {
+		if math.Abs(s-1.0/float64(n)) > 1e-9 {
+			t.Fatalf("score[%d] = %v, want %v", i, s, 1.0/float64(n))
+		}
+	}
+	if !res.Converged {
+		t.Fatal("cycle did not converge")
+	}
+}
+
+// TestTwoNodeAnalytic checks the closed form for the two-page graph
+// 0⇄1: by symmetry both scores are 1/2.
+func TestTwoNodeAnalytic(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]graph.NodeID{{0, 1}, {1, 0}})
+	res := computeOrDie(t, g, Options{Tolerance: 1e-13})
+	if math.Abs(res.Scores[0]-0.5) > 1e-10 || math.Abs(res.Scores[1]-0.5) > 1e-10 {
+		t.Fatalf("scores = %v, want [0.5 0.5]", res.Scores)
+	}
+}
+
+// TestStarAnalytic checks a hub-and-spoke closed form: k leaves all link to
+// a hub, the hub links back to every leaf. With damping ε:
+//
+//	hub = (1−ε)/n + ε·(leaves sum) ; each leaf = (1−ε)/n + ε·hub/k.
+func TestStarAnalytic(t *testing.T) {
+	k := 5
+	n := k + 1
+	var edges [][2]graph.NodeID
+	for i := 1; i <= k; i++ {
+		edges = append(edges, [2]graph.NodeID{graph.NodeID(i), 0})
+		edges = append(edges, [2]graph.NodeID{0, graph.NodeID(i)})
+	}
+	g := graph.MustFromEdges(n, edges)
+	res := computeOrDie(t, g, Options{Tolerance: 1e-14, MaxIterations: 5000})
+	eps := 0.85
+	// Solve the 2-unknown linear system for hub h and leaf l:
+	// h = (1−ε)/n + ε·k·l ;  l = (1−ε)/n + ε·h/k
+	base := (1 - eps) / float64(n)
+	h := (base + eps*float64(k)*base) / (1 - eps*eps)
+	l := base + eps*h/float64(k)
+	if math.Abs(res.Scores[0]-h) > 1e-9 {
+		t.Fatalf("hub = %v, want %v", res.Scores[0], h)
+	}
+	for i := 1; i <= k; i++ {
+		if math.Abs(res.Scores[i]-l) > 1e-9 {
+			t.Fatalf("leaf %d = %v, want %v", i, res.Scores[i], l)
+		}
+	}
+}
+
+// TestScoresSumToOne property: on random graphs (with dangling pages) the
+// result is a probability distribution.
+func TestScoresSumToOne(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			if rng.Float64() < 0.2 {
+				continue // dangling
+			}
+			d := 1 + rng.Intn(5)
+			for e := 0; e < d; e++ {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(rng.Intn(n)))
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		res, err := Compute(g, Options{})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, s := range res.Scores {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDanglingConservation: a graph that is entirely dangling yields the
+// personalization vector as its stationary distribution.
+func TestDanglingConservation(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.EnsureNode(3)
+	b.AddEdge(0, 1) // node 0 links once; 1,2,3 dangling
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res := computeOrDie(t, g, Options{Tolerance: 1e-13, MaxIterations: 5000})
+	sum := 0.0
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("scores sum to %v", sum)
+	}
+	// Node 1 receives node 0's full endorsement and must outrank the
+	// symmetric dangling nodes 2,3.
+	if !(res.Scores[1] > res.Scores[2]) {
+		t.Fatalf("scores = %v: node 1 should outrank node 2", res.Scores)
+	}
+	if math.Abs(res.Scores[2]-res.Scores[3]) > 1e-12 {
+		t.Fatalf("symmetric nodes differ: %v vs %v", res.Scores[2], res.Scores[3])
+	}
+}
+
+// TestPersonalizationBias: personalization mass concentrated on one page
+// raises its score relative to the uniform run.
+func TestPersonalizationBias(t *testing.T) {
+	g := graph.MustFromEdges(4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	uni := computeOrDie(t, g, Options{Tolerance: 1e-12})
+	p := []float64{0.7, 0.1, 0.1, 0.1}
+	biased := computeOrDie(t, g, Options{Tolerance: 1e-12, Personalization: p})
+	if !(biased.Scores[0] > uni.Scores[0]) {
+		t.Fatalf("personalization did not bias node 0: %v vs %v", biased.Scores[0], uni.Scores[0])
+	}
+}
+
+// TestCustomDanglingDist: dangling mass routed entirely to one page.
+func TestCustomDanglingDist(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]graph.NodeID{{0, 1}}) // 1 and 2 dangling
+	d := []float64{0, 0, 1}
+	res := computeOrDie(t, g, Options{Tolerance: 1e-13, DanglingDist: d, MaxIterations: 5000})
+	// All dangling mass flows to node 2; it must dominate node 1's single
+	// endorsement path.
+	if !(res.Scores[2] > res.Scores[1]) {
+		t.Fatalf("scores = %v: node 2 should dominate", res.Scores)
+	}
+}
+
+// TestWeightedTransitions: a 2:1 weighted split sends twice the authority
+// along the heavy edge.
+func TestWeightedTransitions(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(0, 2, 1)
+	b.AddWeightedEdge(1, 0, 1)
+	b.AddWeightedEdge(2, 0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res := computeOrDie(t, g, Options{Tolerance: 1e-13})
+	if !(res.Scores[1] > res.Scores[2]) {
+		t.Fatalf("scores = %v: heavier edge target should win", res.Scores)
+	}
+	// Exact relation: s1−s2 = ε·s0·(2/3 − 1/3).
+	eps := 0.85
+	want := eps * res.Scores[0] / 3
+	if math.Abs((res.Scores[1]-res.Scores[2])-want) > 1e-9 {
+		t.Fatalf("score gap %v, want %v", res.Scores[1]-res.Scores[2], want)
+	}
+}
+
+// TestExtrapolationAgreement: extrapolated runs converge to the same
+// stationary vector as plain power iteration.
+func TestExtrapolationAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := 30 + rng.Intn(50)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			d := 1 + rng.Intn(6)
+			for e := 0; e < d; e++ {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(rng.Intn(n)))
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		plain := computeOrDie(t, g, Options{Tolerance: 1e-12, MaxIterations: 5000})
+		extra := computeOrDie(t, g, Options{Tolerance: 1e-12, MaxIterations: 5000, ExtrapolateEvery: 10})
+		if d := L1(plain.Scores, extra.Scores); d > 1e-8 {
+			t.Fatalf("trial %d: extrapolated vector differs by L1=%g", trial, d)
+		}
+	}
+}
+
+// TestStartVector: iteration started from the converged vector terminates
+// immediately.
+func TestStartVector(t *testing.T) {
+	g := graph.MustFromEdges(5, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}})
+	first := computeOrDie(t, g, Options{Tolerance: 1e-12, MaxIterations: 5000})
+	again := computeOrDie(t, g, Options{Tolerance: 1e-6, Start: first.Scores})
+	if again.Iterations > 2 {
+		t.Fatalf("warm start took %d iterations", again.Iterations)
+	}
+}
+
+// TestOptionValidation exercises the error paths.
+func TestOptionValidation(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}})
+	bad := []Options{
+		{Epsilon: 1.2},
+		{Epsilon: -0.5},
+		{Tolerance: -1},
+		{MaxIterations: -1},
+		{Personalization: []float64{0.5, 0.5}},      // wrong length
+		{Personalization: []float64{0.5, 0.6, 0.5}}, // sum != 1
+		{Personalization: []float64{1.5, -0.5, 0}},  // negative
+		{DanglingDist: []float64{0.2, 0.2, 0.2}},    // sum != 1
+		{Start: []float64{math.NaN(), 0.5, 0.5}},    // NaN
+	}
+	for i, o := range bad {
+		if _, err := Compute(g, o); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+	if _, err := Compute(g, Options{}); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+}
+
+// TestDeltasMonotoneTail: the recorded per-iteration deltas end below the
+// tolerance when converged.
+func TestDeltasMonotoneTail(t *testing.T) {
+	g := graph.MustFromEdges(6, [][2]graph.NodeID{
+		{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}, {5, 0},
+	})
+	res := computeOrDie(t, g, Options{Tolerance: 1e-8, MaxIterations: 5000})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if got := res.Deltas[len(res.Deltas)-1]; got >= 1e-8 {
+		t.Fatalf("final delta %v not below tolerance", got)
+	}
+	if len(res.Deltas) != res.Iterations {
+		t.Fatalf("len(Deltas)=%d, Iterations=%d", len(res.Deltas), res.Iterations)
+	}
+}
+
+// TestUniformHelper checks the Uniform convenience constructor.
+func TestUniformHelper(t *testing.T) {
+	p := Uniform(4)
+	for _, x := range p {
+		if x != 0.25 {
+			t.Fatalf("Uniform(4) = %v", p)
+		}
+	}
+}

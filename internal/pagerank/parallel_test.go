@@ -1,0 +1,102 @@
+package pagerank
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestParallelAgreement: parallel runs converge to the same vector as
+// sequential ones, on unweighted and weighted graphs with dangling pages.
+func TestParallelAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 6; trial++ {
+		g := randomTestGraph(rng, 500, 0.1)
+		seq := computeOrDie(t, g, Options{Tolerance: 1e-11, MaxIterations: 5000})
+		for _, workers := range []int{2, 3, 8} {
+			par := computeOrDie(t, g, Options{Tolerance: 1e-11, MaxIterations: 5000, Parallelism: workers})
+			if d := L1(seq.Scores, par.Scores); d > 1e-9 {
+				t.Fatalf("trial %d workers %d: parallel differs by L1=%g", trial, workers, d)
+			}
+			if !par.Converged {
+				t.Fatalf("trial %d workers %d: did not converge", trial, workers)
+			}
+		}
+	}
+}
+
+// TestParallelWeighted: weighted graphs too.
+func TestParallelWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	b := graph.NewBuilder(300)
+	for u := 0; u < 300; u++ {
+		d := 1 + rng.Intn(5)
+		for e := 0; e < d; e++ {
+			v := rng.Intn(300)
+			if v != u {
+				b.AddWeightedEdge(graph.NodeID(u), graph.NodeID(v), 0.3+rng.Float64())
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	seq := computeOrDie(t, g, Options{Tolerance: 1e-11, MaxIterations: 5000})
+	par := computeOrDie(t, g, Options{Tolerance: 1e-11, MaxIterations: 5000, Parallelism: 4})
+	if d := L1(seq.Scores, par.Scores); d > 1e-9 {
+		t.Fatalf("weighted parallel differs by L1=%g", d)
+	}
+}
+
+// TestParallelDeterministic: two runs with the same worker count are
+// bit-identical.
+func TestParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := randomTestGraph(rng, 400, 0.05)
+	a := computeOrDie(t, g, Options{Parallelism: 4})
+	b := computeOrDie(t, g, Options{Parallelism: 4})
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatalf("parallel runs differ at %d", i)
+		}
+	}
+}
+
+// TestParallelNegativeSelectsCPUs: Parallelism < 0 must not error.
+func TestParallelNegativeSelectsCPUs(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	g := randomTestGraph(rng, 100, 0.05)
+	res := computeOrDie(t, g, Options{Parallelism: -1})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+}
+
+// TestParallelMoreWorkersThanNodes: worker count is clamped.
+func TestParallelMoreWorkersThanNodes(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}})
+	res := computeOrDie(t, g, Options{Parallelism: 16, Tolerance: 1e-10})
+	for _, s := range res.Scores {
+		if s <= 0.3 || s >= 0.4 {
+			t.Fatalf("cycle scores wrong: %v", res.Scores)
+		}
+	}
+}
+
+// TestParallelInvalidCombos: parallelism cannot combine with the other
+// schemes.
+func TestParallelInvalidCombos(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}})
+	bad := []Options{
+		{Parallelism: 4, Method: MethodGaussSeidel},
+		{Parallelism: 4, ExtrapolateEvery: 5},
+		{Parallelism: 4, AdaptiveFreeze: 1e-4},
+	}
+	for i, o := range bad {
+		if _, err := Compute(g, o); err == nil {
+			t.Errorf("case %d: invalid combination accepted", i)
+		}
+	}
+}

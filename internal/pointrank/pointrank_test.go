@@ -1,0 +1,178 @@
+package pointrank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+)
+
+func testWeb(t testing.TB, pages int) (*gen.Dataset, []float64) {
+	t.Helper()
+	ds, err := gen.Generate(gen.Config{Pages: pages, Domains: 8, Seed: 17})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	pr, err := pagerank.Compute(ds.Graph, pagerank.Options{Tolerance: 1e-12, MaxIterations: 5000})
+	if err != nil {
+		t.Fatalf("pagerank: %v", err)
+	}
+	return ds, pr.Scores
+}
+
+// pickTarget returns a page with a healthy in-neighbourhood so the
+// backward expansion has something to do.
+func pickTarget(ds *gen.Dataset) graph.NodeID {
+	best := graph.NodeID(0)
+	for p := 0; p < ds.Graph.NumNodes(); p++ {
+		if ds.Graph.InDegree(graph.NodeID(p)) > ds.Graph.InDegree(best) {
+			best = graph.NodeID(p)
+		}
+	}
+	return best
+}
+
+// TestFullCoverageExact: when the expansion covers the whole graph the
+// estimator solves the exact PageRank equations, so the target's estimate
+// matches the global score.
+func TestFullCoverageExact(t *testing.T) {
+	ds, truth := testWeb(t, 2000)
+	target := pickTarget(ds)
+	res, err := Estimate(ds.Graph, target, Config{
+		Radius:        100, // covers everything reachable backward
+		MaxNodes:      ds.Graph.NumNodes(),
+		Tolerance:     1e-12,
+		MaxIterations: 5000,
+	})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if res.InfluenceSize < ds.Graph.NumNodes()/2 {
+		t.Logf("influence covered %d of %d pages", res.InfluenceSize, ds.Graph.NumNodes())
+	}
+	if res.InfluenceSize == ds.Graph.NumNodes() {
+		if math.Abs(res.Score-truth[target]) > 1e-8 {
+			t.Fatalf("full-coverage estimate %v, truth %v", res.Score, truth[target])
+		}
+	} else if math.Abs(res.Score-truth[target]) > truth[target]*0.2 {
+		// Backward closure smaller than the graph: boundary priors leave
+		// a modest residual error.
+		t.Fatalf("near-full estimate %v too far from truth %v", res.Score, truth[target])
+	}
+}
+
+// TestErrorShrinksWithRadius: growing the backward radius improves the
+// estimate (Chen et al.'s main experimental finding).
+func TestErrorShrinksWithRadius(t *testing.T) {
+	ds, truth := testWeb(t, 8000)
+	target := pickTarget(ds)
+	var errs []float64
+	for _, radius := range []int{NoExpansion, 2, 5} {
+		res, err := Estimate(ds.Graph, target, Config{Radius: radius, MaxNodes: ds.Graph.NumNodes(), Tolerance: 1e-10})
+		if err != nil {
+			t.Fatalf("Estimate(r=%d): %v", radius, err)
+		}
+		errs = append(errs, math.Abs(res.Score-truth[target])/truth[target])
+	}
+	if !(errs[2] < errs[0]) {
+		t.Errorf("relative error did not shrink with radius: %v", errs)
+	}
+	if errs[2] > 0.25 {
+		t.Errorf("radius-5 relative error %v too large", errs[2])
+	}
+}
+
+// TestRadiusZero: with no expansion the influence set is the target
+// alone; the estimate is its direct in-flow under the prior.
+func TestRadiusZero(t *testing.T) {
+	g := graph.MustFromEdges(4, [][2]graph.NodeID{{1, 0}, {2, 0}, {3, 1}})
+	res, err := Estimate(g, 0, Config{Radius: NoExpansion, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if res.InfluenceSize != 1 {
+		t.Fatalf("influence size %d, want 1", res.InfluenceSize)
+	}
+	if res.BoundaryLinks != 2 {
+		t.Fatalf("boundary links %d, want 2", res.BoundaryLinks)
+	}
+	// Boundary parents 1 and 2 each have out-degree 1 and prior 1/4, so
+	// the fixed in-flow is ε·(1/4 + 1/4). The target itself is dangling
+	// and a member, so its own mass feeds back ε·x/4:
+	// x = (1−ε)/4 + ε·(1/4 + 1/4) + ε·x/4.
+	eps := 0.85
+	want := ((1-eps)/4 + eps*(0.25+0.25)) / (1 - eps/4)
+	if math.Abs(res.Score-want) > 1e-10 {
+		t.Fatalf("score %v, want %v", res.Score, want)
+	}
+}
+
+// TestInDegreePriorHelps: on a preferentially attached graph, the
+// in-degree prior should not be worse than the uniform prior on average
+// over several targets.
+func TestInDegreePriorHelps(t *testing.T) {
+	ds, truth := testWeb(t, 8000)
+	sumUni, sumDeg := 0.0, 0.0
+	count := 0
+	for p := 0; p < ds.Graph.NumNodes() && count < 15; p += 499 {
+		target := graph.NodeID(p)
+		if ds.Graph.InDegree(target) == 0 {
+			continue
+		}
+		count++
+		uni, err := Estimate(ds.Graph, target, Config{Radius: 2, Tolerance: 1e-10})
+		if err != nil {
+			t.Fatalf("Estimate: %v", err)
+		}
+		deg, err := Estimate(ds.Graph, target, Config{Radius: 2, Tolerance: 1e-10, BoundaryPrior: PriorInDegree})
+		if err != nil {
+			t.Fatalf("Estimate: %v", err)
+		}
+		sumUni += math.Abs(uni.Score - truth[target])
+		sumDeg += math.Abs(deg.Score - truth[target])
+	}
+	if count == 0 {
+		t.Fatal("no targets sampled")
+	}
+	if sumDeg > sumUni*1.3 {
+		t.Errorf("in-degree prior much worse than uniform: %v vs %v", sumDeg, sumUni)
+	}
+}
+
+// TestMaxNodesCap: the expansion respects the node cap.
+func TestMaxNodesCap(t *testing.T) {
+	ds, _ := testWeb(t, 5000)
+	target := pickTarget(ds)
+	res, err := Estimate(ds.Graph, target, Config{Radius: 10, MaxNodes: 100})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if res.InfluenceSize > 100 {
+		t.Fatalf("influence size %d exceeds cap", res.InfluenceSize)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}})
+	if _, err := Estimate(nil, 0, Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Estimate(g, 9, Config{}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	bad := []Config{
+		{Radius: -2},
+		{MaxNodes: -5},
+		{BoundaryPrior: Prior(9)},
+		{Epsilon: 1.5},
+		{Tolerance: -1},
+		{MaxIterations: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Estimate(g, 0, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package search implements the query-answering layer of the paper's
+// Figure 1: a localized search engine indexes the pages of a subgraph and
+// answers keyword queries with results ranked by PageRank-style scores
+// (from ApproxRank, so the ordering reflects the global link structure
+// the index never sees).
+//
+// The index is a classic sorted-postings inverted index with AND
+// semantics; ranking is score-descending over the matching pages.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Index maps term ids to sorted postings lists of local page indices.
+type Index struct {
+	postings map[uint32][]int
+	numDocs  int
+}
+
+// BuildIndex indexes terms[i] (sorted distinct term ids) for document i.
+func BuildIndex(terms [][]uint32) *Index {
+	ix := &Index{postings: make(map[uint32][]int), numDocs: len(terms)}
+	for doc, bag := range terms {
+		for _, t := range bag {
+			ix.postings[t] = append(ix.postings[t], doc)
+		}
+	}
+	// Documents are visited in increasing order, so postings are sorted.
+	return ix
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// Postings returns the documents containing term (sorted ascending). The
+// slice aliases internal storage.
+func (ix *Index) Postings(term uint32) []int { return ix.postings[term] }
+
+// Query returns the documents containing ALL query terms, sorted
+// ascending. An empty query matches nothing.
+func (ix *Index) Query(query []uint32) []int {
+	if len(query) == 0 {
+		return nil
+	}
+	// Intersect from the rarest list outward.
+	lists := make([][]int, 0, len(query))
+	seen := map[uint32]struct{}{}
+	for _, t := range query {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		l := ix.postings[t]
+		if len(l) == 0 {
+			return nil
+		}
+		lists = append(lists, l)
+	}
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	result := lists[0]
+	for _, l := range lists[1:] {
+		result = intersect(result, l)
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	// Copy so callers can keep the result.
+	return append([]int(nil), result...)
+}
+
+// intersect merges two sorted lists, keeping common entries. The longer
+// list is probed by galloping search when it is much longer.
+func intersect(a, b []int) []int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]int, 0, len(a))
+	if len(b) > 16*len(a) {
+		// Galloping: binary-search each element of the short list.
+		for _, x := range a {
+			i := sort.SearchInts(b, x)
+			if i < len(b) && b[i] == x {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Hit is one ranked query answer.
+type Hit struct {
+	// Doc is the local document index; Page the global page id.
+	Doc   int
+	Page  graph.NodeID
+	Score float64
+}
+
+// Engine couples an index over a subgraph's pages with their ranking
+// scores — the complete localized search engine of Figure 1.
+type Engine struct {
+	index  *Index
+	pages  []graph.NodeID // local doc → global page id
+	scores []float64      // local doc → ranking score
+}
+
+// NewEngine builds an engine over the subgraph sub whose pages carry the
+// given term bags and ranking scores (both indexed by subgraph-local id,
+// e.g. ApproxRank output).
+func NewEngine(sub *graph.Subgraph, terms [][]uint32, scores []float64) (*Engine, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("search: nil subgraph")
+	}
+	if len(terms) != sub.N() || len(scores) != sub.N() {
+		return nil, fmt.Errorf("search: got %d term bags and %d scores for %d pages",
+			len(terms), len(scores), sub.N())
+	}
+	return &Engine{
+		index:  BuildIndex(terms),
+		pages:  sub.Local,
+		scores: scores,
+	}, nil
+}
+
+// TopK answers a conjunctive keyword query with the k highest-ranked
+// matching pages (fewer if the match set is smaller).
+func (e *Engine) TopK(query []uint32, k int) ([]Hit, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("search: k=%d < 1", k)
+	}
+	match := e.index.Query(query)
+	hits := make([]Hit, 0, len(match))
+	for _, doc := range match {
+		hits = append(hits, Hit{Doc: doc, Page: e.pages[doc], Score: e.scores[doc]})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].Page < hits[b].Page
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// MatchCount returns the number of pages matching the query.
+func (e *Engine) MatchCount(query []uint32) int { return len(e.index.Query(query)) }
