@@ -1,0 +1,31 @@
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all build lint vet test race fuzz-smoke
+
+all: build lint vet test
+
+build:
+	$(GO) build ./...
+
+lint:
+	$(GO) run ./cmd/arlint ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages: the parallel power
+# iteration, the distributed partition runtime, and the experiment
+# drivers that fan work out across goroutines.
+race:
+	$(GO) test -race ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/
+
+# Short fuzzing pass over every fuzz target; go test accepts one -fuzz
+# pattern per package invocation, so each target gets its own run.
+fuzz-smoke:
+	$(GO) test ./internal/graph/ -run FuzzReadBinary -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph/ -run FuzzReadEdgeList -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/metrics/ -run FuzzRankingMetrics -fuzz FuzzRankingMetrics -fuzztime $(FUZZTIME)

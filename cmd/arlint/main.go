@@ -1,0 +1,119 @@
+// arlint runs the repository's static-analysis suite (internal/analysis)
+// over the module containing the current directory.
+//
+// Usage:
+//
+//	arlint [-list] [pattern ...]
+//
+// Patterns select packages by directory: `./...` (the default) analyzes
+// the whole module, `./internal/...` a subtree, and a plain directory
+// path a single package. Diagnostics are printed one per line as
+//
+//	file:line:col: checker: message
+//
+// with file paths relative to the current directory. Exit status is 0
+// when the module is clean, 1 when there are findings, and 2 when the
+// module fails to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the checkers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	os.Exit(run(flag.Args()))
+}
+
+func run(patterns []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		return 2
+	}
+	pkgs, err := analysis.NewLoader().LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		return 2
+	}
+	selected, err := selectPackages(pkgs, cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		return 2
+	}
+
+	diags := analysis.Run(selected, analysis.All)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Checker, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "arlint: %d finding(s) in %d package(s)\n", len(diags), len(selected))
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters pkgs by directory patterns resolved against
+// cwd. An empty pattern list means "./...".
+func selectPackages(pkgs []*analysis.Package, cwd string, patterns []string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var out []*analysis.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		dir = filepath.Clean(dir)
+		matched := false
+		for _, pkg := range pkgs {
+			ok := pkg.Dir == dir
+			if recursive && !ok {
+				ok = strings.HasPrefix(pkg.Dir, dir+string(filepath.Separator))
+			}
+			if ok {
+				matched = true
+				if !seen[pkg.Path] {
+					seen[pkg.Path] = true
+					out = append(out, pkg)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matches no packages", pat)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,23 @@
+// Package cleanmod satisfies every arlint invariant.
+package cleanmod
+
+import "errors"
+
+// Less orders scores with a tie-break instead of float equality.
+func Less(s []float64, i, j int) bool {
+	if s[i] > s[j] {
+		return true
+	}
+	if s[i] < s[j] {
+		return false
+	}
+	return i < j
+}
+
+// Validate returns an error instead of panicking.
+func Validate(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}

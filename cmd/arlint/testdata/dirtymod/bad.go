@@ -1,0 +1,26 @@
+// Package dirtymod violates several arlint invariants on purpose; the
+// end-to-end test asserts the driver's exit code and output format.
+package dirtymod
+
+// SameScore compares floats exactly.
+func SameScore(a, b float64) bool {
+	return a == b
+}
+
+// Validate panics in library code.
+func Validate(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+
+// Config mirrors a ranker option struct.
+type Config struct {
+	Tolerance float64
+}
+
+func fill(c *Config) {
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-5
+	}
+}

@@ -46,8 +46,11 @@ func main() {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		if res.Scores[idx[a]] != res.Scores[idx[b]] {
-			return res.Scores[idx[a]] > res.Scores[idx[b]]
+		if res.Scores[idx[a]] > res.Scores[idx[b]] {
+			return true
+		}
+		if res.Scores[idx[a]] < res.Scores[idx[b]] {
+			return false
 		}
 		return idx[a] < idx[b]
 	})

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands. Exact
+// equality on floats silently breaks once a value has passed through
+// arithmetic (tie detection in sort comparators is the classic trap in
+// this repository: two scores that differ by one ulp are not a tie).
+//
+// Comparisons against an exact constant zero are permitted: option
+// structs here use 0 as the "unset, take the default" sentinel and
+// sparse iterations skip exactly-zero entries, both of which are
+// well-defined on values that were assigned, never computed. Everything
+// else needs either a rewrite (ordered comparisons with an index
+// tie-break, or a tolerance from internal/numeric) or an
+// //arlint:allow floatcmp sentinel stating why exactness is intended.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on floating-point operands (exact-zero checks exempt)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info, cmp.X) && !isFloat(info, cmp.Y) {
+				return true
+			}
+			// Two constant operands fold at compile time; exact zero is
+			// the sanctioned unset/sparse sentinel.
+			if isConstZero(info, cmp.X) || isConstZero(info, cmp.Y) {
+				return true
+			}
+			pass.Reportf(cmp.OpPos,
+				"floating-point %s comparison; use ordered comparisons with a tie-break or a tolerance from internal/numeric",
+				cmp.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether e has floating-point (or float-complex) type.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isConstZero reports whether e is a compile-time constant equal to 0.
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata")
+
+// TestGolden runs each checker over its fixture packages under
+// testdata/src/<checker>/<case>/ and compares the diagnostics against
+// <case>/expected.txt (one "file:line:col: checker: message" per line;
+// an empty file means the fixture must be clean).
+func TestGolden(t *testing.T) {
+	byName := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+
+	checkerDirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checkerDirs) == 0 {
+		t.Fatal("no fixture directories under testdata/src")
+	}
+	loader := NewLoader()
+	for _, checkerDir := range checkerDirs {
+		checker := filepath.Base(checkerDir)
+		a, ok := byName[checker]
+		if !ok {
+			t.Errorf("testdata/src/%s does not match any checker", checker)
+			continue
+		}
+		caseDirs, err := filepath.Glob(filepath.Join(checkerDir, "*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(caseDirs) < 2 {
+			t.Errorf("checker %s needs at least a triggering and a clean fixture, have %d", checker, len(caseDirs))
+		}
+		for _, caseDir := range caseDirs {
+			caseName := filepath.Base(caseDir)
+			t.Run(checker+"/"+caseName, func(t *testing.T) {
+				pkg, err := loader.LoadDir(caseDir, "fixture/"+checker+"/"+caseName)
+				if err != nil {
+					t.Fatalf("loading fixture: %v", err)
+				}
+				if pkg == nil {
+					t.Fatalf("fixture %s has no Go files", caseDir)
+				}
+				var got strings.Builder
+				for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+					fmt.Fprintf(&got, "%s:%d:%d: %s: %s\n",
+						filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Checker, d.Message)
+				}
+				goldenPath := filepath.Join(caseDir, "expected.txt")
+				if *update {
+					if err := os.WriteFile(goldenPath, []byte(got.String()), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(goldenPath)
+				if err != nil {
+					t.Fatalf("missing golden file (run `go test -run TestGolden -update ./internal/analysis`): %v", err)
+				}
+				if got.String() != string(want) {
+					t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", caseDir, got.String(), want)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenCoverage enforces the acceptance criterion directly: every
+// checker has at least one triggering fixture (non-empty golden) and at
+// least one clean fixture (empty golden).
+func TestGoldenCoverage(t *testing.T) {
+	for _, a := range All {
+		goldens, err := filepath.Glob(filepath.Join("testdata", "src", a.Name, "*", "expected.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		triggering, clean := 0, 0
+		for _, g := range goldens {
+			data, err := os.ReadFile(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(strings.TrimSpace(string(data))) > 0 {
+				triggering++
+			} else {
+				clean++
+			}
+		}
+		if triggering == 0 || clean == 0 {
+			t.Errorf("checker %s: want ≥1 triggering and ≥1 clean fixture, have %d triggering / %d clean",
+				a.Name, triggering, clean)
+		}
+	}
+}
+
+// TestAllowSentinelParsing covers the comma form and reason suffix.
+func TestAllowSentinelParsing(t *testing.T) {
+	loader := NewLoader()
+	dir := t.TempDir()
+	src := `package p
+
+func f(a, b float64) bool {
+	//arlint:allow floatcmp,tolerances both are intended here
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "fixture/allow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{FloatCmp}); len(diags) != 0 {
+		t.Errorf("comma-separated sentinel not honored: %v", diags)
+	}
+}
+
+// TestDiagnosticsSorted checks the Run contract: findings come back
+// ordered by position regardless of checker execution order.
+func TestDiagnosticsSorted(t *testing.T) {
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "floatcmp", "bad"), "fixture/sorted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, All)
+	sorted := sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column <= b.Pos.Column
+	})
+	if !sorted {
+		t.Errorf("diagnostics not sorted by position: %v", diags)
+	}
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NormReturn flags exported score producers — functions returning a
+// []float64 whose declared result name or function name marks it as a
+// score/rank vector — that never call a normalization helper. Every
+// score vector in this repository is a probability distribution (sums to
+// 1); the paper's L1 and footrule comparisons are only meaningful under
+// that convention, and a producer that skips renormalization silently
+// shifts every downstream accuracy number.
+//
+// Exemptions: bodies that call any function whose name contains
+// "normal(ize)" (normalize, Normalize, renormalize, ...), single-return
+// delegation wrappers (the top-level API re-exporting internal/core),
+// and //arlint:allow normreturn sentinels for producers whose output is
+// normalized by construction.
+var NormReturn = &Analyzer{
+	Name:        "normreturn",
+	Doc:         "exported score producers returning []float64 must normalize",
+	LibraryOnly: true,
+	Run:         runNormReturn,
+}
+
+func runNormReturn(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !isScoreProducer(pass.Pkg.Info, fn) {
+				continue
+			}
+			if isDelegation(fn.Body) || callsNormalizer(fn.Body) {
+				continue
+			}
+			pass.Reportf(fn.Pos(),
+				"exported score producer %s returns []float64 without calling a normalization helper", fn.Name.Name)
+		}
+	}
+}
+
+// rankLikeResultNames are declared result names that mark a []float64
+// return as a score vector.
+var rankLikeResultNames = map[string]bool{
+	"score": true, "scores": true, "r": true, "rank": true, "ranks": true, "pr": true, "pi": true,
+}
+
+func isScoreProducer(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	hasScoreSlice := false
+	for _, field := range fn.Type.Results.List {
+		t := info.TypeOf(field.Type)
+		slice, ok := t.(*types.Slice)
+		if !ok {
+			continue
+		}
+		b, ok := slice.Elem().Underlying().(*types.Basic)
+		if !ok || b.Kind() != types.Float64 {
+			continue
+		}
+		if len(field.Names) == 0 {
+			hasScoreSlice = true // unnamed: fall back to the function name
+			continue
+		}
+		for _, name := range field.Names {
+			if rankLikeResultNames[strings.ToLower(name.Name)] {
+				return true
+			}
+		}
+	}
+	if !hasScoreSlice {
+		return false
+	}
+	lower := strings.ToLower(fn.Name.Name)
+	return strings.Contains(lower, "rank") || strings.Contains(lower, "score")
+}
+
+// isDelegation reports whether the body is a single return statement
+// forwarding to another call — the wrapper pattern of the top-level API.
+func isDelegation(body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		switch res.(type) {
+		case *ast.CallExpr, *ast.Ident, *ast.SelectorExpr:
+		default:
+			return false
+		}
+	}
+	return len(ret.Results) > 0
+}
+
+func callsNormalizer(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.Contains(strings.ToLower(name), "normal") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

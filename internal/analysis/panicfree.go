@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicFree forbids bare panic calls in library packages: rankers are
+// meant to run inside long-lived serving processes, where a panic on a
+// bad input takes down every in-flight request. Library code returns
+// errors instead.
+//
+// Exemptions: commands and examples (package main — the checker is
+// LibraryOnly), test files (never analyzed), and functions following the
+// Must* convention (MustFromEdges and friends, which exist precisely to
+// convert an error into a panic for literal inputs). Anything else needs
+// an //arlint:allow panicfree sentinel.
+var PanicFree = &Analyzer{
+	Name:        "panicfree",
+	Doc:         "forbid bare panic in library packages (Must* helpers exempt)",
+	LibraryOnly: true,
+	Run:         runPanicFree,
+}
+
+func runPanicFree(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fn.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+					return true // shadowed: a local function named panic
+				}
+				pass.Reportf(call.Pos(),
+					"panic in library function %s; return an error or wrap in a Must* helper", fn.Name.Name)
+				return true
+			})
+		}
+	}
+}

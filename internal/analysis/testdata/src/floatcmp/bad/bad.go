@@ -1,0 +1,26 @@
+// Package fixture triggers the floatcmp checker: equality between
+// float-typed operands that are not the exact-zero sentinel.
+package fixture
+
+// sameScore compares two computed scores exactly — the classic trap.
+func sameScore(a, b float64) bool {
+	return a == b
+}
+
+// tieBreak uses != for tie detection inside a comparator.
+func tieBreak(s []float64, i, j int) bool {
+	if s[i] != s[j] {
+		return s[i] > s[j]
+	}
+	return i < j
+}
+
+// mixed flags even when only one operand is a float.
+func mixed(x float64, n int) bool {
+	return x == float64(n)
+}
+
+// near32 also applies to float32.
+func near32(a, b float32) bool {
+	return a != b
+}

@@ -1,0 +1,36 @@
+// Package fixture is clean under the floatcmp checker: exact-zero
+// sentinel checks, ordered comparisons with an index tie-break, integer
+// equality, and an //arlint:allow sentinel.
+package fixture
+
+// unset uses the sanctioned exact-zero "take the default" sentinel.
+func unset(tol float64) bool {
+	return tol == 0
+}
+
+// sparse skips exactly-zero entries (assigned, never computed).
+func sparse(cur []float64, u int) bool {
+	return 0 == cur[u]
+}
+
+// comparator orders with >/< and an index tie-break instead of !=.
+func comparator(s []float64, i, j int) bool {
+	if s[i] > s[j] {
+		return true
+	}
+	if s[i] < s[j] {
+		return false
+	}
+	return i < j
+}
+
+// intEqual is not a float comparison at all.
+func intEqual(a, b int) bool {
+	return a == b
+}
+
+// bitwiseIntended documents why exactness is wanted.
+func bitwiseIntended(snapshot, live float64) bool {
+	//arlint:allow floatcmp snapshot is a verbatim copy of live
+	return snapshot != live
+}

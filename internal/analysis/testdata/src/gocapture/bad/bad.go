@@ -1,0 +1,54 @@
+// Package fixture triggers the gocapture checker: goroutines writing
+// captured variables without synchronization or worker-indexed slots.
+package fixture
+
+import "sync"
+
+type tally struct {
+	total float64
+}
+
+// sumRace accumulates into a captured scalar from every worker.
+func sumRace(parts []float64) float64 {
+	var wg sync.WaitGroup
+	total := 0.0
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p float64) {
+			defer wg.Done()
+			total += p
+		}(p)
+	}
+	wg.Wait()
+	return total
+}
+
+// fieldRace writes a field of a captured struct.
+func fieldRace(parts []float64) float64 {
+	var wg sync.WaitGroup
+	var t tally
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p float64) {
+			defer wg.Done()
+			t.total += p
+		}(p)
+	}
+	wg.Wait()
+	return t.total
+}
+
+// counterRace increments a captured counter.
+func counterRace(n int) int {
+	var wg sync.WaitGroup
+	done := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done++
+		}()
+	}
+	wg.Wait()
+	return done
+}

@@ -1,0 +1,19 @@
+// Package fixture triggers the normreturn checker: exported score
+// producers that never normalize their output.
+package fixture
+
+// ComputeScores is rank-like by function name and returns raw weights.
+func ComputeScores(n int) []float64 {
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(i + 1)
+	}
+	return scores
+}
+
+// Rank is rank-like by its declared result name.
+func Rank(weights []float64) (r []float64) {
+	r = make([]float64, len(weights))
+	copy(r, weights)
+	return r
+}

@@ -1,0 +1,55 @@
+// Package fixture is clean under the normreturn checker: producers
+// normalize, delegate, are unexported, or are not score vectors.
+package fixture
+
+// ComputeScores normalizes before returning.
+func ComputeScores(n int) []float64 {
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(i + 1)
+	}
+	normalize(scores)
+	return scores
+}
+
+// WrapScores is a single-return delegation wrapper (the top-level API
+// pattern): the callee owns the invariant.
+func WrapScores(n int) []float64 {
+	return ComputeScores(n)
+}
+
+// rawScores is unexported: internal helpers may defer normalization to
+// their exported callers.
+func rawScores(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Distances returns a []float64 that is not a score vector: neither the
+// function name nor a result name is rank-like.
+func Distances(n int) []float64 {
+	return make([]float64, n)
+}
+
+// UniformRank is normalized by construction and says so.
+//
+//arlint:allow normreturn uniform vector sums to 1 by construction
+func UniformRank(n int) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	return r
+}
+
+func normalize(v []float64) {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}

@@ -1,0 +1,21 @@
+// Package fixture triggers the panicfree checker: bare panics in
+// library functions.
+package fixture
+
+import "fmt"
+
+// Build panics on invalid input instead of returning an error.
+func Build(n int) []int {
+	if n < 0 {
+		panic(fmt.Sprintf("fixture: negative size %d", n))
+	}
+	return make([]int, n)
+}
+
+// lengthCheck panics deep inside a helper.
+func lengthCheck(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("fixture: length mismatch")
+	}
+	return 0
+}

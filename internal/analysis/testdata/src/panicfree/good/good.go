@@ -1,0 +1,40 @@
+// Package fixture is clean under the panicfree checker: errors are
+// returned, Must* wrappers are the sanctioned panic location, and a
+// sentinel documents the one intentional exception.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Build returns an error on invalid input.
+func Build(n int) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("fixture: negative size %d", n)
+	}
+	return make([]int, n), nil
+}
+
+// MustBuild follows the Must* convention for literal inputs in tests
+// and examples.
+func MustBuild(n int) []int {
+	v, err := Build(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// exhaustive documents an unreachable default.
+func exhaustive(kind int) (string, error) {
+	switch kind {
+	case 0:
+		return "power", nil
+	case 1:
+		return "gauss-seidel", nil
+	default:
+		//arlint:allow panicfree kinds are validated at the API boundary
+		panic(errors.New("fixture: unreachable"))
+	}
+}

@@ -1,0 +1,11 @@
+// Commands are exempt from panicfree: a CLI may crash on startup
+// misconfiguration.
+package main
+
+import "os"
+
+func main() {
+	if len(os.Args) > 99 {
+		panic("too many arguments")
+	}
+}

@@ -1,0 +1,34 @@
+// Package fixture triggers the tolerances checker: tolerance, damping
+// and epsilon literals that bypass the canonical constants.
+package fixture
+
+import "math"
+
+// Options mirrors the repository's ranker option structs.
+type Options struct {
+	Tolerance float64
+	Epsilon   float64
+}
+
+// fill hard-codes defaults instead of referencing internal/numeric.
+func fill(o *Options) {
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-5
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.85
+	}
+}
+
+// defaults embeds a literal in a composite-literal field.
+func defaults() Options {
+	return Options{Tolerance: 1e-8}
+}
+
+// sumsToOne is the tolerance-guard idiom against a raw literal.
+func sumsToOne(sum float64) bool {
+	return math.Abs(sum-1) < 1e-6
+}
+
+// innerTolerance declares a tolerance-named constant with a literal.
+const innerTolerance = 1e-9

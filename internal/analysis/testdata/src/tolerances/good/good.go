@@ -1,0 +1,49 @@
+// Package fixture is clean under the tolerances checker: tolerances
+// flow in as named references, guards compare against parameters, and
+// non-tolerance literals are untouched.
+package fixture
+
+import "math"
+
+// Options mirrors the repository's ranker option structs.
+type Options struct {
+	Tolerance float64
+	Epsilon   float64
+}
+
+// canonicalTol stands in for numeric.DefaultTolerance: a reference, not
+// a literal, reaches every use site.
+var canonicalTol = defaultTolerance()
+
+func defaultTolerance() float64 { return 1e-5 } // not a tolerance-named target
+
+// fill references the canonical value.
+func fill(o *Options, canonEps float64) {
+	if o.Tolerance == 0 {
+		o.Tolerance = canonicalTol
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = canonEps
+	}
+}
+
+// defaults passes a reference through a composite literal.
+func defaults() Options {
+	return Options{Tolerance: canonicalTol}
+}
+
+// sumsToOne guards against a parameter, not a literal.
+func sumsToOne(sum, slack float64) bool {
+	return math.Abs(sum-1) < slack
+}
+
+// restart is a genuinely local one-off and says so.
+func restart(o *Options) {
+	//arlint:allow tolerances teleport probability local to this fixture
+	o.Epsilon = 0.99
+}
+
+// area uses a float literal in a non-tolerance position.
+func area(r float64) float64 {
+	return 3.14159 * r * r
+}

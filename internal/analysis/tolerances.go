@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Tolerances flags numeric literals used as convergence tolerances,
+// damping factors, or epsilon guards in library code: those values are
+// repository-wide conventions and must reference the canonical constants
+// in internal/numeric (numeric.DefaultTolerance and friends), so that a
+// tolerance cannot silently drift between the rankers that must agree on
+// it. Bressan et al.'s local-centrality work is a catalogue of how
+// approximation guarantees rot when normalization and tolerance
+// conventions diverge between components; this checker makes the
+// convention mechanical.
+//
+// Flagged positions:
+//   - assignments and declarations whose target is tolerance-named
+//     (Tolerance, InnerTolerance, tol, eps, Epsilon, damping, *Freeze)
+//     with a float-literal right-hand side
+//   - composite-literal fields with a tolerance-named key and a
+//     float-literal value (Options{Tolerance: 1e-8})
+//   - ordered comparisons of a math.Abs(...) expression against a float
+//     literal (the tolerance-guard idiom)
+//
+// internal/numeric itself is exempt (it is the canonical source), as are
+// commands, examples and tests. Use //arlint:allow tolerances where a
+// one-off literal is genuinely local.
+var Tolerances = &Analyzer{
+	Name:        "tolerances",
+	Doc:         "tolerance/epsilon literals must reference internal/numeric constants",
+	LibraryOnly: true,
+	Run:         runTolerances,
+}
+
+func runTolerances(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "internal/numeric") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				if len(node.Lhs) != len(node.Rhs) {
+					return true
+				}
+				for i, lhs := range node.Lhs {
+					if name, ok := targetName(lhs); ok && isToleranceName(name) {
+						if lit := floatLit(node.Rhs[i]); lit != nil {
+							pass.Reportf(lit.Pos(),
+								"tolerance literal %s assigned to %s; use a constant from internal/numeric", lit.Value, name)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range node.Names {
+					if i < len(node.Values) && isToleranceName(name.Name) {
+						if lit := floatLit(node.Values[i]); lit != nil {
+							pass.Reportf(lit.Pos(),
+								"tolerance literal %s declared as %s; use a constant from internal/numeric", lit.Value, name.Name)
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				key, ok := node.Key.(*ast.Ident)
+				if !ok || !isToleranceName(key.Name) {
+					return true
+				}
+				if lit := floatLit(node.Value); lit != nil {
+					pass.Reportf(lit.Pos(),
+						"tolerance literal %s for field %s; use a constant from internal/numeric", lit.Value, key.Name)
+				}
+			case *ast.BinaryExpr:
+				switch node.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				default:
+					return true
+				}
+				if lit := floatLit(node.Y); lit != nil && containsMathAbs(node.X) {
+					pass.Reportf(lit.Pos(),
+						"tolerance guard compares math.Abs against literal %s; use a constant from internal/numeric", lit.Value)
+				} else if lit := floatLit(node.X); lit != nil && containsMathAbs(node.Y) {
+					pass.Reportf(lit.Pos(),
+						"tolerance guard compares math.Abs against literal %s; use a constant from internal/numeric", lit.Value)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isToleranceName reports whether an identifier names a tolerance-like
+// quantity by this repository's conventions.
+func isToleranceName(name string) bool {
+	n := strings.ToLower(name)
+	return n == "tol" || n == "eps" || n == "epsilon" || n == "damping" ||
+		strings.HasSuffix(n, "tolerance") || strings.HasSuffix(n, "freeze")
+}
+
+// targetName extracts the name written by an assignment target.
+func targetName(e ast.Expr) (string, bool) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name, true
+	case *ast.SelectorExpr:
+		return t.Sel.Name, true
+	}
+	return "", false
+}
+
+// floatLit unwraps e to a floating-point basic literal (allowing parens
+// and a leading minus), or returns nil.
+func floatLit(e ast.Expr) *ast.BasicLit {
+	switch t := e.(type) {
+	case *ast.BasicLit:
+		if t.Kind == token.FLOAT {
+			return t
+		}
+	case *ast.ParenExpr:
+		return floatLit(t.X)
+	case *ast.UnaryExpr:
+		if t.Op == token.SUB {
+			return floatLit(t.X)
+		}
+	}
+	return nil
+}
+
+// containsMathAbs reports whether the expression contains a call to
+// math.Abs.
+func containsMathAbs(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Abs" {
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "math" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/numeric"
 	"repro/internal/pagerank"
 )
 
@@ -100,7 +101,7 @@ func SC(sub *graph.Subgraph, cfg SCConfig) (*SCResult, error) {
 
 	eps := cfg.Epsilon
 	if eps == 0 {
-		eps = 0.85
+		eps = numeric.DefaultDamping
 	}
 
 	for round := 0; round < cfg.Expansions; round++ {
@@ -157,8 +158,11 @@ func SC(sub *graph.Subgraph, cfg SCConfig) (*SCResult, error) {
 			cands = append(cands, cand{id, inflow * (eps*back + (1 - eps))})
 		}
 		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].infl != cands[b].infl {
-				return cands[a].infl > cands[b].infl
+			if cands[a].infl > cands[b].infl {
+				return true
+			}
+			if cands[a].infl < cands[b].infl {
+				return false
 			}
 			return cands[a].id < cands[b].id
 		})

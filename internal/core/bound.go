@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/numeric"
 )
 
 // EDistance returns ‖E − E_approx‖₁: the L1 distance between the
@@ -52,7 +53,7 @@ func EDistance(sub *graph.Subgraph, extScores []float64) (float64, error) {
 // certificate that needs no ranking run at all.
 func ErrorBound(sub *graph.Subgraph, extScores []float64, epsilon float64) (float64, error) {
 	if epsilon == 0 {
-		epsilon = 0.85
+		epsilon = numeric.DefaultDamping
 	}
 	if epsilon <= 0 || epsilon >= 1 {
 		return 0, fmt.Errorf("core: damping factor %v outside (0,1)", epsilon)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/numeric"
 	"repro/internal/pagerank"
 )
 
@@ -57,13 +58,13 @@ type Config struct {
 
 func (c *Config) fill() error {
 	if c.Epsilon == 0 {
-		c.Epsilon = 0.85
+		c.Epsilon = numeric.DefaultDamping
 	}
 	if c.Epsilon <= 0 || c.Epsilon >= 1 {
 		return fmt.Errorf("core: damping factor %v outside (0,1)", c.Epsilon)
 	}
 	if c.Tolerance == 0 {
-		c.Tolerance = 1e-5
+		c.Tolerance = numeric.DefaultTolerance
 	}
 	if c.Tolerance < 0 {
 		return fmt.Errorf("core: negative tolerance %v", c.Tolerance)
@@ -420,7 +421,7 @@ func (c *ExtendedChain) Run(cfg Config) (*Result, error) {
 				pLambda += p
 			}
 		}
-		if math.Abs(sum-1) > 1e-6 {
+		if math.Abs(sum-1) > numeric.SumTolerance {
 			return nil, fmt.Errorf("core: personalization sums to %v, want 1", sum)
 		}
 	}
@@ -549,5 +550,24 @@ func MixExternalScores(sub *graph.Subgraph, scores []float64, alpha float64) ([]
 		}
 		out[gid] = alpha*scores[gid]/extSum + (1-alpha)*uni
 	}
+	// The mixture of two external distributions sums to 1 by
+	// construction; renormalize anyway so rounding drift cannot
+	// accumulate when the result is mixed or fed back in.
+	normalize(out)
 	return out, nil
+}
+
+// normalize rescales v in place to sum to 1 (no-op on a zero vector).
+func normalize(v []float64) {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		return
+	}
+	inv := 1.0 / sum
+	for i := range v {
+		v[i] *= inv
+	}
 }

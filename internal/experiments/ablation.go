@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/numeric"
 	"repro/internal/pagerank"
 )
 
@@ -62,7 +63,7 @@ func (s *Suite) AblationEpsilon(epsilons []float64) ([]AblationPoint, error) {
 	}
 	var pts []AblationPoint
 	for _, eps := range epsilons {
-		cfg := core.Config{Epsilon: eps, Tolerance: 1e-8}
+		cfg := core.Config{Epsilon: eps, Tolerance: numeric.TightTolerance}
 		truth, err := globalWithEps(s.AU, eps)
 		if err != nil {
 			return nil, err
@@ -109,7 +110,7 @@ func (s *Suite) AblationMixedE(alphas []float64) ([]AblationPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{Tolerance: 1e-8}
+	cfg := core.Config{Tolerance: numeric.TightTolerance}
 	ideal, err := core.IdealRank(sub, s.AU.PR.Scores, cfg)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 	"repro/internal/distributed"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/numeric"
 	"repro/internal/pagerank"
 	"repro/internal/pointrank"
 )
@@ -38,7 +39,7 @@ type AccelRow struct {
 // adaptive freezing) on the AU global graph at tolerance 1e-8.
 func (s *Suite) RunAcceleration() ([]AccelRow, error) {
 	g := s.AU.Data.Graph
-	ref, err := pagerank.Compute(g, pagerank.Options{Tolerance: 1e-12, MaxIterations: 5000})
+	ref, err := pagerank.Compute(g, pagerank.Options{Tolerance: numeric.ReferenceTolerance, MaxIterations: 5000})
 	if err != nil {
 		return nil, err
 	}
@@ -46,10 +47,10 @@ func (s *Suite) RunAcceleration() ([]AccelRow, error) {
 		name string
 		opts pagerank.Options
 	}{
-		{"power", pagerank.Options{Tolerance: 1e-8}},
-		{"power+extrapolation", pagerank.Options{Tolerance: 1e-8, ExtrapolateEvery: 10}},
-		{"gauss-seidel", pagerank.Options{Tolerance: 1e-8, Method: pagerank.MethodGaussSeidel}},
-		{"adaptive(1e-4)", pagerank.Options{Tolerance: 1e-8, AdaptiveFreeze: 1e-4}},
+		{"power", pagerank.Options{Tolerance: numeric.TightTolerance}},
+		{"power+extrapolation", pagerank.Options{Tolerance: numeric.TightTolerance, ExtrapolateEvery: 10}},
+		{"gauss-seidel", pagerank.Options{Tolerance: numeric.TightTolerance, Method: pagerank.MethodGaussSeidel}},
+		{"adaptive(1e-4)", pagerank.Options{Tolerance: numeric.TightTolerance, AdaptiveFreeze: numeric.DefaultAdaptiveFreeze}},
 	}
 	var rows []AccelRow
 	for _, c := range cases {
@@ -74,7 +75,7 @@ func (s *Suite) RunAcceleration() ([]AccelRow, error) {
 	// block stages are embarrassingly parallel in the original paper).
 	ds := s.AU.Data
 	br, err := blockrank.Compute(g, func(p graph.NodeID) int { return int(ds.Domain[p]) },
-		ds.NumDomains(), blockrank.Config{Tolerance: 1e-8})
+		ds.NumDomains(), blockrank.Config{Tolerance: numeric.TightTolerance})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: blockrank: %w", err)
 	}
@@ -124,7 +125,7 @@ func (s *Suite) RunJXP(rounds int, seed int64) ([]JXPPoint, error) {
 	for d := 0; d < ds.NumDomains(); d++ {
 		assignments[ds.DomainNames[d]] = ds.DomainPages(d)
 	}
-	nw, err := distributed.NewNetwork(ds.Graph, assignments, core.Config{Tolerance: 1e-8}, seed)
+	nw, err := distributed.NewNetwork(ds.Graph, assignments, core.Config{Tolerance: numeric.TightTolerance}, seed)
 	if err != nil {
 		return nil, err
 	}

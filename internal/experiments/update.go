@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/iad"
 	"repro/internal/metrics"
+	"repro/internal/numeric"
 	"repro/internal/pagerank"
 )
 
@@ -74,7 +75,7 @@ func (s *Suite) RunUpdate(rewireFrac float64, seed int64) ([]UpdateRow, error) {
 
 	// Reference: exact recomputation on the new graph.
 	t0 := time.Now()
-	fresh, err := pagerank.Compute(ng, pagerank.Options{Tolerance: 1e-8})
+	fresh, err := pagerank.Compute(ng, pagerank.Options{Tolerance: numeric.TightTolerance})
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +118,7 @@ func (s *Suite) RunUpdate(rewireFrac float64, seed int64) ([]UpdateRow, error) {
 
 	// (c) IAD updating — exact, fewer global sweeps than recomputing.
 	t0 = time.Now()
-	upd, err := iad.Update(ng, region, s.AU.PR.Scores, iad.Config{Tolerance: 1e-8})
+	upd, err := iad.Update(ng, region, s.AU.PR.Scores, iad.Config{Tolerance: numeric.TightTolerance})
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/numeric"
 )
 
 // Config parameterizes the HITS iteration. The zero value selects an L1
@@ -30,7 +31,7 @@ type Config struct {
 
 func (c *Config) fill() error {
 	if c.Tolerance == 0 {
-		c.Tolerance = 1e-8
+		c.Tolerance = numeric.TightTolerance
 	}
 	if c.Tolerance < 0 {
 		return fmt.Errorf("hits: negative tolerance %v", c.Tolerance)

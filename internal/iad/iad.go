@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/numeric"
 	"repro/internal/pagerank"
 )
 
@@ -42,13 +43,13 @@ type Config struct {
 
 func (c *Config) fill() error {
 	if c.Epsilon == 0 {
-		c.Epsilon = 0.85
+		c.Epsilon = numeric.DefaultDamping
 	}
 	if c.Epsilon <= 0 || c.Epsilon >= 1 {
 		return fmt.Errorf("iad: damping factor %v outside (0,1)", c.Epsilon)
 	}
 	if c.Tolerance == 0 {
-		c.Tolerance = 1e-8
+		c.Tolerance = numeric.TightTolerance
 	}
 	if c.Tolerance <= 0 {
 		return fmt.Errorf("iad: non-positive tolerance %v", c.Tolerance)
@@ -166,7 +167,7 @@ func Update(g *graph.Graph, changed []graph.NodeID, prior []float64, cfg Config)
 		// global residual.
 		sweep, err := pagerank.Compute(g, pagerank.Options{
 			Epsilon:       cfg.Epsilon,
-			Tolerance:     1e-300, // never stop on tolerance; we want exactly one sweep
+			Tolerance:     numeric.ToleranceDisabled, // never stop on tolerance; we want exactly one sweep
 			MaxIterations: 1,
 			Start:         x,
 		})

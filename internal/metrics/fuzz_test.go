@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzRankingMetrics checks the algebraic invariants of the
+// partial-ranking measures on arbitrary score pairs: L1 and footrule are
+// symmetric and non-negative, the normalized footrule and Kendall
+// distances stay in [0,1], and Positions always emits a valid bucket
+// assignment (positions in [1,n] summing to n(n+1)/2). The byte input is
+// decoded into two equal-length score vectors; non-finite values are
+// mapped back into a finite range so the metrics' preconditions hold.
+func FuzzRankingMetrics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 4; i++ {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(float64(i)*0.25))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(1-float64(i)*0.25))
+		seed = append(seed, buf[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := scorePairFromBytes(data)
+		if len(a) == 0 {
+			return
+		}
+		n := len(a)
+
+		const slack = 1e-9
+
+		l1ab, err := L1(a, b)
+		if err != nil {
+			t.Fatalf("L1: %v", err)
+		}
+		l1ba, _ := L1(b, a)
+		if math.Abs(l1ab-l1ba) > slack*(1+math.Abs(l1ab)) {
+			t.Fatalf("L1 asymmetric: %v vs %v", l1ab, l1ba)
+		}
+		if l1ab < 0 {
+			t.Fatalf("L1 negative: %v", l1ab)
+		}
+
+		fab, err := FootruleScores(a, b)
+		if err != nil {
+			t.Fatalf("footrule: %v", err)
+		}
+		fba, _ := FootruleScores(b, a)
+		if math.Abs(fab-fba) > slack {
+			t.Fatalf("footrule asymmetric: %v vs %v", fab, fba)
+		}
+		if fab < 0 || fab > 1+slack {
+			t.Fatalf("footrule %v outside [0,1]", fab)
+		}
+		if self, _ := FootruleScores(a, a); self != 0 {
+			t.Fatalf("footrule(a,a) = %v, want 0", self)
+		}
+
+		kab, err := KendallTau(a, b)
+		if err != nil {
+			t.Fatalf("kendall: %v", err)
+		}
+		kba, _ := KendallTau(b, a)
+		if math.Abs(kab-kba) > slack {
+			t.Fatalf("kendall asymmetric: %v vs %v", kab, kba)
+		}
+		if kab < 0 || kab > 1+slack {
+			t.Fatalf("kendall %v outside [0,1]", kab)
+		}
+
+		pos := Positions(a, 0)
+		sum := 0.0
+		for _, p := range pos {
+			if p < 1 || p > float64(n) {
+				t.Fatalf("position %v outside [1,%d]", p, n)
+			}
+			sum += p
+		}
+		want := float64(n) * float64(n+1) / 2
+		if math.Abs(sum-want) > slack*want {
+			t.Fatalf("positions sum to %v, want %v", sum, want)
+		}
+
+		if n >= 1 {
+			ov, err := TopKOverlap(a, b, n)
+			if err != nil {
+				t.Fatalf("topk: %v", err)
+			}
+			if math.Abs(ov-1) > slack {
+				t.Fatalf("full-width top-K overlap %v, want 1", ov)
+			}
+		}
+	})
+}
+
+// scorePairFromBytes decodes data into two equal-length finite score
+// vectors (16 bytes per position: one float64 for each vector).
+func scorePairFromBytes(data []byte) (a, b []float64) {
+	n := len(data) / 16
+	if n > 256 {
+		n = 256 // keep the O(n log n) metrics fast per exec
+	}
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = finiteScore(binary.LittleEndian.Uint64(data[16*i:]))
+		b[i] = finiteScore(binary.LittleEndian.Uint64(data[16*i+8:]))
+	}
+	return a, b
+}
+
+// finiteScore maps arbitrary bits to a finite float64, preserving the
+// interesting structure (ties, tiny gaps, huge magnitudes) of the raw
+// value where possible.
+func finiteScore(bits uint64) float64 {
+	x := math.Float64frombits(bits)
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		// Fold the mantissa bits into a finite value instead of
+		// discarding the input.
+		return float64(bits%(1<<20)) / (1 << 10)
+	}
+	return x
+}

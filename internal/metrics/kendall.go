@@ -33,28 +33,42 @@ func KendallTau(a, b []float64) (float64, error) {
 	// Sort by (a desc, b desc); the direction is irrelevant to pair
 	// classification as long as both keys use the same one.
 	sort.Slice(idx, func(x, y int) bool {
-		if a[idx[x]] != a[idx[y]] {
-			return a[idx[x]] > a[idx[y]]
+		if a[idx[x]] > a[idx[y]] {
+			return true
 		}
-		if b[idx[x]] != b[idx[y]] {
-			return b[idx[x]] > b[idx[y]]
+		if a[idx[x]] < a[idx[y]] {
+			return false
+		}
+		if b[idx[x]] > b[idx[y]] {
+			return true
+		}
+		if b[idx[x]] < b[idx[y]] {
+			return false
 		}
 		return idx[x] < idx[y]
 	})
 
 	// Tie pair counts: n1 = pairs tied in a, n2 = pairs tied in b,
 	// n3 = pairs tied in both.
+	// Exact equality is the definition of a tie in the K^(1/2) measure
+	// (same bucket of the partial ranking), not a numeric accident.
+	//arlint:allow floatcmp exact ties define the partial-ranking buckets
 	n1 := tiePairs(idx, func(i, j int) bool { return a[i] == a[j] })
+	//arlint:allow floatcmp exact ties define the partial-ranking buckets
 	n3 := tiePairs(idx, func(i, j int) bool { return a[i] == a[j] && b[i] == b[j] })
 	// n2 needs b-sorted order.
 	bIdx := make([]int, n)
 	copy(bIdx, idx)
 	sort.Slice(bIdx, func(x, y int) bool {
-		if b[bIdx[x]] != b[bIdx[y]] {
-			return b[bIdx[x]] > b[bIdx[y]]
+		if b[bIdx[x]] > b[bIdx[y]] {
+			return true
+		}
+		if b[bIdx[x]] < b[bIdx[y]] {
+			return false
 		}
 		return bIdx[x] < bIdx[y]
 	})
+	//arlint:allow floatcmp exact ties define the partial-ranking buckets
 	n2 := tiePairs(bIdx, func(i, j int) bool { return b[i] == b[j] })
 
 	// Discordant pairs: strict inversions of the b sequence in (a desc,

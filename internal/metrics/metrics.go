@@ -41,8 +41,11 @@ func Positions(scores []float64, tol float64) []float64 {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		if scores[idx[a]] != scores[idx[b]] {
-			return scores[idx[a]] > scores[idx[b]]
+		if scores[idx[a]] > scores[idx[b]] {
+			return true
+		}
+		if scores[idx[a]] < scores[idx[b]] {
+			return false
 		}
 		return idx[a] < idx[b] // deterministic order inside a bucket
 	})
@@ -130,8 +133,11 @@ func topK(scores []float64, k int) []int {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		if scores[idx[a]] != scores[idx[b]] {
-			return scores[idx[a]] > scores[idx[b]]
+		if scores[idx[a]] > scores[idx[b]] {
+			return true
+		}
+		if scores[idx[a]] < scores[idx[b]] {
+			return false
 		}
 		return idx[a] < idx[b]
 	})

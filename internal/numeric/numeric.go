@@ -1,0 +1,56 @@
+// Package numeric is the single source of truth for the numeric
+// conventions the ApproxRank reproduction depends on: the damping
+// factor, convergence tolerances, and the guard values used when
+// validating probability distributions or protecting divisions.
+//
+// Every tolerance or epsilon literal in library code must reference one
+// of these constants; the arlint `tolerances` checker
+// (internal/analysis) enforces this mechanically, so the conventions
+// cannot drift between components. Add a new constant here (with a
+// comment saying which invariant it encodes) rather than scattering a
+// fresh literal.
+package numeric
+
+const (
+	// DefaultDamping is the PageRank damping factor ε — the probability
+	// of following a link rather than jumping — used by every ranker in
+	// the repository (the paper's setting).
+	DefaultDamping = 0.85
+
+	// DefaultTolerance is the L1 convergence threshold for the power
+	// iteration (the paper uses 1e-5).
+	DefaultTolerance = 1e-5
+
+	// TightTolerance is the stricter threshold used where a ranking
+	// feeds a downstream computation and residual error would compound:
+	// HITS, the IAD incremental update, PointRank, and the experiment
+	// suites.
+	TightTolerance = 1e-8
+
+	// ReferenceTolerance is the near-machine-precision threshold used
+	// when computing a ground-truth reference ranking that other results
+	// are measured against (acceleration and update experiments).
+	ReferenceTolerance = 1e-12
+
+	// DefaultAdaptiveFreeze is the adaptive-PageRank freeze threshold,
+	// expressed as a multiple of the uniform score 1/N (Kamvar et al.
+	// 2003), used by the acceleration experiments.
+	DefaultAdaptiveFreeze = 1e-4
+
+	// SumTolerance is the slack allowed when validating that a
+	// user-supplied probability vector (personalization, dangling
+	// distribution, start vector) sums to 1.
+	SumTolerance = 1e-6
+
+	// DenominatorGuard is the magnitude below which a computed
+	// denominator is treated as vanishing (e.g. the second difference in
+	// Aitken Δ² extrapolation), skipping the division instead of
+	// amplifying rounding noise.
+	DenominatorGuard = 1e-12
+
+	// ToleranceDisabled is a sentinel convergence threshold that can
+	// never be reached by an L1 residual, forcing an iteration to run
+	// for exactly MaxIterations sweeps. Used where the caller drives
+	// convergence itself (the IAD outer loop).
+	ToleranceDisabled = 1e-300
+)

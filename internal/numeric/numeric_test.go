@@ -1,0 +1,27 @@
+package numeric
+
+import "testing"
+
+// The constants encode an ordering the rest of the repository relies on:
+// the guard values must sit strictly below every convergence threshold,
+// and the disabled sentinel below everything a residual can reach.
+func TestConstantOrdering(t *testing.T) {
+	if !(DefaultDamping > 0 && DefaultDamping < 1) {
+		t.Errorf("DefaultDamping %v outside (0,1)", DefaultDamping)
+	}
+	if !(DefaultTolerance > TightTolerance) {
+		t.Errorf("DefaultTolerance %v not looser than TightTolerance %v", DefaultTolerance, TightTolerance)
+	}
+	if !(TightTolerance > DenominatorGuard) {
+		t.Errorf("TightTolerance %v not looser than DenominatorGuard %v", TightTolerance, DenominatorGuard)
+	}
+	if !(DenominatorGuard > ToleranceDisabled) {
+		t.Errorf("DenominatorGuard %v not above ToleranceDisabled %v", DenominatorGuard, ToleranceDisabled)
+	}
+	if !(ToleranceDisabled > 0) {
+		t.Errorf("ToleranceDisabled %v not positive", ToleranceDisabled)
+	}
+	if !(SumTolerance > 0 && SumTolerance < 1e-2) {
+		t.Errorf("SumTolerance %v outside (0, 1e-2)", SumTolerance)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/numeric"
 )
 
 // Config carries the ObjectRank walk parameters. The zero value selects
@@ -18,13 +19,13 @@ type Config struct {
 
 func (c *Config) fill() error {
 	if c.Epsilon == 0 {
-		c.Epsilon = 0.85
+		c.Epsilon = numeric.DefaultDamping
 	}
 	if c.Epsilon <= 0 || c.Epsilon >= 1 {
 		return fmt.Errorf("objectrank: damping factor %v outside (0,1)", c.Epsilon)
 	}
 	if c.Tolerance == 0 {
-		c.Tolerance = 1e-5
+		c.Tolerance = numeric.DefaultTolerance
 	}
 	if c.Tolerance < 0 {
 		return fmt.Errorf("objectrank: negative tolerance %v", c.Tolerance)

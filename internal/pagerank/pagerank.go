@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/numeric"
 )
 
 // DirectedGraph is the view of a graph the engine needs. *graph.Graph
@@ -99,13 +101,13 @@ type Options struct {
 
 func (o *Options) fill(n int) error {
 	if o.Epsilon == 0 {
-		o.Epsilon = 0.85
+		o.Epsilon = numeric.DefaultDamping
 	}
 	if o.Epsilon <= 0 || o.Epsilon >= 1 {
 		return fmt.Errorf("pagerank: damping factor %v outside (0,1)", o.Epsilon)
 	}
 	if o.Tolerance == 0 {
-		o.Tolerance = 1e-5
+		o.Tolerance = numeric.DefaultTolerance
 	}
 	if o.Tolerance < 0 {
 		return fmt.Errorf("pagerank: negative tolerance %v", o.Tolerance)
@@ -134,7 +136,7 @@ func (o *Options) fill(n int) error {
 			}
 			sum += x
 		}
-		if math.Abs(sum-1) > 1e-6 {
+		if math.Abs(sum-1) > numeric.SumTolerance {
 			return fmt.Errorf("pagerank: %s sums to %v, want 1", name, sum)
 		}
 	}
@@ -307,7 +309,7 @@ func extrapolate(x, prev1, prev2 []float64) {
 	for i := range x {
 		d1 := prev1[i] - prev2[i]
 		d2 := x[i] - 2*prev1[i] + prev2[i]
-		if math.Abs(d2) < 1e-12 {
+		if math.Abs(d2) < numeric.DenominatorGuard {
 			continue
 		}
 		e := x[i] - d1*d1/d2
@@ -343,11 +345,12 @@ func Uniform(n int) []float64 {
 	return p
 }
 
-// L1 returns the L1 distance Σ|a[i]−b[i]|. The slices must have equal
-// length.
+// L1 returns the L1 distance Σ|a[i]−b[i]|. Vectors of different lengths
+// are incomparable and have distance +Inf — loud under any tolerance
+// check, without panicking inside a serving process.
 func L1(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("pagerank: L1 length mismatch %d vs %d", len(a), len(b)))
+		return math.Inf(1)
 	}
 	d := 0.0
 	for i := range a {

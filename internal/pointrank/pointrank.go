@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/numeric"
 )
 
 // Prior selects how boundary pages (in-neighbours outside the influence
@@ -73,13 +74,13 @@ func (c *Config) fill() error {
 		return fmt.Errorf("pointrank: unknown boundary prior %d", c.BoundaryPrior)
 	}
 	if c.Epsilon == 0 {
-		c.Epsilon = 0.85
+		c.Epsilon = numeric.DefaultDamping
 	}
 	if c.Epsilon <= 0 || c.Epsilon >= 1 {
 		return fmt.Errorf("pointrank: damping factor %v outside (0,1)", c.Epsilon)
 	}
 	if c.Tolerance == 0 {
-		c.Tolerance = 1e-8
+		c.Tolerance = numeric.TightTolerance
 	}
 	if c.Tolerance < 0 {
 		return fmt.Errorf("pointrank: negative tolerance %v", c.Tolerance)

@@ -151,8 +151,11 @@ func (e *Engine) TopK(query []uint32, k int) ([]Hit, error) {
 		hits = append(hits, Hit{Doc: doc, Page: e.pages[doc], Score: e.scores[doc]})
 	}
 	sort.Slice(hits, func(a, b int) bool {
-		if hits[a].Score != hits[b].Score {
-			return hits[a].Score > hits[b].Score
+		if hits[a].Score > hits[b].Score {
+			return true
+		}
+		if hits[a].Score < hits[b].Score {
+			return false
 		}
 		return hits[a].Page < hits[b].Page
 	})
