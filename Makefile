@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build lint vet test race fuzz-smoke
+.PHONY: all build lint lint-sarif fix-smoke vet test race fuzz-smoke
 
 all: build lint vet test
 
@@ -10,6 +10,20 @@ build:
 
 lint:
 	$(GO) run ./cmd/arlint ./...
+
+# SARIF log for code-scanning upload; the file is written even when
+# there are findings, so CI can upload before failing.
+lint-sarif:
+	$(GO) run ./cmd/arlint -format=sarif ./... > arlint.sarif || true
+	@test -s arlint.sarif
+
+# -fix must be idempotent: applying fixes to an already-fixed tree
+# changes nothing. On a clean tree both runs are no-ops, so any diff
+# means a fix fought the checkers.
+fix-smoke:
+	$(GO) run ./cmd/arlint -fix ./...
+	$(GO) run ./cmd/arlint -fix ./...
+	git diff --exit-code
 
 vet:
 	$(GO) vet ./...
@@ -28,4 +42,5 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/graph/ -run FuzzReadBinary -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph/ -run FuzzReadEdgeList -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph/ -run FuzzSubgraph -fuzz FuzzSubgraph -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/metrics/ -run FuzzRankingMetrics -fuzz FuzzRankingMetrics -fuzztime $(FUZZTIME)

@@ -46,7 +46,14 @@ func runIn(t *testing.T, bin, dir string, args ...string) (string, string, int) 
 
 // diagLine is the documented diagnostic format:
 // file:line:col: checker: message
-var diagLine = regexp.MustCompile(`^[^:]+\.go:\d+:\d+: (floatcmp|gocapture|normreturn|tolerances|panicfree): .+$`)
+var diagLine = regexp.MustCompile(`^[^:]+\.go:\d+:\d+: (floatcmp|gocapture|normreturn|tolerances|panicfree|errflow|lockbalance|maprange|hotalloc): .+$`)
+
+// allCheckers mirrors analysis.All; the e2e tests assert the driver
+// exposes exactly this suite.
+var allCheckers = []string{
+	"floatcmp", "gocapture", "normreturn", "tolerances", "panicfree",
+	"errflow", "lockbalance", "maprange", "hotalloc",
+}
 
 func TestDirtyModule(t *testing.T) {
 	bin := buildArlint(t)
@@ -93,7 +100,7 @@ func TestListFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("arlint -list exit code = %d, want 0", code)
 	}
-	for _, checker := range []string{"floatcmp", "gocapture", "normreturn", "tolerances", "panicfree"} {
+	for _, checker := range allCheckers {
 		if !strings.Contains(stdout, checker) {
 			t.Errorf("-list output missing checker %s:\n%s", checker, stdout)
 		}

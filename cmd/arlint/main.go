@@ -3,22 +3,34 @@
 //
 // Usage:
 //
-//	arlint [-list] [pattern ...]
+//	arlint [flags] [pattern ...]
 //
 // Patterns select packages by directory: `./...` (the default) analyzes
 // the whole module, `./internal/...` a subtree, and a plain directory
-// path a single package. Diagnostics are printed one per line as
+// path a single package.
 //
-//	file:line:col: checker: message
+// Output formats (-format):
 //
-// with file paths relative to the current directory. Exit status is 0
-// when the module is clean, 1 when there are findings, and 2 when the
-// module fails to load or type-check.
+//	text   one finding per line: file:line:col: checker: message
+//	json   a JSON array of {file, line, column, checker, message, fixable}
+//	sarif  a SARIF 2.1.0 log for code-scanning upload
+//
+// Pipeline flags:
+//
+//	-baseline FILE        suppress the findings recorded in FILE
+//	-write-baseline FILE  record the current findings in FILE and exit 0
+//	-fix                  apply suggested fixes, then re-analyze and
+//	                      report what remains
+//
+// Exit status is 0 when the module is clean (after baseline filtering
+// and fixes), 1 when there are findings, and 2 when the module fails to
+// load or type-check.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +39,13 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the checkers and exit")
+	var (
+		list          = flag.Bool("list", false, "list the checkers and exit")
+		format        = flag.String("format", "text", "output format: text, json or sarif")
+		baselinePath  = flag.String("baseline", "", "suppress findings recorded in this baseline file")
+		writeBaseline = flag.String("write-baseline", "", "record current findings to this file and exit")
+		fix           = flag.Bool("fix", false, "apply suggested fixes, then report remaining findings")
+	)
 	flag.Parse()
 	if *list {
 		for _, a := range analysis.All {
@@ -35,10 +53,16 @@ func main() {
 		}
 		return
 	}
-	os.Exit(run(flag.Args()))
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "arlint: unknown format %q (want text, json or sarif)\n", *format)
+		os.Exit(2)
+	}
+	os.Exit(run(flag.Args(), *format, *baselinePath, *writeBaseline, *fix))
 }
 
-func run(patterns []string) int {
+func run(patterns []string, format, baselinePath, writeBaseline string, fix bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arlint:", err)
@@ -49,30 +73,99 @@ func run(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "arlint:", err)
 		return 2
 	}
-	pkgs, err := analysis.NewLoader().LoadModule(root)
+
+	diags, npkgs, code := analyze(root, cwd, patterns)
+	if code != 0 {
+		return code
+	}
+
+	if fix {
+		fixed, err := analysis.ApplyFixes(analysisFset, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arlint:", err)
+			return 2
+		}
+		for _, f := range fixed {
+			fmt.Fprintf(os.Stderr, "arlint: fixed %s\n", relTo(cwd, f))
+		}
+		if len(fixed) > 0 {
+			// The files changed under the loaded ASTs; re-analyze from disk.
+			diags, npkgs, code = analyze(root, cwd, patterns)
+			if code != 0 {
+				return code
+			}
+		}
+	}
+
+	if writeBaseline != "" {
+		if err := analysis.WriteBaseline(writeBaseline, diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, "arlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "arlint: recorded %d finding(s) in %s\n", len(diags), writeBaseline)
+		return 0
+	}
+	if baselinePath != "" {
+		base, err := analysis.LoadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arlint:", err)
+			return 2
+		}
+		diags = base.Filter(diags, root)
+	}
+
+	switch format {
+	case "json":
+		if err := analysis.WriteJSON(os.Stdout, diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, "arlint:", err)
+			return 2
+		}
+	case "sarif":
+		if err := analysis.WriteSARIF(os.Stdout, analysis.All, diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, "arlint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relTo(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Checker, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "arlint: %d finding(s) in %d package(s)\n", len(diags), npkgs)
+		return 1
+	}
+	return 0
+}
+
+// analysisFset is the FileSet of the most recent analyze call; fixes
+// must resolve their positions against it.
+var analysisFset *token.FileSet
+
+// analyze loads the module, selects packages by pattern and runs the
+// full suite. Returns the findings, the number of packages analyzed,
+// and a non-zero exit code on load failure.
+func analyze(root, cwd string, patterns []string) ([]analysis.Diagnostic, int, int) {
+	loader := analysis.NewLoader()
+	analysisFset = loader.Fset
+	pkgs, err := loader.LoadModule(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arlint:", err)
-		return 2
+		return nil, 0, 2
 	}
 	selected, err := selectPackages(pkgs, cwd, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arlint:", err)
-		return 2
+		return nil, 0, 2
 	}
+	return analysis.Run(selected, analysis.All), len(selected), 0
+}
 
-	diags := analysis.Run(selected, analysis.All)
-	for _, d := range diags {
-		file := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
-		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Checker, d.Message)
+// relTo renders file relative to dir when it lies below it.
+func relTo(dir, file string) string {
+	if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "arlint: %d finding(s) in %d package(s)\n", len(diags), len(selected))
-		return 1
-	}
-	return 0
+	return file
 }
 
 // selectPackages filters pkgs by directory patterns resolved against

@@ -1,0 +1,38 @@
+// Package fixmod carries mechanically fixable findings for the -fix
+// end-to-end test: an ignored error call (rewritten to a sentinel
+// discard) and a map-ordered score assembly (rewritten to iterate over
+// sorted keys).
+package fixmod
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+// Drop ignores the error result.
+func Drop() {
+	work()
+}
+
+// ComputeScores assembles the ranking in map-iteration order.
+func ComputeScores(weights map[int]float64) []float64 {
+	var scores []float64
+	for id, w := range weights {
+		_ = id
+		scores = append(scores, w)
+	}
+	normalize(scores)
+	return scores
+}
+
+func normalize(s []float64) {
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	if total == 0 {
+		return
+	}
+	for i := range s {
+		s[i] /= total
+	}
+}

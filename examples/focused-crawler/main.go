@@ -90,9 +90,9 @@ func main() {
 	for _, r := range rankings {
 		est := append([]float64(nil), r.scores...)
 		approxrank.Normalize(est)
-		l1, _ := approxrank.L1(truth, est)
-		fr, _ := approxrank.Footrule(truth, est)
-		top, _ := approxrank.TopKOverlap(truth, est, 10)
+		l1 := must(approxrank.L1(truth, est))
+		fr := must(approxrank.Footrule(truth, est))
+		top := must(approxrank.TopKOverlap(truth, est, 10))
 		fmt.Printf("  %-15s L1 = %.5f  footrule = %.5f  top-10 overlap = %.0f%%\n",
 			r.name, l1, fr, 100*top)
 	}
@@ -124,4 +124,13 @@ func topIndices(scores []float64, k int) []int {
 		return idx[a] < idx[b]
 	})
 	return idx[:k]
+}
+
+// must unwraps a metric result; the example builds equal-length rankings,
+// so a comparison error is a bug worth dying on.
+func must(v float64, err error) float64 {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

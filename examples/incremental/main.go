@@ -106,8 +106,8 @@ func main() {
 	approxrank.Normalize(incremental)
 
 	report := func(name string, est []float64, cost time.Duration) {
-		l1, _ := approxrank.L1(truth, est)
-		fr, _ := approxrank.Footrule(truth, est)
+		l1 := must(approxrank.L1(truth, est))
+		fr := must(approxrank.Footrule(truth, est))
 		costStr := "free"
 		if cost > 0 {
 			costStr = cost.Round(time.Microsecond).String()
@@ -132,4 +132,13 @@ func restrict(global []float64, sub *approxrank.Subgraph) []float64 {
 	}
 	approxrank.Normalize(out)
 	return out
+}
+
+// must unwraps a metric result; the example builds equal-length rankings,
+// so a comparison error is a bug worth dying on.
+func must(v float64, err error) float64 {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

@@ -117,8 +117,8 @@ func main() {
 	}
 
 	// Corpus-wide ordering quality first (what every query inherits).
-	apFr, _ := approxrank.Footrule(truth, ap.Scores)
-	lpFr, _ := approxrank.Footrule(truth, lp.Scores)
+	apFr := must(approxrank.Footrule(truth, ap.Scores))
+	lpFr := must(approxrank.Footrule(truth, lp.Scores))
 	fmt.Printf("corpus ordering vs global truth (footrule, lower is better):\n")
 	fmt.Printf("  ApproxRank %.4f   localPR %.4f\n\n", apFr, lpFr)
 
@@ -160,4 +160,13 @@ func main() {
 	for i, h := range hits {
 		fmt.Printf("  %d. page %-7d score %.3g\n", i+1, h.Page, h.Score)
 	}
+}
+
+// must unwraps a metric result; the example builds equal-length rankings,
+// so a comparison error is a bug worth dying on.
+func must(v float64, err error) float64 {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

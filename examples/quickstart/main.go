@@ -88,8 +88,17 @@ func main() {
 	approxrank.Normalize(truth)
 	est := append([]float64(nil), ap.Scores...)
 	approxrank.Normalize(est)
-	l1, _ := approxrank.L1(truth, est)
-	fr, _ := approxrank.Footrule(truth, est)
+	l1 := must(approxrank.L1(truth, est))
+	fr := must(approxrank.Footrule(truth, est))
 	fmt.Printf("\nApproxRank vs truth: L1 = %.6f, Spearman footrule = %.6f\n", l1, fr)
 	fmt.Printf("ApproxRank converged in %d iterations; IdealRank in %d.\n", ap.Iterations, ideal.Iterations)
+}
+
+// must unwraps a metric result; the example builds equal-length rankings,
+// so a comparison error is a bug worth dying on.
+func must(v float64, err error) float64 {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

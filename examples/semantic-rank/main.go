@@ -151,11 +151,11 @@ func main() {
 	approxrank.Normalize(truth)
 	est := append([]float64(nil), ap.Scores...)
 	approxrank.Normalize(est)
-	l1, _ := approxrank.L1(truth, est)
-	fr, _ := approxrank.Footrule(truth, est)
+	l1 := must(approxrank.L1(truth, est))
+	fr := must(approxrank.Footrule(truth, est))
 	idealEst := append([]float64(nil), ideal.Scores...)
 	approxrank.Normalize(idealEst)
-	idealL1, _ := approxrank.L1(truth, idealEst)
+	idealL1 := must(approxrank.L1(truth, idealEst))
 
 	fmt.Printf("weighted ApproxRank vs global ObjectRank: L1 = %.5f, footrule = %.5f\n", l1, fr)
 	fmt.Printf("weighted IdealRank  vs global ObjectRank: L1 = %.2g (exact, Theorem 1)\n\n", idealL1)
@@ -184,4 +184,13 @@ func topIndices(scores []float64, k int) []int {
 		return idx[a] < idx[b]
 	})
 	return idx[:k]
+}
+
+// must unwraps a metric result; the example builds equal-length rankings,
+// so a comparison error is a bug worth dying on.
+func must(v float64, err error) float64 {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

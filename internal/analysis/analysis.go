@@ -11,6 +11,19 @@
 //   - tolerances: tolerance/epsilon literals must come from internal/numeric
 //   - panicfree:  no bare panic in library packages
 //
+// A second generation of checkers is flow-sensitive: each function body
+// is compiled to a control-flow graph (cfg.go) and analyzed with a
+// forward worklist solver (dataflow.go):
+//
+//   - errflow:     a returned error must be checked or explicitly
+//     discarded on every path
+//   - lockbalance: every Lock reaches an Unlock or defer Unlock on all
+//     paths (RWMutex aware)
+//   - maprange:    map iteration order must not reach an exported score
+//     producer's return value unsorted
+//   - hotalloc:    no allocations or append growth inside the
+//     power-iteration loops of the ranking engines
+//
 // A finding can be suppressed with a sentinel comment on the offending
 // line or the line above:
 //
@@ -33,6 +46,29 @@ type Diagnostic struct {
 	Pos     token.Position
 	Checker string
 	Message string
+	// Fix optionally carries a mechanical edit that resolves the
+	// finding; the driver applies it under -fix.
+	Fix *SuggestedFix
+}
+
+// SuggestedFix is a mechanical resolution of a finding: a set of
+// non-overlapping text edits within one file.
+type SuggestedFix struct {
+	// Message describes the edit ("insert sorted key iteration").
+	Message string
+	// Edits are applied together; all positions refer to the pass's
+	// FileSet and must lie in a single file.
+	Edits []TextEdit
+	// NeedImport optionally names an import path the file must import
+	// after the edit (e.g. "sort"); the applier inserts it if missing.
+	NeedImport string
+}
+
+// TextEdit replaces the half-open source range [Pos, End) with NewText.
+// An insertion has Pos == End.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
 }
 
 // String formats the diagnostic in the canonical driver format.
@@ -55,7 +91,10 @@ type Analyzer struct {
 }
 
 // All is the full checker suite in the order diagnostics are grouped.
-var All = []*Analyzer{FloatCmp, GoCapture, NormReturn, Tolerances, PanicFree}
+var All = []*Analyzer{
+	FloatCmp, GoCapture, NormReturn, Tolerances, PanicFree,
+	ErrFlow, LockBalance, MapRange, HotAlloc,
+}
 
 // Pass carries one analyzed package to one checker.
 type Pass struct {
@@ -76,6 +115,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:     position,
 		Checker: p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportfFix is Reportf with a suggested mechanical fix attached.
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Checker: p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A baseline records the currently-accepted findings of a repository so
+// a newly-tightened checker can land without a flag day: existing
+// findings are written to the baseline and suppressed, and only new
+// findings fail the build. Entries are keyed by (file, checker, message)
+// — deliberately not by line, so a baseline survives edits elsewhere in
+// the file — and suppression is a multiset match: a baseline with two
+// identical entries suppresses at most two identical findings.
+
+// baselineEntry is one accepted finding.
+type baselineEntry struct {
+	File    string `json:"file"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+// baselineFile is the on-disk format.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+// Baseline is a loaded multiset of accepted findings.
+type Baseline struct {
+	counts map[baselineEntry]int
+}
+
+// WriteBaseline records diags (with root-relative paths) at path.
+func WriteBaseline(path string, diags []Diagnostic, root string) error {
+	entries := make([]baselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, baselineEntry{
+			File:    relPath(root, d.Pos.Filename),
+			Checker: d.Checker,
+			Message: d.Message,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(baselineFile{Version: 1, Findings: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("analysis: baseline %s has unsupported version %d", path, f.Version)
+	}
+	b := &Baseline{counts: make(map[baselineEntry]int, len(f.Findings))}
+	for _, e := range f.Findings {
+		b.counts[e]++
+	}
+	return b, nil
+}
+
+// Filter returns the diagnostics not covered by the baseline. Each
+// baseline entry suppresses at most one matching finding.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	remaining := make(map[baselineEntry]int, len(b.counts))
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := baselineEntry{File: relPath(root, d.Pos.Filename), Checker: d.Checker, Message: d.Message}
+		if remaining[key] > 0 {
+			remaining[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

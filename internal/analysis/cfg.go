@@ -1,0 +1,407 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds intra-procedural control-flow graphs over go/ast
+// function bodies. The CFG is the substrate of the flow-sensitive
+// checkers (errflow, lockbalance, maprange): each function body becomes
+// a graph of basic blocks whose statements execute in order, with edges
+// for branches, loops, switches, selects, labeled break/continue, and
+// the short-circuit evaluation of && and || in branch conditions.
+//
+// Deliberate simplifications, documented because checkers rely on them:
+//
+//   - panic/runtime aborts are not modeled: a call that panics still
+//     falls through to the next statement. The checkers care about
+//     normal-path invariants (errors checked, locks released), and
+//     modeling every potential panic edge would drown them in noise.
+//   - goto targets a label conservatively when the label is known and
+//     otherwise falls through; this repository's style has no gotos.
+//   - defer is not an edge: deferred statements are recorded in
+//     CFG.Defers (in syntactic order) and checkers apply them at exit.
+
+// Block is one basic block: statements (and decomposed condition
+// expressions) that execute in sequence, followed by a transfer of
+// control to one of Succs.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (entry is 0).
+	Index int
+	// Nodes holds the statements and condition expressions of the block
+	// in execution order. Condition expressions appear as ast.Expr; all
+	// other entries are ast.Stmt.
+	Nodes []ast.Node
+	// Succs are the possible successors in execution order
+	// (then-branch before else-branch, loop body before loop exit).
+	Succs []*Block
+	// Preds are the blocks with an edge into this one.
+	Preds []*Block
+}
+
+// addSucc links b -> s (nil-safe; duplicates are kept out).
+func (b *Block) addSucc(s *Block) {
+	if b == nil || s == nil {
+		return
+	}
+	for _, t := range b.Succs {
+		if t == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+	s.Preds = append(s.Preds, b)
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block; Blocks[0] is the entry.
+	Blocks []*Block
+	// Entry receives control when the function is called.
+	Entry *Block
+	// Exit is the unique synthetic exit block: every return statement
+	// and the fall-off-the-end path lead here. It has no statements.
+	Exit *Block
+	// Defers lists every defer statement in the body in syntactic
+	// order. Whether a given defer actually ran on a given path is not
+	// tracked; checkers treat any recorded defer as running at Exit.
+	Defers []*ast.DeferStmt
+}
+
+// cfgBuilder carries the state of one CFG construction.
+type cfgBuilder struct {
+	cfg *CFG
+	// breakTargets / continueTargets are stacks of the innermost
+	// enclosing targets; label maps hold the targets of labeled loops
+	// and switches.
+	breakTargets    []*Block
+	continueTargets []*Block
+	labeledBreak    map[string]*Block
+	labeledContinue map[string]*Block
+	labeledEntry    map[string]*Block
+	// pendingLabel carries a label from its LabeledStmt to the loop or
+	// switch statement it names, so labeled break/continue resolve.
+	pendingLabel string
+	gotos        []gotoEdge
+}
+
+type gotoEdge struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of a function body. It
+// never returns nil; an empty body yields entry -> exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:             &CFG{},
+		labeledBreak:    make(map[string]*Block),
+		labeledContinue: make(map[string]*Block),
+		labeledEntry:    make(map[string]*Block),
+	}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.cfg.Entry = entry
+	b.cfg.Exit = exit
+	last := b.stmtList(body.List, entry)
+	last.addSucc(exit)
+	// Resolve gotos now that every label has been seen.
+	for _, g := range b.gotos {
+		if target, ok := b.labeledEntry[g.label]; ok {
+			g.from.addSucc(target)
+		} else {
+			g.from.addSucc(exit)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// stmtList threads stmts through cur and returns the block holding
+// control after the last statement.
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt, cur *Block) *Block {
+	for _, s := range stmts {
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt adds one statement to cur and returns the block that control
+// flows to afterwards. A return value with no Preds and no path from
+// entry marks dead code after a terminating statement; successors keep
+// accumulating there harmlessly.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		thenEntry := b.newBlock()
+		elseEntry := b.newBlock()
+		b.cond(s.Cond, cur, thenEntry, elseEntry)
+		after := b.newBlock()
+		thenExit := b.stmt(s.Body, thenEntry)
+		thenExit.addSucc(after)
+		if s.Else != nil {
+			elseExit := b.stmt(s.Else, elseEntry)
+			elseExit.addSucc(after)
+		} else {
+			elseEntry.addSucc(after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		cur.addSucc(head)
+		bodyEntry := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.cond(s.Cond, head, bodyEntry, after)
+		} else {
+			head.addSucc(bodyEntry) // for {}: exit only via break
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		post.addSucc(head)
+		b.pushLoop(s, after, post)
+		bodyExit := b.stmt(s.Body, bodyEntry)
+		b.popLoop()
+		bodyExit.addSucc(post)
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		// The range statement itself (key/value binding and the ranged
+		// expression) lives in the head, executed once per iteration.
+		head.Nodes = append(head.Nodes, s)
+		cur.addSucc(head)
+		bodyEntry := b.newBlock()
+		after := b.newBlock()
+		head.addSucc(bodyEntry)
+		head.addSucc(after)
+		b.pushLoop(s, after, head)
+		bodyExit := b.stmt(s.Body, bodyEntry)
+		b.popLoop()
+		bodyExit.addSucc(head)
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(s, s.Body, cur)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(s, s.Body, cur)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.breakTargets = append(b.breakTargets, after)
+		b.continueTargets = append(b.continueTargets, nil)
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			entry := b.newBlock()
+			if cc.Comm != nil {
+				entry.Nodes = append(entry.Nodes, cc.Comm)
+			}
+			cur.addSucc(entry)
+			exit := b.stmtList(cc.Body, entry)
+			exit.addSucc(after)
+		}
+		if len(s.Body.List) == 0 {
+			cur.addSucc(after)
+		}
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		return after
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		cur.addSucc(b.cfg.Exit)
+		return b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			target := b.innermost(b.breakTargets)
+			if s.Label != nil {
+				target = b.labeledBreak[s.Label.Name]
+			}
+			if target == nil {
+				target = b.cfg.Exit
+			}
+			cur.addSucc(target)
+		case token.CONTINUE:
+			target := b.innermost(b.continueTargets)
+			if s.Label != nil {
+				target = b.labeledContinue[s.Label.Name]
+			}
+			if target == nil {
+				target = b.cfg.Exit
+			}
+			cur.addSucc(target)
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, gotoEdge{cur, s.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody (clause i falls into
+			// clause i+1); nothing to add here.
+			return cur
+		}
+		return b.newBlock() // unreachable continuation
+
+	case *ast.LabeledStmt:
+		head := b.newBlock()
+		cur.addSucc(head)
+		b.labeledEntry[s.Label.Name] = head
+		// Register loop/switch targets under the label before walking
+		// the labeled statement so `break L` / `continue L` resolve.
+		b.pendingLabel = s.Label.Name
+		out := b.stmt(s.Stmt, head)
+		b.pendingLabel = ""
+		return out
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	default:
+		// Plain statements: declarations, assignments, expressions,
+		// go statements, sends, inc/dec, empty statements.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchBody wires the clause structure shared by switch and type
+// switch: every clause entry is reachable from cur (tag dispatch), a
+// missing default adds a direct edge to after, and fallthrough links
+// clause i's exit to clause i+1's entry.
+func (b *cfgBuilder) switchBody(sw ast.Stmt, body *ast.BlockStmt, cur *Block) *Block {
+	after := b.newBlock()
+	if b.pendingLabel != "" {
+		b.labeledBreak[b.pendingLabel] = after
+		b.pendingLabel = ""
+	}
+	b.breakTargets = append(b.breakTargets, after)
+	b.continueTargets = append(b.continueTargets, nil)
+	hasDefault := false
+	entries := make([]*Block, len(body.List))
+	exits := make([]*Block, len(body.List))
+	for i, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		entries[i] = b.newBlock()
+		for _, e := range cc.List {
+			entries[i].Nodes = append(entries[i].Nodes, e)
+		}
+		cur.addSucc(entries[i])
+		exits[i] = b.stmtList(cc.Body, entries[i])
+		exits[i].addSucc(after)
+	}
+	for i, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		if n := len(cc.Body); n > 0 && i+1 < len(entries) {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				exits[i].addSucc(entries[i+1])
+			}
+		}
+	}
+	if !hasDefault {
+		cur.addSucc(after)
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+	return after
+}
+
+// cond decomposes a branch condition into blocks so short-circuit
+// operators get their own edges: in `a && b`, b evaluates only when a
+// is true; in `a || b`, only when a is false.
+func (b *cfgBuilder) cond(e ast.Expr, cur, yes, no *Block) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(e.X, cur, yes, no)
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(e.X, cur, no, yes)
+			return
+		}
+		cur.Nodes = append(cur.Nodes, e)
+		cur.addSucc(yes)
+		cur.addSucc(no)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(e.X, cur, mid, no)
+			b.cond(e.Y, mid, yes, no)
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(e.X, cur, yes, mid)
+			b.cond(e.Y, mid, yes, no)
+		default:
+			cur.Nodes = append(cur.Nodes, e)
+			cur.addSucc(yes)
+			cur.addSucc(no)
+		}
+	default:
+		cur.Nodes = append(cur.Nodes, e)
+		cur.addSucc(yes)
+		cur.addSucc(no)
+	}
+}
+
+// pushLoop registers break/continue targets for a loop statement, also
+// under a pending label when the loop was labeled.
+func (b *cfgBuilder) pushLoop(loop ast.Stmt, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+	if b.pendingLabel != "" {
+		b.labeledBreak[b.pendingLabel] = brk
+		b.labeledContinue[b.pendingLabel] = cont
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+// innermost returns the innermost non-nil target (select pushes nil
+// continue targets so `continue` skips past it to the enclosing loop).
+func (b *cfgBuilder) innermost(stack []*Block) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != nil {
+			return stack[i]
+		}
+	}
+	return nil
+}

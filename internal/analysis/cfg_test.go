@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a file containing one function and returns
+// its body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			return fn.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reachable returns the set of block indices reachable from entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() {
+	x := 1
+	x++
+	_ = x
+}`))
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry block has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Error("exit not reachable from entry")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(a bool) int {
+	if a {
+		return 1
+	}
+	return 2
+}`))
+	// Both returns must reach exit; exit has ≥2 predecessors.
+	if len(g.Exit.Preds) < 2 {
+		t.Errorf("exit has %d preds, want ≥2 (one per return)", len(g.Exit.Preds))
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}`))
+	// The loop head must be its own ancestor: find a cycle.
+	r := reachable(g)
+	cycle := false
+	for _, b := range g.Blocks {
+		if !r[b.Index] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s.Index <= b.Index && r[s.Index] {
+				cycle = true
+			}
+		}
+	}
+	if !cycle {
+		t.Error("for loop produced no back edge")
+	}
+	if !r[g.Exit.Index] {
+		t.Error("loop exit unreachable")
+	}
+}
+
+func TestCFGShortCircuit(t *testing.T) {
+	// In `a && g()`, g() must be on a conditional path: there must be
+	// an edge from the block evaluating `a` that bypasses g().
+	g := BuildCFG(parseBody(t, `package p
+func f(a bool, g func() bool) {
+	if a && g() {
+		_ = 1
+	}
+}`))
+	var aBlock, gBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "a" {
+				aBlock = b
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "g" {
+					gBlock = b
+				}
+			}
+		}
+	}
+	if aBlock == nil || gBlock == nil {
+		t.Fatal("condition operands not found in any block")
+	}
+	if aBlock == gBlock {
+		t.Fatal("short-circuit operands share a block; && not decomposed")
+	}
+	bypass := false
+	for _, s := range aBlock.Succs {
+		if s != gBlock {
+			bypass = true
+		}
+	}
+	if !bypass {
+		t.Error("no path bypassing the right operand of &&")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x > 100 {
+			break
+		}
+		total += x
+	}
+	return total
+}`))
+	r := reachable(g)
+	if !r[g.Exit.Index] {
+		t.Error("exit unreachable with break/continue")
+	}
+	// The return statement must be reachable.
+	foundReturn := false
+	for _, b := range g.Blocks {
+		if !r[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				foundReturn = true
+			}
+		}
+	}
+	if !foundReturn {
+		t.Error("return statement unreachable after loop with break")
+	}
+}
+
+func TestCFGDeferRecorded(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(unlock func()) {
+	defer unlock()
+	_ = 1
+}`))
+	if len(g.Defers) != 1 {
+		t.Errorf("recorded %d defers, want 1", len(g.Defers))
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(x int) string {
+	switch x {
+	case 1:
+		return "one"
+	case 2:
+		fallthrough
+	case 3:
+		return "few"
+	}
+	return "many"
+}`))
+	r := reachable(g)
+	if !r[g.Exit.Index] {
+		t.Error("exit unreachable through switch")
+	}
+	// Four return statements' blocks plus fallthrough path must all be
+	// reachable; count reachable return statements.
+	returns := 0
+	for _, b := range g.Blocks {
+		if !r[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+			}
+		}
+	}
+	if returns != 3 {
+		t.Errorf("reachable returns = %d, want 3", returns)
+	}
+}
+
+// TestSolveReachingUse exercises the worklist solver with a tiny
+// "pending set" analysis: fact = set of block indices seen, join =
+// union. The exit fact must contain both branch blocks of an if/else.
+func TestSolveReachingUse(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(a bool) {
+	if a {
+		_ = 1
+	} else {
+		_ = 2
+	}
+}`))
+	type fact = map[int]bool
+	res := Solve(g, FlowProblem[fact]{
+		Entry: fact{},
+		Transfer: func(b *Block, in fact) fact {
+			out := make(fact, len(in)+1)
+			for k := range in {
+				out[k] = true
+			}
+			out[b.Index] = true
+			return out
+		},
+		Join: func(x, y fact) fact {
+			out := make(fact, len(x)+len(y))
+			for k := range x {
+				out[k] = true
+			}
+			for k := range y {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(x, y fact) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for k := range x {
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	exitIn := res.In[g.Exit.Index]
+	if !res.Reached[g.Exit.Index] {
+		t.Fatal("exit not reached by solver")
+	}
+	// Every reachable block must appear in the exit fact's union.
+	for idx := range reachable(g) {
+		if idx == g.Exit.Index {
+			continue
+		}
+		if !exitIn[idx] {
+			t.Errorf("block %d missing from union fact at exit", idx)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+// This file implements a generic forward dataflow solver over the CFGs
+// of cfg.go. A checker instantiates FlowProblem with its fact type —
+// a set of pending errors, the set of held locks, the set of tainted
+// variables — and Solve runs the standard worklist iteration to a
+// fixpoint: facts flow along CFG edges, merge at join points, and are
+// transformed by each block's statements.
+//
+// Fact types must behave like immutable values: Transfer must return a
+// fresh fact (or the input unchanged), never mutate its input in place,
+// because a block's output fact is shared by all its successors.
+
+// FlowProblem describes one forward dataflow analysis over fact type F.
+type FlowProblem[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Transfer computes the fact after executing block b with fact in.
+	Transfer func(b *Block, in F) F
+	// Join merges facts arriving over two CFG edges.
+	Join func(a, b F) F
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b F) bool
+}
+
+// FlowResult carries the fixpoint facts of one Solve run.
+type FlowResult[F any] struct {
+	// In[b.Index] is the fact at entry of block b; Out[b.Index] at its
+	// exit. Unreachable blocks have Reached[b.Index] == false and hold
+	// zero facts.
+	In, Out []F
+	Reached []bool
+}
+
+// Solve runs the worklist iteration to a fixpoint and returns the
+// per-block facts. The iteration terminates for any finite-height
+// lattice; checkers in this package use finite sets over the variables
+// of one function, which ascend at most once per element.
+func Solve[F any](g *CFG, p FlowProblem[F]) *FlowResult[F] {
+	n := len(g.Blocks)
+	res := &FlowResult[F]{
+		In:      make([]F, n),
+		Out:     make([]F, n),
+		Reached: make([]bool, n),
+	}
+	res.In[g.Entry.Index] = p.Entry
+	res.Reached[g.Entry.Index] = true
+	res.Out[g.Entry.Index] = p.Transfer(g.Entry, p.Entry)
+
+	work := make([]*Block, 0, n)
+	inWork := make([]bool, n)
+	push := func(b *Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, s := range g.Entry.Succs {
+		push(s)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		var in F
+		first := true
+		for _, pred := range b.Preds {
+			if !res.Reached[pred.Index] {
+				continue
+			}
+			if first {
+				in = res.Out[pred.Index]
+				first = false
+			} else {
+				in = p.Join(in, res.Out[pred.Index])
+			}
+		}
+		if first && b != g.Entry {
+			continue // no reachable predecessor yet
+		}
+		if b == g.Entry {
+			in = p.Entry
+		}
+		out := p.Transfer(b, in)
+		if res.Reached[b.Index] && p.Equal(res.In[b.Index], in) && p.Equal(res.Out[b.Index], out) {
+			continue
+		}
+		res.Reached[b.Index] = true
+		res.In[b.Index] = in
+		res.Out[b.Index] = out
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return res
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the suggested fixes attached to diags to the files
+// on disk and returns the files rewritten, sorted. Fixes whose edits
+// overlap an earlier fix in the same file are skipped — rerunning the
+// driver picks them up once the file has settled. Edited files are run
+// through go/format, so insertions need not worry about exact
+// indentation, and a fix's NeedImport is added to the import set when
+// missing.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) ([]string, error) {
+	type fileFixes struct {
+		edits   []TextEdit
+		imports []string
+	}
+	perFile := make(map[string]*fileFixes)
+
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		filename := fset.Position(d.Fix.Edits[0].Pos).Filename
+		ff := perFile[filename]
+		if ff == nil {
+			ff = &fileFixes{}
+			perFile[filename] = ff
+		}
+		// A fix is all-or-nothing: skip it entirely when any edit
+		// overlaps one already accepted for this file.
+		overlaps := false
+		for _, e := range d.Fix.Edits {
+			if fset.Position(e.Pos).Filename != filename {
+				return nil, fmt.Errorf("analysis: fix %q spans multiple files", d.Fix.Message)
+			}
+			for _, prev := range ff.edits {
+				if e.Pos < prev.End && prev.Pos < e.End {
+					overlaps = true
+				}
+				// Two insertions at the same point have no defined order.
+				if e.Pos == e.End && prev.Pos == prev.End && e.Pos == prev.Pos {
+					overlaps = true
+				}
+			}
+		}
+		if overlaps {
+			continue
+		}
+		ff.edits = append(ff.edits, d.Fix.Edits...)
+		if d.Fix.NeedImport != "" {
+			ff.imports = append(ff.imports, d.Fix.NeedImport)
+		}
+	}
+
+	var changed []string
+	for filename, ff := range perFile {
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return changed, err
+		}
+		out, err := applyEdits(fset, filename, src, ff.edits)
+		if err != nil {
+			return changed, err
+		}
+		for _, path := range ff.imports {
+			out, err = ensureImport(out, path)
+			if err != nil {
+				return changed, fmt.Errorf("analysis: adding import %q to %s: %w", path, filename, err)
+			}
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return changed, fmt.Errorf("analysis: fixed %s does not parse: %w", filename, err)
+		}
+		if err := os.WriteFile(filename, formatted, 0o644); err != nil {
+			return changed, err
+		}
+		changed = append(changed, filename)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+// applyEdits replaces each edit's [Pos, End) range in src, working from
+// the end of the file backwards so earlier offsets stay valid.
+func applyEdits(fset *token.FileSet, filename string, src []byte, edits []TextEdit) ([]byte, error) {
+	sorted := make([]TextEdit, len(edits))
+	copy(sorted, edits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pos > sorted[j].Pos })
+	for _, e := range sorted {
+		start := fset.Position(e.Pos).Offset
+		end := fset.Position(e.End).Offset
+		if start < 0 || end < start || end > len(src) {
+			return nil, fmt.Errorf("analysis: edit range [%d,%d) out of bounds in %s", start, end, filename)
+		}
+		src = append(src[:start], append([]byte(e.NewText), src[end:]...)...)
+	}
+	return src, nil
+}
+
+// ensureImport adds an import of path to the source when missing: into
+// the first parenthesized import block if there is one, as a new import
+// declaration after the package clause otherwise. go/format later sorts
+// the block, so placement inside it does not matter.
+func ensureImport(src []byte, path string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"`+path+`"` {
+			return src, nil
+		}
+	}
+	insertAt := fset.Position(f.Name.End()).Offset
+	text := fmt.Sprintf("\n\nimport %q", path)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			insertAt = fset.Position(gd.Lparen).Offset + 1
+			text = fmt.Sprintf("\n%q\n", path)
+			break
+		}
+	}
+	out := make([]byte, 0, len(src)+len(text))
+	out = append(out, src[:insertAt]...)
+	out = append(out, text...)
+	out = append(out, src[insertAt:]...)
+	return out, nil
+}

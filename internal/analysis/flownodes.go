@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Helpers shared by the CFG-based checkers: walking the functions of a
+// package and the expressions of one CFG node.
+
+// funcBody is one analyzable function: a declared function or a
+// function literal, with the name used in diagnostics.
+type funcBody struct {
+	name string
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+}
+
+// functionsOf yields every function body in the file, including nested
+// function literals, each exactly once.
+func functionsOf(file *ast.File) []funcBody {
+	var out []funcBody
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		out = append(out, funcBody{name: fn.Name.Name, decl: fn, body: fn.Body})
+		name := fn.Name.Name
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcBody{name: name + " (func literal)", lit: lit, body: lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// visitNode walks the expressions of one CFG node in source order,
+// calling f on each descendant. It skips function literal bodies (they
+// execute at another time, and are analyzed as functions of their own)
+// and the body of a range statement (its statements live in their own
+// CFG blocks; only the key, value and ranged expression belong to the
+// loop head).
+func visitNode(n ast.Node, f func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if rs.Key != nil {
+			visitNode(rs.Key, f)
+		}
+		if rs.Value != nil {
+			visitNode(rs.Value, f)
+		}
+		visitNode(rs.X, f)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// callsIn collects the call expressions of one CFG node in source
+// order, excluding calls inside nested function literals and range
+// bodies (see visitNode).
+func callsIn(n ast.Node) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	visitNode(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	return calls
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc is the performance lint for the iteration engines: inside a
+// power-iteration loop — the per-iteration convergence loop of the
+// pagerank, core (ApproxRank's extended chain), hits and blockrank
+// packages — every `make` is a fresh allocation per iteration and
+// every `append` to a slice without preallocated capacity reallocates
+// as it grows. Both belong before the loop: the iteration count is
+// bounded by MaxIterations, so buffers can be sized once.
+//
+// A power-iteration loop is recognized by the repository's convention:
+// a `for` statement whose init declares a variable named "iter" or
+// whose condition mentions MaxIterations. Function literals inside the
+// loop body (the parallel engine's workers) run once per iteration and
+// are scanned too.
+//
+// An append target counts as preallocated when the same expression is
+// assigned a three-argument make (explicit capacity) earlier in the
+// function. Intentional per-iteration allocations take an
+// //arlint:allow hotalloc sentinel.
+var HotAlloc = &Analyzer{
+	Name:        "hotalloc",
+	Doc:         "no allocations or append growth inside power-iteration loops (pagerank/core/hits/blockrank)",
+	LibraryOnly: true,
+	Run:         runHotAlloc,
+}
+
+// hotPackages are the iteration engines the checker covers.
+var hotPackages = map[string]bool{
+	"pagerank": true, "approxrank": true, "hits": true, "blockrank": true, "core": true,
+}
+
+func runHotAlloc(pass *Pass) {
+	if !hotPackages[pass.Pkg.Name] {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkHotAllocFunc(pass, fn)
+		}
+	}
+}
+
+func checkHotAllocFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || !isPowerLoop(loop) {
+			return true
+		}
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(),
+					"make inside the power-iteration loop of %s allocates every iteration; hoist it before the loop",
+					fn.Name.Name)
+			case "append":
+				if len(call.Args) == 0 {
+					return true
+				}
+				target := types.ExprString(call.Args[0])
+				if preallocatedBefore(fn, target, loop) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"append to %q grows inside the power-iteration loop of %s; preallocate it with capacity (make(..., 0, n)) before the loop",
+					target, fn.Name.Name)
+			}
+			return true
+		})
+		return false // nested loops are part of the same iteration body
+	})
+}
+
+// isPowerLoop recognizes the repository's convergence-loop convention:
+// `for iter := 1; iter <= cfg.MaxIterations; iter++`.
+func isPowerLoop(loop *ast.ForStmt) bool {
+	if init, ok := loop.Init.(*ast.AssignStmt); ok {
+		for _, lhs := range init.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "iter" {
+				return true
+			}
+		}
+	}
+	if loop.Cond == nil {
+		return false
+	}
+	mentions := false
+	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(id.Name, "MaxIter") {
+			mentions = true
+		}
+		return true
+	})
+	return mentions
+}
+
+// preallocatedBefore reports whether target (rendered expression, e.g.
+// "res.Deltas") is assigned a make with explicit capacity somewhere in
+// fn before the loop.
+func preallocatedBefore(fn *ast.FuncDecl, target string, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n.Pos() >= loop.Pos() {
+			return false // only assignments before the loop qualify
+		}
+		s, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range s.Lhs {
+			if types.ExprString(lhs) != target || i >= len(s.Rhs) {
+				continue
+			}
+			if call, ok := s.Rhs[i].(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) == 3 {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

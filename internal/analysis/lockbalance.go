@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockBalance verifies that every mutex acquisition reaches a matching
+// release on all control-flow paths out of the function: a `mu.Lock()`
+// must be followed by `mu.Unlock()` on every path to return, or by a
+// `defer mu.Unlock()`. RWMutex read locks are tracked separately
+// (RLock pairs with RUnlock, Lock with Unlock).
+//
+// An early `return err` between Lock and Unlock is the classic leak in
+// concurrent serving code: the next goroutine to touch the structure
+// deadlocks, and rank-serving state behind the lock is frozen mid-
+// update. The checker is intentionally intra-procedural — a function
+// that acquires a lock for its caller to release needs an
+// //arlint:allow lockbalance sentinel documenting the handoff.
+//
+// Simplifications: a defer anywhere in the function counts as running
+// at every exit (conditionally registered defers are assumed
+// registered), and locks are identified by the source expression of
+// their receiver (`s.mu` and `mu` are different locks; aliasing through
+// pointers is not tracked).
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "every Lock must reach an Unlock or defer Unlock on all paths (RWMutex aware)",
+	Run:  runLockBalance,
+}
+
+// lockOp classifies a mutex method call.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+	opRLock
+	opRUnlock
+)
+
+// lockFact maps held-lock keys ("w " + expr or "r " + expr) to the
+// position of the acquisition. Facts are treated as immutable.
+type lockFact map[string]token.Pos
+
+func runLockBalance(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, fn := range functionsOf(file) {
+			checkLockBalanceFunc(pass, fn)
+		}
+	}
+}
+
+func checkLockBalanceFunc(pass *Pass, fn funcBody) {
+	info := pass.Pkg.Info
+	g := BuildCFG(fn.body)
+
+	// Deferred releases run at every exit.
+	deferred := make(map[string]bool)
+	for _, d := range g.Defers {
+		if op, key := classifyLockCall(info, d.Call); op == opUnlock {
+			deferred["w "+key] = true
+		} else if op == opRUnlock {
+			deferred["r "+key] = true
+		}
+	}
+
+	transfer := func(b *Block, in lockFact) lockFact {
+		out := in
+		cloned := false
+		clone := func() {
+			if !cloned {
+				c := make(lockFact, len(out)+1)
+				for k, v := range out {
+					c[k] = v
+				}
+				out = c
+				cloned = true
+			}
+		}
+		for _, node := range b.Nodes {
+			if _, isDefer := node.(*ast.DeferStmt); isDefer {
+				continue // applied at exit via the deferred set
+			}
+			for _, call := range callsIn(node) {
+				op, key := classifyLockCall(info, call)
+				switch op {
+				case opLock:
+					clone()
+					out["w "+key] = call.Pos()
+				case opUnlock:
+					clone()
+					delete(out, "w "+key)
+				case opRLock:
+					clone()
+					out["r "+key] = call.Pos()
+				case opRUnlock:
+					clone()
+					delete(out, "r "+key)
+				}
+			}
+		}
+		return out
+	}
+
+	res := Solve(g, FlowProblem[lockFact]{
+		Entry:    lockFact{},
+		Transfer: transfer,
+		Join: func(a, b lockFact) lockFact {
+			if len(b) == 0 {
+				return a
+			}
+			if len(a) == 0 {
+				return b
+			}
+			out := make(lockFact, len(a)+len(b))
+			for k, v := range a {
+				out[k] = v
+			}
+			for k, v := range b {
+				out[k] = v
+			}
+			return out
+		},
+		Equal: func(a, b lockFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+	})
+
+	if !res.Reached[g.Exit.Index] {
+		return
+	}
+	for key, pos := range res.In[g.Exit.Index] {
+		if deferred[key] {
+			continue
+		}
+		verb := "Unlock"
+		if key[0] == 'r' {
+			verb = "RUnlock"
+		}
+		pass.Reportf(pos,
+			"%s acquired here may not reach %s on every path out of %s; release it on all paths or defer the release",
+			lockName(key), verb, fn.name)
+	}
+}
+
+// classifyLockCall recognizes calls to the sync package's mutex
+// methods (including methods promoted through embedding) and returns
+// the operation plus the receiver's source expression as the lock key.
+func classifyLockCall(info *types.Info, call *ast.CallExpr) (lockOp, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "Unlock":
+		op = opUnlock
+	case "RLock":
+		op = opRLock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return opNone, ""
+	}
+	obj := info.Uses[sel.Sel]
+	if selection, ok := info.Selections[sel]; ok {
+		obj = selection.Obj()
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return opNone, ""
+	}
+	return op, types.ExprString(sel.X)
+}
+
+// lockName renders a held-lock key for diagnostics.
+func lockName(key string) string {
+	kind, expr := key[:1], key[2:]
+	if kind == "r" {
+		return "read lock on " + expr
+	}
+	return "lock on " + expr
+}

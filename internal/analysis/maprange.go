@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange is the determinism lint for the functions normreturn
+// covers: inside an exported score producer, iterating a map in Go's
+// randomized order must not be able to reach the returned score data.
+// A ranking assembled in map order differs between two runs of the
+// same binary — exactly the nondeterminism that makes L1/footrule
+// comparisons against IdealRank unreproducible.
+//
+// A map range taints an outer variable when its body
+//   - appends to it (element order then depends on iteration order), or
+//   - accumulates into it with a compound assignment on a float or
+//     string (float addition is not associative; ulp-level differences
+//     reorder ties downstream).
+//
+// The taint is cleared when, before reaching a return of the tainted
+// value, the value passes through a sort call (sort.Slice, sort.Sort,
+// sort.Float64s, or any function whose name contains "sort") or is
+// wholly overwritten. Order-insensitive uses — writing m[k] into
+// per-key slots, integer counting — are not flagged. -fix rewrites the
+// loop to iterate over sorted keys.
+var MapRange = &Analyzer{
+	Name:        "maprange",
+	Doc:         "map iteration order must not reach an exported score producer's return value unsorted",
+	LibraryOnly: true,
+	Run:         runMapRange,
+}
+
+// taintFact maps a tainted variable to the map range that tainted it.
+type taintFact map[types.Object]*ast.RangeStmt
+
+func runMapRange(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !isScoreProducer(pass.Pkg.Info, fn) {
+				continue
+			}
+			checkMapRangeFunc(pass, fn)
+		}
+	}
+}
+
+func checkMapRangeFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	g := BuildCFG(fn.Body)
+
+	// Pre-pass: find map ranges and the outer variables their bodies
+	// accumulate into in iteration order.
+	taintsOf := make(map[*ast.RangeStmt][]types.Object)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(rs.X); t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		taintsOf[rs] = orderSensitiveWrites(info, rs)
+		return true
+	})
+
+	namedResults := make(map[types.Object]bool)
+	if fn.Type.Results != nil {
+		for _, field := range fn.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					namedResults[obj] = true
+				}
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	transfer := func(b *Block, in taintFact) taintFact {
+		out := in
+		cloned := false
+		clone := func() {
+			if !cloned {
+				c := make(taintFact, len(out)+1)
+				for k, v := range out {
+					c[k] = v
+				}
+				out = c
+				cloned = true
+			}
+		}
+		for _, node := range b.Nodes {
+			switch s := node.(type) {
+			case *ast.RangeStmt:
+				if objs := taintsOf[s]; len(objs) > 0 {
+					clone()
+					for _, obj := range objs {
+						out[obj] = s
+					}
+				}
+			case *ast.ReturnStmt:
+				for obj, rs := range out {
+					returned := false
+					if s.Results == nil {
+						returned = namedResults[obj]
+					} else {
+						for _, res := range s.Results {
+							if usesObject(info, res, obj, nil) {
+								returned = true
+							}
+						}
+					}
+					if returned && !reported[rs.Pos()] {
+						reported[rs.Pos()] = true
+						pass.ReportfFix(rs.Pos(), mapRangeFix(pass, rs),
+							"map iteration order reaches the return value of %s through %q; iterate over sorted keys or sort it before returning",
+							fn.Name.Name, obj.Name())
+					}
+				}
+			case *ast.AssignStmt:
+				// A sort call or a whole overwrite settles the order.
+				for _, call := range callsIn(s) {
+					killSorted(info, call, &out, clone)
+				}
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Uses[id]
+					if obj == nil {
+						obj = info.Defs[id]
+					}
+					if _, tainted := out[obj]; !tainted {
+						continue
+					}
+					if i < len(s.Rhs) && usesObject(info, s.Rhs[i], obj, nil) {
+						continue // v = append(v, ...): still the same data
+					}
+					if len(s.Rhs) == 1 && len(s.Lhs) > 1 && usesObject(info, s.Rhs[0], obj, nil) {
+						continue
+					}
+					clone()
+					delete(out, obj)
+				}
+			default:
+				for _, call := range callsIn(node) {
+					killSorted(info, call, &out, clone)
+				}
+			}
+		}
+		return out
+	}
+
+	Solve(g, FlowProblem[taintFact]{
+		Entry:    taintFact{},
+		Transfer: transfer,
+		Join: func(a, b taintFact) taintFact {
+			if len(b) == 0 {
+				return a
+			}
+			if len(a) == 0 {
+				return b
+			}
+			out := make(taintFact, len(a)+len(b))
+			for k, v := range a {
+				out[k] = v
+			}
+			for k, v := range b {
+				out[k] = v
+			}
+			return out
+		},
+		Equal: func(a, b taintFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+	})
+}
+
+// killSorted clears the taint of any variable passed to a sort-like
+// call (callee name contains "sort", case-insensitive).
+func killSorted(info *types.Info, call *ast.CallExpr, out *taintFact, clone func()) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		if id, ok := fun.X.(*ast.Ident); ok && id.Name == "sort" {
+			name = "sort" + name
+		}
+	}
+	if !strings.Contains(strings.ToLower(name), "sort") {
+		return
+	}
+	for obj := range *out {
+		for _, arg := range call.Args {
+			if usesObject(info, arg, obj, nil) {
+				clone()
+				delete(*out, obj)
+			}
+		}
+	}
+}
+
+// orderSensitiveWrites returns the variables declared outside rs that
+// rs's body accumulates into in iteration order: append targets, and
+// float/string compound assignments.
+func orderSensitiveWrites(info *types.Info, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	add := func(id *ast.Ident) {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || seen[v] {
+			return
+		}
+		// Declared inside the loop: its order-dependence dies with the
+		// iteration unless it escapes, which a later range covers.
+		if v.Pos() >= rs.Pos() && v.Pos() <= rs.End() {
+			return
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		s, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE:
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if i < len(s.Lhs) {
+					if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						add(id)
+					}
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(id)
+			if t == nil {
+				return true
+			}
+			if b, ok := t.Underlying().(*types.Basic); ok &&
+				b.Info()&(types.IsFloat|types.IsString) != 0 {
+				add(id)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mapRangeFix builds the mechanical rewrite: materialize the keys,
+// sort them, and iterate the sorted slice. Returns nil when the loop
+// shape is outside the mechanical cases (non-identifier key, unordered
+// key type, ranging over a call).
+func mapRangeFix(pass *Pass, rs *ast.RangeStmt) *SuggestedFix {
+	info := pass.Pkg.Info
+	switch rs.X.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return nil
+	}
+	if rs.Tok != token.DEFINE {
+		return nil
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil
+	}
+	mt, ok := info.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	basic, ok := mt.Key().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsOrdered == 0 {
+		return nil
+	}
+	qualifier := func(p *types.Package) string {
+		if p == pass.Pkg.Types {
+			return ""
+		}
+		return p.Name()
+	}
+	keyType := types.TypeString(mt.Key(), qualifier)
+	mapExpr := types.ExprString(rs.X)
+	line := pass.Pkg.Fset.Position(rs.Pos()).Line
+	keysVar := fmt.Sprintf("sortedKeys%d", line)
+
+	var header strings.Builder
+	fmt.Fprintf(&header, "%s := make([]%s, 0, len(%s))\n", keysVar, keyType, mapExpr)
+	fmt.Fprintf(&header, "for k := range %s {\n%s = append(%s, k)\n}\n", mapExpr, keysVar, keysVar)
+	fmt.Fprintf(&header, "sort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })\n", keysVar, keysVar, keysVar)
+	fmt.Fprintf(&header, "for _, %s := range %s {", key.Name, keysVar)
+
+	edits := []TextEdit{
+		{Pos: rs.For, End: rs.Body.Lbrace + 1, NewText: header.String()},
+	}
+	if val, ok := rs.Value.(*ast.Ident); ok && val.Name != "_" {
+		edits = append(edits, TextEdit{
+			Pos:     rs.Body.Lbrace + 1,
+			End:     rs.Body.Lbrace + 1,
+			NewText: fmt.Sprintf("\n%s := %s[%s]", val.Name, mapExpr, key.Name),
+		})
+	}
+	return &SuggestedFix{
+		Message:    "iterate over sorted map keys",
+		Edits:      edits,
+		NeedImport: "sort",
+	}
+}

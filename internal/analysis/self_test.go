@@ -10,6 +10,24 @@ import (
 // every change. A failure here means either real code regressed or a
 // new finding needs fixing (or, rarely, a documented //arlint:allow
 // sentinel).
+// TestSuiteComplete pins the size of the checker suite: a checker
+// accidentally dropped from All would silently stop being enforced by
+// the meta-test and the driver alike.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"floatcmp", "gocapture", "normreturn", "tolerances", "panicfree",
+		"errflow", "lockbalance", "maprange", "hotalloc",
+	}
+	if len(All) != len(want) {
+		t.Fatalf("len(All) = %d, want %d", len(All), len(want))
+	}
+	for i, a := range All {
+		if a.Name != want[i] {
+			t.Errorf("All[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
+
 func TestRepositoryInvariants(t *testing.T) {
 	root, err := FindModuleRoot(".")
 	if err != nil {

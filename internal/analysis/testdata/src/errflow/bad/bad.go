@@ -1,0 +1,47 @@
+// Package fixture triggers the errflow checker: errors produced by
+// calls that are ignored, silently discarded, or left unchecked on some
+// control-flow path.
+package fixture
+
+import (
+	"errors"
+	"os"
+)
+
+func work() error { return errors.New("boom") }
+
+// drop ignores the error result outright.
+func drop() {
+	work()
+}
+
+// blank discards the call result with _ and no sentinel.
+func blank() {
+	_ = work()
+}
+
+// slotDrop drops the error slot of a multi-result call.
+func slotDrop() *os.File {
+	f, _ := os.Open("x")
+	return f
+}
+
+// unchecked assigns the error but returns without reading it on the
+// early path.
+func unchecked(cond bool) int {
+	err := work()
+	if cond {
+		return 1
+	}
+	if err != nil {
+		return 2
+	}
+	return 0
+}
+
+// overwritten reassigns the pending error before checking it.
+func overwritten() error {
+	err := work()
+	err = work()
+	return err
+}

@@ -1,0 +1,50 @@
+// Package fixture stays clean under the errflow checker: every error is
+// checked, visibly discarded, or conventionally ignorable.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+// checked reads the error on every path.
+func checked() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// branches checks the error on both arms before returning.
+func branches(cond bool) error {
+	err := work()
+	if cond {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	return err
+}
+
+// sentinel discards visibly, with a recorded reason.
+func sentinel() {
+	_ = work() //arlint:allow errflow fixture: the error is irrelevant here
+}
+
+// named returns a pending error through a bare return.
+func named() (err error) {
+	err = work()
+	return
+}
+
+// printing and in-memory buffers are exempt: their errors are vestigial.
+func printing(sb *strings.Builder) {
+	fmt.Println("x")
+	sb.WriteString("y")
+}
+
+// deferred cleanup calls are idiomatic shutdown, not drops.
+func deferred(f func() error) {
+	defer f()
+}

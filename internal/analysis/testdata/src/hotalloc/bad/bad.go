@@ -1,0 +1,20 @@
+// Package pagerank (by name one of the iteration engines the hotalloc
+// checker covers) triggers the checker: allocations and unbounded
+// append growth inside the power-iteration loop.
+package pagerank
+
+type result struct {
+	deltas []float64
+}
+
+// Compute allocates a fresh buffer and grows a slice every iteration.
+func Compute(maxIterations int) []float64 {
+	res := &result{}
+	scores := make([]float64, 8)
+	for iter := 1; iter <= maxIterations; iter++ {
+		buf := make([]float64, len(scores))
+		copy(buf, scores)
+		res.deltas = append(res.deltas, buf[0])
+	}
+	return scores
+}

@@ -1,0 +1,33 @@
+// Package fixture triggers the lockbalance checker: locks acquired on
+// paths that can exit the function without releasing them.
+package fixture
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// leakOnError returns early while still holding the lock.
+func (t *table) leakOnError(fail bool) int {
+	t.mu.Lock()
+	if fail {
+		return -1
+	}
+	n := t.n
+	t.mu.Unlock()
+	return n
+}
+
+// readLeak never releases the read lock on the skip branch.
+func (t *table) readLeak(skip bool) int {
+	t.rw.RLock()
+	if skip {
+		return 0
+	}
+	n := t.n
+	t.rw.RUnlock()
+	return n
+}

@@ -1,0 +1,42 @@
+// Package fixture stays clean under the lockbalance checker: every
+// acquisition reaches a release on all paths.
+package fixture
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// deferred releases through defer, covering every exit.
+func (t *table) deferred() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// balanced releases explicitly on each path.
+func (t *table) balanced(fail bool) int {
+	t.mu.Lock()
+	if fail {
+		t.mu.Unlock()
+		return -1
+	}
+	n := t.n
+	t.mu.Unlock()
+	return n
+}
+
+// reader pairs the read lock with a deferred read release.
+func (t *table) reader() int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.n
+}
+
+// handoff acquires for its caller; the sentinel records the contract.
+func (t *table) handoff() {
+	t.mu.Lock() //arlint:allow lockbalance fixture: caller releases
+}

@@ -1,0 +1,24 @@
+// Package fixture triggers the maprange checker: map iteration order
+// reaching the returned score data of exported score producers.
+package fixture
+
+// ComputeScores assembles the ranking in map-iteration order — two runs
+// of the same binary can return differently-ordered scores.
+func ComputeScores(weights map[int]float64) []float64 {
+	var scores []float64
+	for id, w := range weights {
+		_ = id
+		scores = append(scores, w)
+	}
+	return scores
+}
+
+// TotalScore accumulates a float in iteration order; float addition is
+// not associative, so the sum depends on the order.
+func TotalScore(weights map[int]float64) []float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	return []float64{total}
+}

@@ -1,0 +1,39 @@
+// Package fixture stays clean under the maprange checker: map iteration
+// is either sorted before reaching the result or order-independent.
+package fixture
+
+import "sort"
+
+// ComputeScores iterates over sorted keys, so output order is stable.
+func ComputeScores(weights map[int]float64) []float64 {
+	keys := make([]int, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	scores := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		scores = append(scores, weights[k])
+	}
+	return scores
+}
+
+// FillScores writes into per-key slots: each slot gets the same value
+// regardless of iteration order, so nothing is flagged.
+func FillScores(weights map[int]float64) []float64 {
+	scores := make([]float64, len(weights))
+	for k, w := range weights {
+		scores[k] = w
+	}
+	return scores
+}
+
+// CountScores accumulates an integer count; integer addition commutes,
+// only float and string accumulation taints.
+func CountScores(weights map[int]float64) ([]float64, int) {
+	n := 0
+	for range weights {
+		n++
+	}
+	return make([]float64, n), n
+}

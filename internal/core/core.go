@@ -433,6 +433,7 @@ func (c *ExtendedChain) Run(cfg Config) (*Result, error) {
 	next := make([]float64, n+1)
 
 	res := &Result{}
+	res.Deltas = make([]float64, 0, cfg.MaxIterations)
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		// Mass that redistributes along the personalization vector: the
 		// random-jump mass, the mass on dangling local pages, and the mass

@@ -100,12 +100,12 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if g.Weighted() {
 		flags |= 1
 	}
-	bw.WriteByte(version)
-	bw.WriteByte(flags)
+	_ = bw.WriteByte(version) //arlint:allow errflow bufio errors are sticky; the final Flush reports them
+	_ = bw.WriteByte(flags)   //arlint:allow errflow bufio errors are sticky; the final Flush reports them
 	var buf [binary.MaxVarintLen64]byte
 	putUvarint := func(x uint64) {
 		n := binary.PutUvarint(buf[:], x)
-		bw.Write(buf[:n])
+		_, _ = bw.Write(buf[:n]) //arlint:allow errflow bufio errors are sticky; the final Flush reports them
 	}
 	putUvarint(uint64(g.NumNodes()))
 	putUvarint(uint64(g.NumEdges()))

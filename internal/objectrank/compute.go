@@ -89,7 +89,11 @@ func Compute(d *DataGraph, baseSet []graph.NodeID, cfg Config) (*Result, error) 
 	}
 	out := make([][]outEdge, n)
 	for _, e := range d.edges {
-		out[e.from] = append(out[e.from], outEdge{e.to, d.transferWeight(e)})
+		w, err := d.transferWeight(e)
+		if err != nil {
+			return nil, err
+		}
+		out[e.from] = append(out[e.from], outEdge{e.to, w})
 	}
 
 	start := time.Now()

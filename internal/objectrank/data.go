@@ -156,11 +156,18 @@ func (d *DataGraph) ObjectsOfTypes(typeNames ...string) ([]graph.NodeID, error) 
 }
 
 // transferWeight returns the ObjectRank authority transferred along one
-// concrete edge: rate(kind)/#edges-of-that-kind-from-u.
-func (d *DataGraph) transferWeight(e dataEdge) float64 {
+// concrete edge: rate(kind)/#edges-of-that-kind-from-u. A data edge whose
+// kind has no authority-transfer rate in the schema is a modeling error:
+// silently treating it as rate 0 would quietly starve every object behind
+// it, so the mismatch is reported to the caller instead.
+func (d *DataGraph) transferWeight(e dataEdge) (float64, error) {
 	k := transferKey{d.types[e.from], d.types[e.to], e.label}
-	rate, _ := d.schema.rate(k.from, k.to, e.label)
-	return rate / float64(d.outByKind[e.from][k])
+	rate, ok := d.schema.rate(k.from, k.to, e.label)
+	if !ok {
+		return 0, fmt.Errorf("objectrank: no authority transfer rate for edge kind %s-[%s]->%s",
+			d.schema.TypeName(k.from), e.label, d.schema.TypeName(k.to))
+	}
+	return rate / float64(d.outByKind[e.from][k]), nil
 }
 
 // AuthorityGraph materializes the weighted authority-transfer graph: edge
@@ -176,7 +183,11 @@ func (d *DataGraph) AuthorityGraph() (*graph.Graph, error) {
 	}
 	b := graph.NewBuilder(len(d.names))
 	for _, e := range d.edges {
-		b.AddWeightedEdge(e.from, e.to, d.transferWeight(e))
+		w, err := d.transferWeight(e)
+		if err != nil {
+			return nil, err
+		}
+		b.AddWeightedEdge(e.from, e.to, w)
 	}
 	return b.Build()
 }

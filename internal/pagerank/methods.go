@@ -39,6 +39,7 @@ func computeGaussSeidel(g InEdgeGraph, opts Options) (*Result, error) {
 	}
 	eps := opts.Epsilon
 	res := &Result{}
+	res.Deltas = make([]float64, 0, opts.MaxIterations)
 
 	danglingMass := 0.0
 	for u := 0; u < n; u++ {
@@ -129,6 +130,7 @@ func computeAdaptive(g DirectedGraph, opts Options) (*Result, error) {
 	threshold := opts.AdaptiveFreeze / float64(n)
 	eps := opts.Epsilon
 	res := &Result{}
+	res.Deltas = make([]float64, 0, opts.MaxIterations)
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		activeDangling := 0.0

@@ -229,6 +229,7 @@ func Compute(g DirectedGraph, opts Options) (*Result, error) {
 	}
 	next := make([]float64, n)
 	res := &Result{}
+	res.Deltas = make([]float64, 0, opts.MaxIterations)
 	var prev1, prev2 []float64
 	if opts.ExtrapolateEvery > 0 {
 		prev1 = make([]float64, n)

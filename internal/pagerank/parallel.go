@@ -70,6 +70,8 @@ func computeParallel(g DirectedGraph, opts Options) (*Result, error) {
 
 	eps := opts.Epsilon
 	res := &Result{}
+	res.Deltas = make([]float64, 0, opts.MaxIterations)
+	deltas := make([]float64, workers)
 	var wg sync.WaitGroup
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		danglingMass := 0.0
@@ -116,7 +118,6 @@ func computeParallel(g DirectedGraph, opts Options) (*Result, error) {
 		// Reduce in fixed worker order (deterministic), fusing the base
 		// term and the delta computation; the reduction itself is also
 		// parallel over target ranges.
-		deltas := make([]float64, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
