@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 5s
+BENCHTIME ?= 300ms
 
-.PHONY: all build lint lint-sarif fix-smoke vet test race fuzz-smoke
+.PHONY: all build lint lint-sarif fix-smoke vet test race bench fuzz-smoke
 
 all: build lint vet test
 
@@ -36,6 +37,14 @@ test:
 # drivers that fan work out across goroutines.
 race:
 	$(GO) test -race ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/
+
+# Focused engine benchmarks (chain construction, ApproxRank, the
+# sequential and parallel power iterations, RankMany fan-out) parsed to
+# a machine-readable artifact. BENCHTIME trades precision for speed.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' \
+		./internal/core/ ./internal/pagerank/ | $(GO) run ./cmd/benchjson > BENCH_core.json
+	@echo "wrote BENCH_core.json"
 
 # Short fuzzing pass over every fuzz target; go test accepts one -fuzz
 # pattern per package invocation, so each target gets its own run.

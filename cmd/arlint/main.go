@@ -21,6 +21,9 @@
 //	-write-baseline FILE  record the current findings in FILE and exit 0
 //	-fix                  apply suggested fixes, then re-analyze and
 //	                      report what remains
+//	-callgraph=dot        print the interprocedural call graph (with the
+//	                      per-function effect summaries in the labels) as
+//	                      Graphviz dot instead of running the checkers
 //
 // Exit status is 0 when the module is clean (after baseline filtering
 // and fixes), 1 when there are findings, and 2 when the module fails to
@@ -45,6 +48,7 @@ func main() {
 		baselinePath  = flag.String("baseline", "", "suppress findings recorded in this baseline file")
 		writeBaseline = flag.String("write-baseline", "", "record current findings to this file and exit")
 		fix           = flag.Bool("fix", false, "apply suggested fixes, then report remaining findings")
+		callgraph     = flag.String("callgraph", "", "debug output: 'dot' prints the call graph with summaries and exits")
 	)
 	flag.Parse()
 	if *list {
@@ -52,6 +56,15 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	switch *callgraph {
+	case "", "dot":
+	default:
+		fmt.Fprintf(os.Stderr, "arlint: unknown callgraph mode %q (want dot)\n", *callgraph)
+		os.Exit(2)
+	}
+	if *callgraph == "dot" {
+		os.Exit(dumpCallGraph(flag.Args()))
 	}
 	switch *format {
 	case "text", "json", "sarif":
@@ -160,8 +173,43 @@ func analyze(root, cwd string, patterns []string) ([]analysis.Diagnostic, int, i
 	return analysis.Run(selected, analysis.All), len(selected), 0
 }
 
+// dumpCallGraph loads the selected packages, builds the call graph and
+// summaries exactly as Run would, and writes the graph as Graphviz dot
+// on stdout (-callgraph=dot).
+func dumpCallGraph(patterns []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		return 2
+	}
+	selected, err := selectPackages(pkgs, cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		return 2
+	}
+	graph := analysis.BuildCallGraph(selected)
+	sums := analysis.ComputeSummaries(graph)
+	if err := graph.WriteDot(os.Stdout, sums); err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		return 2
+	}
+	return 0
+}
+
 // relTo renders file relative to dir when it lies below it.
 func relTo(dir, file string) string {
+	//arlint:allow errflow a failed Rel falls back to the absolute path by design
 	if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
 		return rel
 	}

@@ -1,0 +1,114 @@
+// benchjson converts `go test -bench` text output on stdin into a JSON
+// document on stdout, so benchmark numbers land in a machine-readable
+// artifact (`make bench` writes BENCH_core.json) instead of a terminal
+// scrollback.
+//
+// Each benchmark result line
+//
+//	BenchmarkApproxRank-8    120    9876543 ns/op    4096 B/op    12 allocs/op    34 iterations
+//
+// becomes one object: the trailing value/unit pairs — the standard
+// ns/op, B/op, allocs/op plus any custom b.ReportMetric units — are
+// collected into the metrics map verbatim, keyed by unit.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./internal/core/ | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, parsed.
+type Result struct {
+	// Name is the benchmark name without the Benchmark prefix, with the
+	// -<procs> suffix split off (sub-benchmark paths are preserved:
+	// "RankMany/workers=4").
+	Name string `json:"name"`
+	// Pkg is the package the result came from (the preceding "pkg:" line).
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is the GOMAXPROCS suffix of the name (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is the b.N the reported means were averaged over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every value/unit pair on the line:
+	// ns/op, B/op, allocs/op, MB/s and custom ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	results := []Result{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is name, iteration count, then value/unit pairs;
+		// a bare "BenchmarkX" header line without numbers is skipped.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{
+			Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+			Pkg:        pkg,
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		// Split the -<procs> suffix off the last path element.
+		if i := strings.LastIndex(r.Name, "-"); i > 0 {
+			if procs, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+				r.Procs = procs
+				r.Name = r.Name[:i]
+			}
+		}
+		bad := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		if bad {
+			continue
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

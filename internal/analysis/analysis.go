@@ -24,6 +24,20 @@
 //   - hotalloc:    no allocations or append growth inside the
 //     power-iteration loops of the ranking engines
 //
+// The third generation is interprocedural: Run builds a module-wide
+// call graph (callgraph.go) and computes per-function effect summaries
+// bottom-up over its strongly connected components (summary.go), so
+// checkers see through helpers. errflow, maprange and hotalloc consume
+// the summaries to flag violations a callee hides, and three
+// concurrency checkers target the parallel and distributed engines:
+//
+//   - wgbalance: every wg.Add is matched by a Done guaranteed on all
+//     paths of the spawned function, including via callees
+//   - chanleak:  no goroutine left blocked forever on a channel that no
+//     live path closes or drains
+//   - ctxflow:   a ctx-accepting function forwards its ctx to every
+//     ctx-accepting callee and spawns no cancellation-blind goroutines
+//
 // A finding can be suppressed with a sentinel comment on the offending
 // line or the line above:
 //
@@ -94,12 +108,23 @@ type Analyzer struct {
 var All = []*Analyzer{
 	FloatCmp, GoCapture, NormReturn, Tolerances, PanicFree,
 	ErrFlow, LockBalance, MapRange, HotAlloc,
+	WgBalance, ChanLeak, CtxFlow,
 }
 
-// Pass carries one analyzed package to one checker.
+// Pass carries one analyzed package to one checker, together with the
+// module-wide interprocedural facts shared by every pass of one Run:
+// the call graph and the per-function effect summaries.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+
+	// Graph is the static call graph over every loaded package.
+	Graph *CallGraph
+	// Summaries holds the bottom-up effect summaries; checkers query
+	// them through Summaries.CalleeSummary at call sites. Nil-safe: a
+	// Pass constructed without summaries (unit tests driving a single
+	// checker) degrades to intraprocedural behavior.
+	Summaries *Summaries
 
 	diags *[]Diagnostic
 }
@@ -133,15 +158,19 @@ func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args 
 }
 
 // Run executes the given checkers over the given packages and returns
-// the findings sorted by file, line, column, then checker name.
+// the findings sorted by file, line, column, then checker name. The
+// call graph and summaries are computed once, before any checker runs,
+// so every pass sees the same converged interprocedural facts.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	graph := BuildCallGraph(pkgs)
+	sums := ComputeSummaries(graph)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.LibraryOnly && pkg.Name == "main" {
 				continue
 			}
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Graph: graph, Summaries: sums, diags: &diags})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a synthetic multi-package module under a
+// temp dir and loads it, returning the packages keyed by name.
+func writeModule(t *testing.T, files map[string]string) map[string]*Package {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module cgtest\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := NewLoader().LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading synthetic module: %v", err)
+	}
+	byName := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byName[p.Name] = p
+	}
+	return byName
+}
+
+// nodeByName finds the graph node whose rendered name (pkg.Func or
+// pkg.Recv.Method) matches.
+func nodeByName(t *testing.T, cg *CallGraph, name string) *CGNode {
+	t.Helper()
+	for _, n := range cg.Nodes {
+		if n.String() == name {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %s (have %d nodes)", name, len(cg.Nodes))
+	return nil
+}
+
+func callsTo(n *CGNode, callee *CGNode) bool {
+	for _, c := range n.Calls {
+		if c == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphEdges asserts the three edge kinds the builder resolves:
+// plain same-package calls, qualified cross-package calls, and method
+// calls through a concrete receiver type.
+func TestCallGraphEdges(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"util/util.go": `package util
+
+func Helper() int { return 1 }
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+`,
+		"app/app.go": `package app
+
+import "cgtest/util"
+
+func local() int { return util.Helper() }
+
+func Run() int {
+	var c util.Counter
+	c.Inc()
+	return local()
+}
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["util"], pkgs["app"]})
+
+	run := nodeByName(t, cg, "app.Run")
+	local := nodeByName(t, cg, "app.local")
+	helper := nodeByName(t, cg, "util.Helper")
+	inc := nodeByName(t, cg, "util.Counter.Inc")
+
+	if !callsTo(run, local) {
+		t.Errorf("missing same-package edge app.Run -> app.local")
+	}
+	if !callsTo(local, helper) {
+		t.Errorf("missing cross-package edge app.local -> util.Helper")
+	}
+	if !callsTo(run, inc) {
+		t.Errorf("missing concrete-method edge app.Run -> util.Counter.Inc")
+	}
+	for _, caller := range helper.Callers {
+		if caller == local {
+			return
+		}
+	}
+	t.Errorf("util.Helper.Callers does not list app.local")
+}
+
+// TestCallGraphSCCOrder asserts the condensation: a mutually recursive
+// pair shares one SCC, and SCCs come out callee-first (bottom-up), so
+// the summary solver sees every callee before its callers.
+func TestCallGraphSCCOrder(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"rec/rec.go": `package rec
+
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+func Driver(n int) bool { return Even(n) }
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["rec"]})
+
+	even := nodeByName(t, cg, "rec.Even")
+	odd := nodeByName(t, cg, "rec.Odd")
+	driver := nodeByName(t, cg, "rec.Driver")
+
+	if even.SCC != odd.SCC {
+		t.Errorf("Even (scc %d) and Odd (scc %d) should share an SCC", even.SCC, odd.SCC)
+	}
+	if driver.SCC == even.SCC {
+		t.Errorf("Driver must not join the recursive SCC")
+	}
+	if even.SCC > driver.SCC {
+		t.Errorf("callee SCC %d ordered after caller SCC %d; condensation is not bottom-up", even.SCC, driver.SCC)
+	}
+	sccNodes := 0
+	for _, scc := range cg.SCCs {
+		sccNodes += len(scc)
+	}
+	if sccNodes != len(cg.Nodes) {
+		t.Errorf("SCCs cover %d nodes, graph has %d", sccNodes, len(cg.Nodes))
+	}
+}
+
+// TestSummaryConvergence runs the bottom-up solver over a module with a
+// recursive pair and allocation/error-drop chains: the test completing
+// at all proves the within-SCC fixpoint terminates, and the assertions
+// prove effects propagate through one and two levels of calls.
+func TestSummaryConvergence(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"fx/fx.go": `package fx
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+// drops checks but cannot propagate: no error result.
+func drops() {
+	if err := fail(); err != nil {
+		return
+	}
+}
+
+// MakeBuf allocates directly; Wrap allocates through it.
+func MakeBuf() []int { return make([]int, 4) }
+
+func Wrap() []int { return MakeBuf() }
+
+// Ping/Pong are mutually recursive and Pong allocates: the fixpoint
+// must converge with both marked allocating.
+func Ping(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	return Pong(n - 1)
+}
+
+func Pong(n int) []int {
+	if n == 0 {
+		return make([]int, 1)
+	}
+	return Ping(n - 1)
+}
+
+// Pure neither allocates nor drops.
+func Pure(a, b int) int { return a + b }
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["fx"]})
+	sums := ComputeSummaries(cg)
+
+	get := func(name string) *Summary {
+		s := sums.Of(nodeByName(t, cg, "fx."+name).Func)
+		if s == nil {
+			t.Fatalf("no summary for fx.%s", name)
+		}
+		return s
+	}
+
+	if s := get("drops"); !s.DropsError || s.DropSource != "fail" {
+		t.Errorf("drops: DropsError=%v DropSource=%q, want true/\"fail\"", s.DropsError, s.DropSource)
+	}
+	if s := get("MakeBuf"); !s.Allocates {
+		t.Errorf("MakeBuf: Allocates=false, want true")
+	}
+	if s := get("Wrap"); !s.Allocates || !strings.Contains(s.AllocVia, "MakeBuf") {
+		t.Errorf("Wrap: Allocates=%v AllocVia=%q, want true via MakeBuf", s.Allocates, s.AllocVia)
+	}
+	if s := get("Ping"); !s.Allocates {
+		t.Errorf("Ping: Allocates=false, want true (via recursive Pong)")
+	}
+	if s := get("Pong"); !s.Allocates {
+		t.Errorf("Pong: Allocates=false, want true")
+	}
+	if s := get("Pure"); s.Allocates || s.DropsError {
+		t.Errorf("Pure: Allocates=%v DropsError=%v, want false/false", s.Allocates, s.DropsError)
+	}
+}

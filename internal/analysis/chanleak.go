@@ -1,0 +1,484 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanLeak finds goroutines that block forever on a channel the
+// declaring function can stop servicing: the worker fan-out pattern of
+// internal/core/many.go and the partition runtimes, where workers range
+// over a job channel the producer must close, or push results the
+// consumer must drain. A goroutine parked on a channel nobody will
+// touch again is never collected — under serving traffic the leaked
+// goroutines and their stacks accumulate until the process dies.
+//
+// For each channel created locally (`ch := make(chan T[, cap])`) the
+// checker pairs every goroutine-side blocking operation with the
+// obligation the declaring function must meet on every path from the
+// spawn to its exit:
+//
+//	goroutine ranges over ch   -> close(ch) (ranges end only at close)
+//	goroutine receives <-ch    -> a send, or close(ch)
+//	goroutine sends ch <- v    -> a receive (unbuffered channels only;
+//	                              a buffered send may complete alone)
+//
+// Obligations can be met through helpers: passing ch to a static callee
+// whose summary (summary.go) closes, drains, or sends on the forwarded
+// parameter counts as the matching operation. A deferred close counts
+// on every path, mirroring lockbalance's treatment of defer.
+//
+// Channels that escape the function — returned, stored in a struct or
+// another variable, passed to a callee with no summary — are skipped:
+// the matching operation may live anywhere.
+var ChanLeak = &Analyzer{
+	Name: "chanleak",
+	Doc:  "a goroutine must not block forever on a channel no live path closes or drains",
+	Run:  runChanLeak,
+}
+
+// chanObligation is what the parent function owes one spawned goroutine.
+type chanObligation int
+
+const (
+	needClose chanObligation = iota // goroutine ranges: only close releases it
+	needSendOrClose                 // goroutine receives once
+	needRecv                        // goroutine sends on an unbuffered channel
+)
+
+func (o chanObligation) blocked() string {
+	switch o {
+	case needClose:
+		return "ranges over"
+	case needSendOrClose:
+		return "receives from"
+	default:
+		return "sends to"
+	}
+}
+
+func (o chanObligation) missing() string {
+	switch o {
+	case needClose:
+		return "close it"
+	case needSendOrClose:
+		return "send to it or close it"
+	default:
+		return "receive from it"
+	}
+}
+
+// chanLeakFact maps a channel object to the pending obligation from the
+// most recent spawn. Facts are immutable; transfer copies on write.
+// chanPending is stored by value so fixpoint detection compares the
+// obligation itself, not an allocation identity.
+type chanLeakFact map[types.Object]chanPending
+
+type chanPending struct {
+	ob    chanObligation
+	goPos token.Pos
+}
+
+func runChanLeak(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, fn := range functionsOf(file) {
+			checkChanLeakFunc(pass, fn)
+		}
+	}
+}
+
+func checkChanLeakFunc(pass *Pass, fn funcBody) {
+	info := pass.Pkg.Info
+
+	// Local channels: ch := make(chan T[, cap]); buffered channels
+	// release single sends without a partner.
+	buffered := make(map[types.Object]bool)
+	locals := make(map[types.Object]bool)
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && fn.lit == nil {
+			// Channels created inside nested literals get their own
+			// funcBody pass.
+			return n == fn.body
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, builtin := info.Uses[id].(*types.Builtin); !builtin || len(call.Args) == 0 {
+			return true
+		}
+		if t := info.TypeOf(call.Args[0]); t == nil {
+			return true
+		} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		target, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || target.Name == "_" {
+			return true
+		}
+		obj := info.Defs[target]
+		if obj == nil {
+			return true
+		}
+		locals[obj] = true
+		if len(call.Args) >= 2 {
+			// A literal 0 capacity is unbuffered; anything else we
+			// treat as buffered (can't bound the count statically).
+			if lit, isLit := call.Args[1].(*ast.BasicLit); !isLit || lit.Value != "0" {
+				buffered[obj] = true
+			}
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return
+	}
+
+	// Escape scan: any use of a local channel outside the recognized
+	// operations disqualifies it.
+	escaped := make(map[types.Object]bool)
+	chanOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && locals[obj] {
+			return obj
+		}
+		return nil
+	}
+	sanctioned := make(map[*ast.Ident]bool)
+	markSanctioned := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			sanctioned[id] = true
+		}
+	}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			markSanctioned(n.Chan)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				markSanctioned(n.X)
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					markSanctioned(n.X)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+						markSanctioned(n.Lhs[0])
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					switch id.Name {
+					case "close", "len", "cap":
+						for _, a := range n.Args {
+							markSanctioned(a)
+						}
+					}
+					return true
+				}
+			}
+			// A channel argument to a summarized callee is a known
+			// operation; to anything else it's an escape (left
+			// unsanctioned).
+			if cs := pass.Summaries.CalleeSummary(info, n); cs != nil {
+				for ai, arg := range n.Args {
+					if chanOf(arg) == nil {
+						continue
+					}
+					if ai < len(cs.SendsParams) &&
+						(cs.SendsParams[ai] || cs.ClosesParams[ai] || cs.DrainsParams[ai]) {
+						markSanctioned(arg)
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || sanctioned[id] {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj != nil && locals[obj] {
+			escaped[obj] = true
+		}
+		return true
+	})
+
+	// Obligations: what each spawned goroutine blocks on.
+	spawnOf := make(map[*ast.GoStmt]map[types.Object]chanObligation)
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		obs := make(map[types.Object]chanObligation)
+		record := func(obj types.Object, ob chanObligation) {
+			if obj == nil || escaped[obj] {
+				return
+			}
+			// A range obligation dominates; a send on a buffered
+			// channel is dropped.
+			if ob == needRecv && buffered[obj] {
+				return
+			}
+			if prev, seen := obs[obj]; !seen || ob == needClose || prev == needSendOrClose {
+				obs[obj] = ob
+			}
+		}
+		var scanBody ast.Node
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			scanBody = lit.Body
+		} else {
+			// go helper(ch, ...): obligations from the callee's summary.
+			if cs := pass.Summaries.CalleeSummary(info, g.Call); cs != nil {
+				for ai, arg := range g.Call.Args {
+					obj := chanOf(arg)
+					if obj == nil || ai >= len(cs.SendsParams) {
+						continue
+					}
+					if cs.DrainsParams[ai] {
+						record(obj, needClose)
+					}
+					if cs.SendsParams[ai] {
+						record(obj, needRecv)
+					}
+				}
+			}
+			if len(obs) > 0 {
+				spawnOf[g] = obs
+			}
+			return true
+		}
+		ast.Inspect(scanBody, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.SendStmt:
+				record(chanOf(m.Chan), needRecv)
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					record(chanOf(m.X), needSendOrClose)
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(m.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						record(chanOf(m.X), needClose)
+					}
+				}
+			case *ast.CallExpr:
+				if cs := pass.Summaries.CalleeSummary(info, m); cs != nil {
+					for ai, arg := range m.Args {
+						obj := chanOf(arg)
+						if obj == nil || ai >= len(cs.SendsParams) {
+							continue
+						}
+						if cs.DrainsParams[ai] {
+							record(obj, needClose)
+						}
+						if cs.SendsParams[ai] {
+							record(obj, needRecv)
+						}
+					}
+				}
+			}
+			return true
+		})
+		if len(obs) > 0 {
+			spawnOf[g] = obs
+		}
+		return true
+	})
+	if len(spawnOf) == 0 {
+		return
+	}
+
+	g := BuildCFG(fn.body)
+
+	// Deferred closes discharge close obligations at every exit.
+	deferredClose := make(map[types.Object]bool)
+	for _, d := range g.Defers {
+		if id, ok := d.Call.Fun.(*ast.Ident); ok && id.Name == "close" && len(d.Call.Args) == 1 {
+			if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+				if obj := chanOf(d.Call.Args[0]); obj != nil {
+					deferredClose[obj] = true
+				}
+			}
+		}
+	}
+
+	// discharges reports whether node settles the obligation ob for obj.
+	discharges := func(node ast.Node, obj types.Object, ob chanObligation) bool {
+		// A range head over the channel is a parent-side receive loop:
+		// it drains the channel, settling a goroutine-sender obligation.
+		// (visitNode only yields the head's key/value/X expressions, so
+		// the RangeStmt itself is matched here.)
+		if rs, ok := node.(*ast.RangeStmt); ok && chanOf(rs.X) == obj && ob == needRecv {
+			return true
+		}
+		found := false
+		visitNode(node, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.SendStmt:
+				if chanOf(m.Chan) == obj && ob == needSendOrClose {
+					found = true
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && chanOf(m.X) == obj && (ob == needRecv) {
+					found = true
+				}
+			case *ast.CallExpr:
+				if id, ok := m.Fun.(*ast.Ident); ok && id.Name == "close" && len(m.Args) == 1 {
+					if _, builtin := info.Uses[id].(*types.Builtin); builtin &&
+						chanOf(m.Args[0]) == obj && (ob == needClose || ob == needSendOrClose) {
+						found = true
+					}
+					return true
+				}
+				if cs := pass.Summaries.CalleeSummary(info, m); cs != nil {
+					for ai, arg := range m.Args {
+						if chanOf(arg) != obj || ai >= len(cs.SendsParams) {
+							continue
+						}
+						switch {
+						case ob == needClose && cs.ClosesParams[ai]:
+							found = true
+						case ob == needSendOrClose && (cs.SendsParams[ai] || cs.ClosesParams[ai]):
+							found = true
+						case ob == needRecv && cs.DrainsParams[ai]:
+							found = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	reported := make(map[token.Pos]bool)
+	transfer := func(b *Block, in chanLeakFact) chanLeakFact {
+		out := in
+		cloned := false
+		clone := func() {
+			if !cloned {
+				c := make(chanLeakFact, len(out)+1)
+				for k, v := range out {
+					c[k] = v
+				}
+				out = c
+				cloned = true
+			}
+		}
+		for _, node := range b.Nodes {
+			if gs, ok := node.(*ast.GoStmt); ok {
+				if obs := spawnOf[gs]; obs != nil {
+					clone()
+					for obj, ob := range obs {
+						out[obj] = chanPending{ob: ob, goPos: gs.Pos()}
+					}
+				}
+				continue
+			}
+			if _, isDefer := node.(*ast.DeferStmt); isDefer {
+				continue // deferred discharges apply at exit
+			}
+			for obj, p := range out {
+				if discharges(node, obj, p.ob) {
+					clone()
+					delete(out, obj)
+				}
+			}
+		}
+		return out
+	}
+
+	res := Solve(g, FlowProblem[chanLeakFact]{
+		Entry:    chanLeakFact{},
+		Transfer: transfer,
+		Join: func(a, b chanLeakFact) chanLeakFact {
+			if len(b) == 0 {
+				return a
+			}
+			if len(a) == 0 {
+				return b
+			}
+			out := make(chanLeakFact, len(a)+len(b))
+			for k, v := range a {
+				out[k] = v
+			}
+			for k, v := range b {
+				out[k] = v
+			}
+			return out
+		},
+		Equal: func(a, b chanLeakFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+	})
+
+	if !res.Reached[g.Exit.Index] {
+		return
+	}
+	for obj, p := range res.In[g.Exit.Index] {
+		if p.ob != needRecv && deferredClose[obj] {
+			continue
+		}
+		if reported[p.goPos] {
+			continue
+		}
+		reported[p.goPos] = true
+		hint := " (or defer the close)"
+		if p.ob == needRecv {
+			hint = ""
+		}
+		pass.Reportf(p.goPos,
+			"goroutine spawned here %s %q, but some path out of %s never %s again: the goroutine blocks forever; %s on every path%s",
+			p.ob.blocked(), obj.Name(), fn.name, opVerb(p.ob), p.ob.missing(), hint)
+	}
+}
+
+// opVerb renders the missing parent-side operation for the diagnostic.
+func opVerb(o chanObligation) string {
+	switch o {
+	case needClose:
+		return "closes it"
+	case needSendOrClose:
+		return "sends or closes it"
+	default:
+		return "receives from it"
+	}
+}

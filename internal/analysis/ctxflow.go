@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces cancellation propagation: a function that accepts a
+// context.Context must thread it through. The distributed crawler and
+// the partitioned rank runtimes are cancelled top-down — a subtree
+// query that times out must stop its fan-out — and a single call that
+// substitutes context.Background() (or context.TODO()) for the caller's
+// context detaches the whole subtree from that cancellation.
+//
+// In a function whose signature carries a context.Context parameter,
+// the checker reports:
+//
+//   - a call to a context-accepting callee that passes a fresh
+//     context.Background()/context.TODO() instead of the in-scope
+//     context (or one derived from it via context.WithCancel and
+//     friends — derivation is traced through local assignments)
+//   - a call to a context-accepting callee that receives some other
+//     context expression not derived from the parameter
+//   - a spawned goroutine that ignores cancellation entirely: its body
+//     (and its static callees, via the summaries of summary.go) never
+//     mentions the context or any value derived from it, yet the
+//     function's own context is right there to consume. Fire-and-forget
+//     goroutines that outlive a cancelled request are how the crawler
+//     leaks fetches.
+//
+// Functions without a context parameter are not checked: introducing
+// context plumbing is an API decision, not a lint fix.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "a ctx-accepting function must forward its ctx to ctx-accepting callees and cancellation-aware goroutines",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCtxFlowFunc(pass, fn)
+		}
+	}
+}
+
+func checkCtxFlowFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// The function's context parameter, if any.
+	var ctxObj types.Object
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj != nil && isContextType(obj.Type()) {
+					ctxObj = obj
+					break
+				}
+			}
+			if ctxObj != nil {
+				break
+			}
+		}
+	}
+	if ctxObj == nil {
+		return
+	}
+
+	derived := contextDerived(info, fn.Body, ctxObj)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			checkCtxGoroutine(pass, fn, n, ctxObj, derived)
+			// The goroutine body's own calls are judged against the same
+			// derived set; keep descending.
+			return true
+		case *ast.CallExpr:
+			ci := contextArgIndex(info, n)
+			if ci < 0 || ci >= len(n.Args) {
+				return true
+			}
+			arg := ast.Unparen(n.Args[ci])
+			if isFreshContext(info, arg) {
+				pass.Reportf(n.Pos(),
+					"call to %s passes a fresh %s although %s has %s in scope; forward %s (or a context derived from it) so cancellation propagates",
+					callName(n), types.ExprString(arg), fn.Name.Name, ctxObj.Name(), ctxObj.Name())
+				return true
+			}
+			if !exprUsesContext(info, arg, derived) {
+				pass.Reportf(n.Pos(),
+					"call to %s receives a context not derived from %s's parameter %s; the callee will not observe this request's cancellation",
+					callName(n), fn.Name.Name, ctxObj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkCtxGoroutine reports a goroutine spawned by a ctx-carrying
+// function whose body is blind to the context: neither the body nor any
+// static callee receives the context or a derived value.
+func checkCtxGoroutine(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt, ctxObj types.Object, derived map[types.Object]bool) {
+	info := pass.Pkg.Info
+
+	// go helper(args...): aware when any argument carries the context,
+	// or the callee's own signature shows it takes none (nothing to
+	// forward — but then a body that blocks can't be cancelled either;
+	// we only flag when the callee *could* take a context and doesn't
+	// get this one, which the CallExpr walk above already reports).
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// go func(...){...}(args): the literal is aware when its body or its
+	// call arguments mention the context set, directly or through a
+	// static callee that it forwards the context to (usesAnyObject scans
+	// identifiers, so a forwarded ctx argument inside the body counts).
+	if usesAnyObject(info, lit, derived) {
+		return
+	}
+	for _, arg := range g.Call.Args {
+		if usesAnyObject(info, arg, derived) {
+			return
+		}
+	}
+	// A trivial goroutine that cannot block on anything interesting is
+	// noise: only flag bodies that loop, select, send/receive, or call
+	// into the module (work that outlives cancellation).
+	if !goroutineDoesWork(pass, lit) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine spawned in %s ignores %s: its body neither checks ctx.Done() nor calls a context-accepting function; a cancelled request leaves it running",
+		fn.Name.Name, ctxObj.Name())
+}
+
+// goroutineDoesWork reports whether the literal's body contains
+// something worth cancelling: a loop, a select, a channel operation, or
+// a call to a function declared in this module (per the call graph).
+func goroutineDoesWork(pass *Pass, lit *ast.FuncLit) bool {
+	info := pass.Pkg.Info
+	works := false
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		if works {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SendStmt:
+			works = true
+		case *ast.CallExpr:
+			if pass.Summaries.CalleeSummary(info, m) != nil {
+				works = true
+			}
+		}
+		return true
+	})
+	return works
+}
+
+// isFreshContext matches context.Background() and context.TODO().
+func isFreshContext(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return false
+	}
+	fnObj, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fnObj.Pkg() != nil && fnObj.Pkg().Path() == "context"
+}
+
+// exprUsesContext reports whether the expression mentions any object of
+// the derived-context set. Call results count: ctx-accepting wrappers
+// like trace(ctx) return contexts derived from the parameter.
+func exprUsesContext(info *types.Info, e ast.Expr, derived map[types.Object]bool) bool {
+	return usesAnyObject(info, e, derived)
+}

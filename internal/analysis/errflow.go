@@ -30,6 +30,15 @@ import (
 //   - deferred calls (defer f.Close() is idiomatic shutdown)
 //   - //arlint:allow errflow sentinels; -fix rewrites ignored calls to
 //     the sentinel form `_ = f() //arlint:allow errflow ...`
+//
+// The checker is interprocedural through summaries (summary.go): a
+// helper that *checks* a callee's error and then discards it — the
+// variable's only uses are nil comparisons, and the helper has no error
+// result to propagate through — satisfies the intraprocedural rule (the
+// error was read) but still loses the error for every caller. The
+// helper's summary records the drop, and every call site of such a
+// helper is reported: the silent cross-function error drop is no longer
+// an analysis hole.
 var ErrFlow = &Analyzer{
 	Name: "errflow",
 	Doc:  "a returned error must be checked or explicitly discarded on every path",
@@ -45,7 +54,30 @@ func runErrFlow(pass *Pass) {
 		for _, fn := range functionsOf(file) {
 			checkErrFlowFunc(pass, fn)
 		}
+		reportErrorDropperCalls(pass, file)
 	}
+}
+
+// reportErrorDropperCalls flags every call to a function whose summary
+// says it observes a callee's error and discards it without
+// propagation. The drop site lives in the callee; the finding lands at
+// the caller, because the caller is who loses the error.
+func reportErrorDropperCalls(pass *Pass, file *ast.File) {
+	info := pass.Pkg.Info
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cs := pass.Summaries.CalleeSummary(info, call)
+		if cs == nil || !cs.DropsError {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"call to %s silently drops the error from %s (checked inside the callee but never propagated); surface it or add an //arlint:allow errflow sentinel at the drop site",
+			callName(call), cs.DropSource)
+		return true
+	})
 }
 
 func checkErrFlowFunc(pass *Pass, fn funcBody) {

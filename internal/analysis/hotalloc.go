@@ -24,6 +24,12 @@ import (
 // assigned a three-argument make (explicit capacity) earlier in the
 // function. Intentional per-iteration allocations take an
 // //arlint:allow hotalloc sentinel.
+//
+// The checker is interprocedural through summaries (summary.go): a
+// static call inside the loop to a module function whose summary says
+// it allocates — directly or via its own callees — is flagged exactly
+// like an inline make. Hiding the allocation in a helper is no longer
+// an analysis hole.
 var HotAlloc = &Analyzer{
 	Name:        "hotalloc",
 	Doc:         "no allocations or append growth inside power-iteration loops (pagerank/core/hits/blockrank)",
@@ -64,10 +70,22 @@ func checkHotAllocFunc(pass *Pass, fn *ast.FuncDecl) {
 				return true
 			}
 			id, ok := call.Fun.(*ast.Ident)
-			if !ok {
-				return true
+			isBuiltin := false
+			if ok {
+				_, isBuiltin = info.Uses[id].(*types.Builtin)
 			}
-			if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+			if !isBuiltin {
+				// Interprocedural: a call to a module function that
+				// allocates per call is an allocation per iteration.
+				if cs := pass.Summaries.CalleeSummary(info, call); cs != nil && cs.Allocates {
+					via := ""
+					if cs.AllocVia != "" {
+						via = " (via " + cs.AllocVia + ")"
+					}
+					pass.Reportf(call.Pos(),
+						"call to %s inside the power-iteration loop of %s allocates every iteration%s; hoist the allocation or restructure the helper",
+						callName(call), fn.Name.Name, via)
+				}
 				return true
 			}
 			switch id.Name {
@@ -118,14 +136,15 @@ func isPowerLoop(loop *ast.ForStmt) bool {
 
 // preallocatedBefore reports whether target (rendered expression, e.g.
 // "res.Deltas") is assigned a make with explicit capacity somewhere in
-// fn before the loop.
+// fn before the loop. A nil loop (the summary layer asking about the
+// whole function) accepts a capacity make anywhere in the body.
 func preallocatedBefore(fn *ast.FuncDecl, target string, loop *ast.ForStmt) bool {
 	found := false
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if found || n == nil {
 			return false
 		}
-		if n.Pos() >= loop.Pos() {
+		if loop != nil && n.Pos() >= loop.Pos() {
 			return false // only assignments before the loop qualify
 		}
 		s, ok := n.(*ast.AssignStmt)

@@ -21,6 +21,12 @@ import (
 //     string (float addition is not associative; ulp-level differences
 //     reorder ties downstream).
 //
+// The checker is interprocedural through summaries (summary.go): a
+// call to a module function whose summary marks a result as carrying
+// map-iteration order taints the variable it is assigned to (and a
+// tainted value returned directly is reported at the call site), so
+// moving the map range into a helper no longer hides it.
+//
 // The taint is cleared when, before reaching a return of the tainted
 // value, the value passes through a sort call (sort.Slice, sort.Sort,
 // sort.Float64s, or any function whose name contains "sort") or is
@@ -34,8 +40,17 @@ var MapRange = &Analyzer{
 	Run:         runMapRange,
 }
 
-// taintFact maps a tainted variable to the map range that tainted it.
-type taintFact map[types.Object]*ast.RangeStmt
+// taintOrigin records where a taint came from, for diagnostics: a map
+// range in this function (rs non-nil, mechanical fix available) or a
+// call to a function summarized as returning map-ordered data.
+type taintOrigin struct {
+	pos  token.Pos
+	desc string
+	rs   *ast.RangeStmt
+}
+
+// mapTaintFact maps a tainted variable to its origin.
+type mapTaintFact map[types.Object]*taintOrigin
 
 func runMapRange(pass *Pass) {
 	for _, file := range pass.Pkg.Files {
@@ -53,12 +68,69 @@ func runMapRange(pass *Pass) {
 }
 
 func checkMapRangeFunc(pass *Pass, fn *ast.FuncDecl) {
-	info := pass.Pkg.Info
+	reported := make(map[token.Pos]bool)
+	runMapTaintFlow(pass.Pkg, fn, pass.Summaries,
+		func(ret *ast.ReturnStmt, resultIndex int, origin *taintOrigin, obj types.Object) {
+			if reported[origin.pos] {
+				return
+			}
+			reported[origin.pos] = true
+			through := ""
+			if obj != nil {
+				through = fmt.Sprintf(" through %q", obj.Name())
+			}
+			var fix *SuggestedFix
+			if origin.rs != nil {
+				fix = mapRangeFix(pass, origin.rs)
+			}
+			pass.ReportfFix(origin.pos, fix,
+				"%s reaches the return value of %s%s; iterate over sorted keys or sort it before returning",
+				origin.desc, fn.Name.Name, through)
+		})
+}
+
+// mapOrderTaintedResults runs the taint flow for the summary layer and
+// returns, per result slot, whether map-iteration order can reach it
+// unsorted. Used by ComputeSummaries for every function with slice or
+// map results, so the checker sees taint through arbitrarily deep
+// helper chains.
+func mapOrderTaintedResults(pkg *Package, fn *ast.FuncDecl, sums *Summaries) []bool {
+	nres := 0
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			if n := len(f.Names); n > 0 {
+				nres += n
+			} else {
+				nres++
+			}
+		}
+	}
+	tainted := make([]bool, nres)
+	runMapTaintFlow(pkg, fn, sums,
+		func(ret *ast.ReturnStmt, resultIndex int, origin *taintOrigin, obj types.Object) {
+			if resultIndex >= 0 && resultIndex < len(tainted) {
+				tainted[resultIndex] = true
+			}
+		})
+	return tainted
+}
+
+// runMapTaintFlow is the shared taint engine: it seeds taint from map
+// ranges in fn's body and from calls to functions with tainted result
+// summaries, kills taint at sorts and overwrites, and invokes onReturn
+// for every (return statement, result slot) a tainted value reaches.
+func runMapTaintFlow(pkg *Package, fn *ast.FuncDecl, sums *Summaries,
+	onReturn func(ret *ast.ReturnStmt, resultIndex int, origin *taintOrigin, obj types.Object)) {
+	info := pkg.Info
 	g := BuildCFG(fn.Body)
 
 	// Pre-pass: find map ranges and the outer variables their bodies
-	// accumulate into in iteration order.
+	// accumulate into in iteration order. Origins are allocated here,
+	// once per site — the transfer function must reuse them, because the
+	// solver detects the fixpoint by comparing origin pointers and a
+	// fresh allocation per visit would never converge on a loopy CFG.
 	taintsOf := make(map[*ast.RangeStmt][]types.Object)
+	rangeOrigin := make(map[*ast.RangeStmt]*taintOrigin)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -70,27 +142,68 @@ func checkMapRangeFunc(pass *Pass, fn *ast.FuncDecl) {
 			return true
 		}
 		taintsOf[rs] = orderSensitiveWrites(info, rs)
+		rangeOrigin[rs] = &taintOrigin{pos: rs.Pos(), desc: "map iteration order", rs: rs}
 		return true
 	})
 
-	namedResults := make(map[types.Object]bool)
+	// Call-site origins, memoized for the same reason.
+	callOrigins := make(map[*ast.CallExpr]*taintOrigin)
+	callOrigin := func(call *ast.CallExpr) *taintOrigin {
+		o := callOrigins[call]
+		if o == nil {
+			o = &taintOrigin{
+				pos:  call.Pos(),
+				desc: fmt.Sprintf("map iteration order inside %s (its result is assembled in map order)", callName(call)),
+			}
+			callOrigins[call] = o
+		}
+		return o
+	}
+
+	// Result-slot bookkeeping: named results map to their slot index so
+	// bare returns and named assignments resolve.
+	namedResultIndex := make(map[types.Object]int)
+	slot := 0
 	if fn.Type.Results != nil {
 		for _, field := range fn.Type.Results.List {
+			if len(field.Names) == 0 {
+				slot++
+				continue
+			}
 			for _, name := range field.Names {
 				if obj := info.Defs[name]; obj != nil {
-					namedResults[obj] = true
+					namedResultIndex[obj] = slot
 				}
+				slot++
 			}
 		}
 	}
 
-	reported := make(map[token.Pos]bool)
-	transfer := func(b *Block, in taintFact) taintFact {
+	// taintedCallResults maps a call expression to the summary-tainted
+	// slots of its callee, resolved once.
+	taintedResultsOf := func(call *ast.CallExpr) []bool {
+		cs := sums.CalleeSummary(info, call)
+		if cs == nil {
+			return nil
+		}
+		any := false
+		for _, t := range cs.TaintedResults {
+			if t {
+				any = true
+			}
+		}
+		if !any {
+			return nil
+		}
+		return cs.TaintedResults
+	}
+
+	transfer := func(b *Block, in mapTaintFact) mapTaintFact {
 		out := in
 		cloned := false
 		clone := func() {
 			if !cloned {
-				c := make(taintFact, len(out)+1)
+				c := make(mapTaintFact, len(out)+1)
 				for k, v := range out {
 					c[k] = v
 				}
@@ -103,33 +216,81 @@ func checkMapRangeFunc(pass *Pass, fn *ast.FuncDecl) {
 			case *ast.RangeStmt:
 				if objs := taintsOf[s]; len(objs) > 0 {
 					clone()
+					origin := rangeOrigin[s]
 					for _, obj := range objs {
-						out[obj] = s
+						out[obj] = origin
 					}
 				}
 			case *ast.ReturnStmt:
-				for obj, rs := range out {
-					returned := false
+				// Tainted variables reaching a return slot.
+				for obj, origin := range out {
 					if s.Results == nil {
-						returned = namedResults[obj]
-					} else {
-						for _, res := range s.Results {
-							if usesObject(info, res, obj, nil) {
-								returned = true
-							}
+						if idx, ok := namedResultIndex[obj]; ok {
+							onReturn(s, idx, origin, obj)
+						}
+						continue
+					}
+					for i, res := range s.Results {
+						if usesObject(info, res, obj, nil) {
+							onReturn(s, i, origin, obj)
 						}
 					}
-					if returned && !reported[rs.Pos()] {
-						reported[rs.Pos()] = true
-						pass.ReportfFix(rs.Pos(), mapRangeFix(pass, rs),
-							"map iteration order reaches the return value of %s through %q; iterate over sorted keys or sort it before returning",
-							fn.Name.Name, obj.Name())
+				}
+				// Summary-tainted call results returned directly.
+				for i, res := range s.Results {
+					call, ok := ast.Unparen(res).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					tr := taintedResultsOf(call)
+					if tr == nil {
+						continue
+					}
+					origin := callOrigin(call)
+					if len(s.Results) == 1 && len(tr) > 1 {
+						// return helper() forwarding a tuple: slot j of
+						// the return is slot j of the callee.
+						for j, t := range tr {
+							if t {
+								onReturn(s, j, origin, nil)
+							}
+						}
+					} else if tr[0] {
+						onReturn(s, i, origin, nil) // single-result callee in slot i
 					}
 				}
 			case *ast.AssignStmt:
 				// A sort call or a whole overwrite settles the order.
 				for _, call := range callsIn(s) {
 					killSorted(info, call, &out, clone)
+				}
+				// Summary-tainted call results taint their targets.
+				if len(s.Rhs) == 1 {
+					if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+						if tr := taintedResultsOf(call); tr != nil {
+							origin := callOrigin(call)
+							for i, lhs := range s.Lhs {
+								id, ok := lhs.(*ast.Ident)
+								if !ok || id.Name == "_" {
+									continue
+								}
+								ti := i
+								if len(s.Lhs) == 1 {
+									ti = 0
+								}
+								if ti < len(tr) && tr[ti] {
+									obj := info.Defs[id]
+									if obj == nil {
+										obj = info.Uses[id]
+									}
+									if obj != nil {
+										clone()
+										out[obj] = origin
+									}
+								}
+							}
+						}
+					}
 				}
 				for i, lhs := range s.Lhs {
 					id, ok := lhs.(*ast.Ident)
@@ -149,6 +310,13 @@ func checkMapRangeFunc(pass *Pass, fn *ast.FuncDecl) {
 					if len(s.Rhs) == 1 && len(s.Lhs) > 1 && usesObject(info, s.Rhs[0], obj, nil) {
 						continue
 					}
+					if i < len(s.Rhs) {
+						if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok {
+							if tr := taintedResultsOf(call); tr != nil {
+								continue // overwritten by a tainted call; the origin set above stands
+							}
+						}
+					}
 					clone()
 					delete(out, obj)
 				}
@@ -161,17 +329,17 @@ func checkMapRangeFunc(pass *Pass, fn *ast.FuncDecl) {
 		return out
 	}
 
-	Solve(g, FlowProblem[taintFact]{
-		Entry:    taintFact{},
+	Solve(g, FlowProblem[mapTaintFact]{
+		Entry:    mapTaintFact{},
 		Transfer: transfer,
-		Join: func(a, b taintFact) taintFact {
+		Join: func(a, b mapTaintFact) mapTaintFact {
 			if len(b) == 0 {
 				return a
 			}
 			if len(a) == 0 {
 				return b
 			}
-			out := make(taintFact, len(a)+len(b))
+			out := make(mapTaintFact, len(a)+len(b))
 			for k, v := range a {
 				out[k] = v
 			}
@@ -180,7 +348,7 @@ func checkMapRangeFunc(pass *Pass, fn *ast.FuncDecl) {
 			}
 			return out
 		},
-		Equal: func(a, b taintFact) bool {
+		Equal: func(a, b mapTaintFact) bool {
 			if len(a) != len(b) {
 				return false
 			}
@@ -196,7 +364,7 @@ func checkMapRangeFunc(pass *Pass, fn *ast.FuncDecl) {
 
 // killSorted clears the taint of any variable passed to a sort-like
 // call (callee name contains "sort", case-insensitive).
-func killSorted(info *types.Info, call *ast.CallExpr, out *taintFact, clone func()) {
+func killSorted(info *types.Info, call *ast.CallExpr, out *mapTaintFact, clone func()) {
 	var name string
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:

@@ -152,6 +152,7 @@ func relPath(root, file string) string {
 	if root == "" {
 		return file
 	}
+	//arlint:allow errflow a failed Rel falls back to the absolute path by design
 	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
 		return rel
 	}

@@ -1,0 +1,38 @@
+// Package fixture triggers the chanleak checker: goroutines left
+// blocked forever on a channel some path out of the declaring function
+// never closes or drains.
+package fixture
+
+func use(int)     {}
+func compute() int { return 1 }
+
+// produce spawns a consumer ranging over ch, then returns early on one
+// path without closing it: the consumer parks on the receive forever.
+func produce(n int) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			return
+		}
+		ch <- i
+	}
+	close(ch)
+}
+
+// request spawns a sender on an unbuffered channel and skips the
+// receive on the fast path: the goroutine blocks on the send forever.
+func request(fast bool) int {
+	res := make(chan int)
+	go func() {
+		res <- compute()
+	}()
+	if fast {
+		return 0
+	}
+	return <-res
+}

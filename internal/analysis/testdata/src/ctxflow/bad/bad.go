@@ -1,0 +1,35 @@
+// Package fixture triggers the ctxflow checker: functions that accept
+// a context but detach their callees or goroutines from it.
+package fixture
+
+import "context"
+
+func fetch(ctx context.Context, url string) error { return nil }
+
+var global = context.Background()
+
+// crawl substitutes a fresh Background for the caller's context: the
+// fetches outlive the caller's cancellation.
+func crawl(ctx context.Context, urls []string) error {
+	for _, u := range urls {
+		if err := fetch(context.Background(), u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// useGlobal forwards a context unrelated to the parameter.
+func useGlobal(ctx context.Context) error {
+	return fetch(global, "x")
+}
+
+// spawnBlind starts a worker that never consults ctx: a cancelled
+// request leaves it looping. The TODO inside is flagged too.
+func spawnBlind(ctx context.Context, urls []string) {
+	go func() {
+		for _, u := range urls {
+			fetch(context.TODO(), u)
+		}
+	}()
+}

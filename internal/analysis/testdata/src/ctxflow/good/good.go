@@ -1,0 +1,50 @@
+// Package fixture passes the ctxflow checker: contexts are forwarded,
+// derived contexts count, goroutines observe cancellation, and
+// functions without a context parameter are left alone.
+package fixture
+
+import "context"
+
+func fetch(ctx context.Context, url string) error { return nil }
+
+// forward passes the parameter straight through.
+func forward(ctx context.Context, urls []string) error {
+	for _, u := range urls {
+		if err := fetch(ctx, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// derived forwards a context derived from the parameter; the
+// derivation is traced through the assignment.
+func derived(ctx context.Context, url string) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return fetch(sub, url)
+}
+
+// spawnAware starts a goroutine that selects on ctx.Done(): it dies
+// with the request.
+func spawnAware(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v, ok := <-ch:
+				if !ok {
+					return
+				}
+				_ = v
+			}
+		}
+	}()
+}
+
+// noCtx has no context parameter: introducing one is an API decision,
+// not a lint fix, so the fresh Background is not flagged here.
+func noCtx(url string) {
+	fetch(context.Background(), url)
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the interprocedural errflow layer: a
+// helper that checks an error but cannot propagate it (no error
+// result) swallows it, and its callers are flagged — the hole the
+// intraprocedural checker cannot see, because the nil-check counts as
+// a read inside the helper.
+package fixture
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+// logOnly checks the error from work but has no error result: the
+// error dies here. Intraprocedurally this is clean.
+func logOnly() {
+	if err := work(); err != nil {
+		return
+	}
+}
+
+// caller is flagged: calling logOnly silently drops work's error.
+func caller() {
+	logOnly()
+}
+
+// propagates surfaces the error, so its callers are not flagged.
+func propagates() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// cleanCaller handles the propagated error itself.
+func cleanCaller() error {
+	return propagates()
+}

@@ -1,0 +1,37 @@
+// Package pagerank (by name one of the iteration engines the hotalloc
+// checker covers) exercises the interprocedural layer: the allocation
+// hides in a helper whose summary says it allocates, and the call
+// inside the power-iteration loop is flagged like an inline make.
+package pagerank
+
+// scratch allocates on every call.
+func scratch(n int) []float64 {
+	return make([]float64, n)
+}
+
+// wrapped allocates through scratch; the summary propagates.
+func wrapped(n int) []float64 {
+	return scratch(n)
+}
+
+// sum is allocation-free: calling it in the loop is fine.
+func sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Compute calls the allocating helpers every iteration.
+func Compute(maxIterations int) []float64 {
+	scores := make([]float64, 8)
+	for iter := 1; iter <= maxIterations; iter++ {
+		buf := scratch(len(scores))
+		copy(buf, scores)
+		deep := wrapped(len(scores))
+		copy(deep, scores)
+		scores[0] = sum(scores)
+	}
+	return scores
+}

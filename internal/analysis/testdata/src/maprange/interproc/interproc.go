@@ -1,0 +1,35 @@
+// Package fixture exercises the interprocedural maprange layer: the
+// map range lives in an unexported helper (not itself a score
+// producer), and the exported producer returning the helper's result
+// is flagged — moving the range into a helper no longer hides it.
+package fixture
+
+import "sort"
+
+// assemble builds a slice in map-iteration order; its summary marks
+// the result as order-tainted.
+func assemble(weights map[int]float64) []float64 {
+	var out []float64
+	for _, w := range weights {
+		out = append(out, w)
+	}
+	return out
+}
+
+// HelperScores returns the helper-assembled, map-ordered data.
+func HelperScores(weights map[int]float64) []float64 {
+	return assemble(weights)
+}
+
+// AssignedScores routes the tainted result through a local first.
+func AssignedScores(weights map[int]float64) []float64 {
+	scores := assemble(weights)
+	return scores
+}
+
+// SortedScores settles the order before returning: clean.
+func SortedScores(weights map[int]float64) []float64 {
+	scores := assemble(weights)
+	sort.Float64s(scores)
+	return scores
+}

@@ -1,0 +1,50 @@
+// Package fixture triggers the wgbalance checker: wg.Add calls whose
+// matching Done is missing or skippable on some path.
+package fixture
+
+import "sync"
+
+func work() {}
+
+// skipped spawns a goroutine that returns before Done on one path:
+// Wait blocks forever whenever n > 0.
+func skipped(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if n > 0 {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// noDone has an Add with no Done anywhere: the goroutine never
+// references the WaitGroup.
+func noDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+	}()
+	wg.Wait()
+}
+
+// leakyWorker Dones only on its happy path.
+func leakyWorker(wg *sync.WaitGroup, n int) {
+	if n > 0 {
+		return
+	}
+	work()
+	wg.Done()
+}
+
+// viaHelper hides the skippable Done in a helper: the summary of
+// leakyWorker proves nothing, so the spawn is flagged.
+func viaHelper(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go leakyWorker(&wg, n)
+	wg.Wait()
+}

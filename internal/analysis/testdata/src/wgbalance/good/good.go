@@ -1,0 +1,53 @@
+// Package fixture passes the wgbalance checker: every Add is matched
+// by a Done guaranteed on all paths — by defer, by a must-path call,
+// or by a callee whose summary proves the Done.
+package fixture
+
+import "sync"
+
+func work() {}
+
+// deferred is the sanctioned form: defer covers every exit.
+func deferred(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// allPaths calls Done on every branch; the CFG must-analysis proves it
+// without a defer.
+func allPaths(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if ok {
+			work()
+			wg.Done()
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// worker guarantees Done on all paths, so spawning it is safe.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// viaHelper relies on worker's summary: the Done lives in the callee.
+func viaHelper(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(&wg)
+	}
+	wg.Wait()
+}

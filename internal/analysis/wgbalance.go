@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WgBalance verifies that every sync.WaitGroup Add is matched by a
+// guaranteed Done: for each `wg.Add(n)` call there must be, in the same
+// function, a goroutine (or a plain call path) that calls `wg.Done()`
+// on every path to its exit — directly, via `defer wg.Done()`, or via a
+// static callee whose summary (summary.go) guarantees Done on the
+// forwarded *sync.WaitGroup parameter. An Add whose Done can be skipped
+// on some path leaves Wait blocked forever: the parallel power
+// iteration's per-iteration barrier (internal/pagerank/parallel.go) and
+// the worker fan-out of RankMany (internal/core/many.go) both deadlock
+// on exactly this defect.
+//
+// Checked:
+//   - wg.Add with no Done anywhere for the same WaitGroup expression
+//   - a spawned goroutine that calls Done on some paths only (an early
+//     return before Done) — defer is the sanctioned form
+//   - Done hidden in a helper: `go worker(&wg)` is accepted when
+//     worker's summary proves Done on all paths of worker
+//
+// Not checked:
+//   - Add/Done counts (Add(2) with one Done call per goroutine run is
+//     beyond static counting); the checker matches acquisition sites to
+//     guaranteed-release sites, like lockbalance
+//   - WaitGroups that escape: stored in a struct, passed to a call with
+//     no summary — the pairing may live anywhere
+//
+// -fix inserts `defer wg.Done()` at the top of the one goroutine body
+// that references the WaitGroup but never calls Done.
+var WgBalance = &Analyzer{
+	Name: "wgbalance",
+	Doc:  "every wg.Add must be matched by a Done on all paths of the spawned function (callees count)",
+	Run:  runWgBalance,
+}
+
+func runWgBalance(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkWgBalanceFunc(pass, fn)
+		}
+	}
+}
+
+// wgUse aggregates everything one function does with one WaitGroup
+// object.
+type wgUse struct {
+	obj     types.Object
+	expr    string // rendered receiver for diagnostics
+	addPos  []ast.Expr
+	adds    []*ast.CallExpr
+	escaped bool
+	// goroutines referencing the WaitGroup, with whether their body
+	// guarantees Done.
+	spawns []wgSpawn
+	// a non-goroutine guaranteed Done in the declaring function itself:
+	// defer wg.Done() or a plain Done call (sequential Add/Done pairing).
+	localDone bool
+}
+
+type wgSpawn struct {
+	stmt       *ast.GoStmt
+	lit        *ast.FuncLit // nil when the goroutine runs a named function
+	guaranteed bool
+	mentions   bool // body references the WaitGroup at all
+}
+
+func checkWgBalanceFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	uses := make(map[types.Object]*wgUse)
+	useOf := func(obj types.Object, expr string) *wgUse {
+		u := uses[obj]
+		if u == nil {
+			u = &wgUse{obj: obj, expr: expr}
+			uses[obj] = u
+		}
+		return u
+	}
+
+	// resolveWG maps an expression to a WaitGroup-typed object: a plain
+	// identifier or &identifier. Field receivers (s.wg) are treated as
+	// escaped state — the pairing may live in another method.
+	resolveWG := func(e ast.Expr) (types.Object, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if obj != nil && isWaitGroupType(obj.Type()) {
+				return obj, true
+			}
+		case *ast.UnaryExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && e.Op == token.AND {
+				obj := info.Uses[id]
+				if obj != nil && isWaitGroupType(obj.Type()) {
+					return obj, true
+				}
+			}
+		}
+		return nil, false
+	}
+
+	// Pass 1: collect Adds, local Dones, escapes and goroutine spawns.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Classify below; don't descend — the body belongs to the
+			// spawn, not to the declaring function's local Dones.
+			classifyWgSpawn(pass, fn, n, uses, useOf, resolveWG)
+			return false
+		case *ast.DeferStmt:
+			if obj, expr, ok := wgMethodCall(info, n.Call, "Done"); ok {
+				useOf(obj, expr).localDone = true
+				return false
+			}
+		case *ast.CallExpr:
+			if obj, expr, ok := wgMethodCall(info, n, "Add"); ok {
+				u := useOf(obj, expr)
+				u.adds = append(u.adds, n)
+				return true
+			}
+			if obj, expr, ok := wgMethodCall(info, n, "Done"); ok {
+				useOf(obj, expr).localDone = true
+				return true
+			}
+			if obj, expr, ok := wgMethodCall(info, n, "Wait"); ok {
+				useOf(obj, expr) // a Wait alone creates the use record
+				return true
+			}
+			// A WaitGroup argument: accepted when the callee's summary
+			// guarantees Done on that parameter, an escape otherwise.
+			cs := pass.Summaries.CalleeSummary(info, n)
+			for ai, arg := range n.Args {
+				obj, ok := resolveWG(arg)
+				if !ok {
+					continue
+				}
+				u := useOf(obj, types.ExprString(ast.Unparen(arg)))
+				if cs != nil && ai < len(cs.DonesParams) && cs.DonesParams[ai] {
+					u.localDone = true
+				} else {
+					u.escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Assigning the WaitGroup (or its address) anywhere is an
+			// escape: aliasing defeats the expression matching.
+			for _, rhs := range n.Rhs {
+				if obj, ok := resolveWG(rhs); ok {
+					useOf(obj, "").escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if obj, ok := resolveWG(res); ok {
+					useOf(obj, "").escaped = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if len(u.adds) == 0 || u.escaped {
+			continue
+		}
+		guaranteed := u.localDone
+		var unguarded *wgSpawn
+		for i := range u.spawns {
+			sp := &u.spawns[i]
+			if sp.guaranteed {
+				guaranteed = true
+			} else if sp.mentions && unguarded == nil {
+				unguarded = sp
+			}
+		}
+		if guaranteed {
+			continue
+		}
+		if unguarded != nil {
+			var fix *SuggestedFix
+			if unguarded.lit != nil {
+				fix = &SuggestedFix{
+					Message: "defer wg.Done() at the top of the goroutine",
+					Edits: []TextEdit{{
+						Pos:     unguarded.lit.Body.Lbrace + 1,
+						End:     unguarded.lit.Body.Lbrace + 1,
+						NewText: "\ndefer " + u.expr + ".Done()\n",
+					}},
+				}
+			}
+			pass.ReportfFix(unguarded.stmt.Pos(), fix,
+				"goroutine spawned here may exit without calling %s.Done() on some path; defer %s.Done() so the %s.Add in %s is always matched",
+				u.expr, u.expr, u.expr, fn.Name.Name)
+			continue
+		}
+		pass.Reportf(u.adds[0].Pos(),
+			"%s.Add in %s is matched by no %s.Done on any path (no defer, no guaranteed call, no Done-guaranteeing callee); Wait will block forever",
+			u.expr, fn.Name.Name, u.expr)
+	}
+}
+
+// classifyWgSpawn records what a go statement does with each WaitGroup
+// it references: whether its body guarantees Done (defer, all-paths
+// call, or a Done-guaranteeing callee per the summaries).
+func classifyWgSpawn(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt,
+	uses map[types.Object]*wgUse, useOf func(types.Object, string) *wgUse,
+	resolveWG func(ast.Expr) (types.Object, bool)) {
+	info := pass.Pkg.Info
+
+	// go helper(&wg, ...): guaranteed when helper's summary Dones the
+	// corresponding parameter.
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); !ok {
+		cs := pass.Summaries.CalleeSummary(info, g.Call)
+		for ai, arg := range g.Call.Args {
+			obj, ok := resolveWG(arg)
+			if !ok {
+				continue
+			}
+			u := useOf(obj, types.ExprString(ast.Unparen(arg)))
+			sp := wgSpawn{stmt: g, mentions: true}
+			if cs != nil && ai < len(cs.DonesParams) && cs.DonesParams[ai] {
+				sp.guaranteed = true
+			} else if cs == nil {
+				u.escaped = true // unknown callee took the WaitGroup
+			}
+			u.spawns = append(u.spawns, sp)
+		}
+		return
+	} else {
+		// go func(...){...}(args): find the WaitGroups the body touches
+		// (captured or passed) and check the body's guarantee.
+		mentioned := make(map[types.Object]string)
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj != nil && isWaitGroupType(obj.Type()) {
+				if _, seen := mentioned[obj]; !seen {
+					mentioned[obj] = id.Name
+				}
+			}
+			return true
+		})
+		for obj, name := range mentioned {
+			u := useOf(obj, name)
+			u.spawns = append(u.spawns, wgSpawn{
+				stmt:       g,
+				lit:        lit,
+				mentions:   true,
+				guaranteed: goroutineGuaranteesDone(pass, lit, obj),
+			})
+		}
+	}
+}
+
+// goroutineGuaranteesDone reports whether the goroutine body calls
+// Done on obj on every path to its exit: a defer covers all exits, and
+// otherwise the must-analysis over the body's CFG decides. A call to a
+// static callee whose summary Dones the forwarded parameter counts as
+// a Done.
+func goroutineGuaranteesDone(pass *Pass, lit *ast.FuncLit, obj types.Object) bool {
+	info := pass.Pkg.Info
+	g := BuildCFG(lit.Body)
+
+	isDone := func(node ast.Node) bool {
+		found := false
+		visitNode(node, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if o, _, ok := wgMethodCall(info, call, "Done"); ok && o == obj {
+				found = true
+				return false
+			}
+			if cs := pass.Summaries.CalleeSummary(info, call); cs != nil {
+				for ai, arg := range call.Args {
+					if ai < len(cs.DonesParams) && cs.DonesParams[ai] && usesObject(info, arg, obj, nil) {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	for _, d := range g.Defers {
+		if isDone(d.Call) {
+			return true
+		}
+	}
+	type fact struct{ done bool }
+	res := Solve(g, FlowProblem[fact]{
+		Entry: fact{false},
+		Transfer: func(b *Block, in fact) fact {
+			out := in
+			for _, node := range b.Nodes {
+				if _, isDefer := node.(*ast.DeferStmt); isDefer {
+					continue
+				}
+				if !out.done && isDone(node) {
+					out.done = true
+				}
+			}
+			return out
+		},
+		Join:  func(a, b fact) fact { return fact{a.done && b.done} },
+		Equal: func(a, b fact) bool { return a == b },
+	})
+	return res.Reached[g.Exit.Index] && res.In[g.Exit.Index].done
+}
+
+// wgMethodCall matches wg.<method>() on a WaitGroup-typed receiver that
+// is a plain identifier, returning the receiver object and its rendered
+// expression.
+func wgMethodCall(info *types.Info, call *ast.CallExpr, method string) (types.Object, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if s, ok := info.Selections[sel]; ok {
+		obj = s.Obj()
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	recv := info.Uses[id]
+	if recv == nil || !isWaitGroupType(recv.Type()) {
+		return nil, "", false
+	}
+	return recv, id.Name, true
+}
