@@ -227,3 +227,131 @@ func Pure(a, b int) int { return a + b }
 		t.Errorf("Pure: Allocates=%v DropsError=%v, want false/false", s.Allocates, s.DropsError)
 	}
 }
+
+// TestSummaryParamIndex pins the argument-to-parameter mapping: fixed
+// signatures map positions one-to-one and reject out-of-range, while a
+// variadic callee folds every position at or past the variadic slot
+// onto the variadic parameter.
+func TestSummaryParamIndex(t *testing.T) {
+	fixed := &Summary{SendsParams: make([]bool, 2)}
+	variadic := &Summary{SendsParams: make([]bool, 2), Variadic: true}
+	onlyVariadic := &Summary{SendsParams: make([]bool, 1), Variadic: true}
+	var none *Summary
+	cases := []struct {
+		name string
+		s    *Summary
+		ai   int
+		want int
+	}{
+		{"fixed first", fixed, 0, 0},
+		{"fixed last", fixed, 1, 1},
+		{"fixed out of range", fixed, 2, -1},
+		{"variadic fixed slot", variadic, 0, 0},
+		{"variadic first spread", variadic, 1, 1},
+		{"variadic later spread", variadic, 2, 1},
+		{"variadic far spread", variadic, 7, 1},
+		{"only variadic", onlyVariadic, 3, 0},
+		{"nil summary", none, 0, -1},
+	}
+	for _, c := range cases {
+		if got := c.s.ParamIndex(c.ai); got != c.want {
+			t.Errorf("%s: ParamIndex(%d) = %d, want %d", c.name, c.ai, got, c.want)
+		}
+	}
+}
+
+// TestSummaryConditionalDefer pins the DonesParams must-guarantee
+// against conditional defers: a defer covers only the paths that pass
+// through its registration, so `if c { defer wg.Done(); return }`
+// proves nothing for the fall-through path, while an unconditional
+// defer — first statement or later — still proves the guarantee.
+func TestSummaryConditionalDefer(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"w/w.go": `package w
+
+import "sync"
+
+func CondDone(wg *sync.WaitGroup, j int) {
+	if j < 0 {
+		defer wg.Done()
+		return
+	}
+	j++
+}
+
+func AlwaysDone(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func LateDone(wg *sync.WaitGroup, j int) {
+	j++
+	defer wg.Done()
+}
+
+func BranchDone(wg *sync.WaitGroup, j int) {
+	if j < 0 {
+		defer wg.Done()
+		return
+	}
+	wg.Done()
+}
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["w"]})
+	sums := ComputeSummaries(cg)
+	dones := func(name string) bool {
+		s := sums.Of(nodeByName(t, cg, "w."+name).Func)
+		if s == nil {
+			t.Fatalf("no summary for w.%s", name)
+		}
+		return s.DonesParams[0]
+	}
+	if dones("CondDone") {
+		t.Errorf("CondDone: DonesParams[0] = true, but the fall-through path never Dones")
+	}
+	if !dones("AlwaysDone") {
+		t.Errorf("AlwaysDone: DonesParams[0] = false, want true (unconditional defer)")
+	}
+	if !dones("LateDone") {
+		t.Errorf("LateDone: DonesParams[0] = false, want true (defer registered on every path)")
+	}
+	if !dones("BranchDone") {
+		t.Errorf("BranchDone: DonesParams[0] = false, want true (each branch Dones)")
+	}
+}
+
+// TestWgBalanceFixGating pins the -fix safety rule: the defer
+// insertion is offered only for a goroutine body with no Done at all.
+// A body that already Dones on some paths (directly or behind a
+// conditional defer) gets the diagnostic without an edit — stacking
+// defer wg.Done() on top would over-release and panic at runtime with
+// "sync: negative WaitGroup counter".
+func TestWgBalanceFixGating(t *testing.T) {
+	pkg, err := NewLoader().LoadDir(filepath.Join("testdata", "src", "wgbalance", "bad"), "fixture/wgbalance/fixgate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offered, suppressed int
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{WgBalance}) {
+		switch {
+		case strings.Contains(d.Message, "mentionsOnly"):
+			if d.Fix == nil {
+				t.Errorf("no fix offered for the Done-free goroutine in mentionsOnly: %s", d.Message)
+			} else {
+				offered++
+			}
+		case strings.Contains(d.Message, "skipped"), strings.Contains(d.Message, "condDefer"):
+			if d.Fix != nil {
+				t.Errorf("fix offered for a goroutine that already Dones on some path (would double-Done): %s", d.Message)
+			} else {
+				suppressed++
+			}
+		}
+	}
+	if offered == 0 {
+		t.Errorf("positive control missing: no diagnostic for mentionsOnly carried a fix")
+	}
+	if suppressed < 2 {
+		t.Errorf("expected ≥2 suppressed-fix diagnostics (skipped, condDefer), saw %d", suppressed)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // ChanLeak finds goroutines that block forever on a channel the
@@ -16,13 +17,24 @@ import (
 //
 // For each channel created locally (`ch := make(chan T[, cap])`) the
 // checker pairs every goroutine-side blocking operation with the
-// obligation the declaring function must meet on every path from the
-// spawn to its exit:
+// obligation that must be met on every path from the spawn to the
+// declaring function's exit:
 //
 //	goroutine ranges over ch   -> close(ch) (ranges end only at close)
 //	goroutine receives <-ch    -> a send, or close(ch)
 //	goroutine sends ch <- v    -> a receive (unbuffered channels only;
 //	                              a buffered send may complete alone)
+//
+// An obligation can be met by the declaring function itself or by a
+// sibling goroutine: in the classic pair
+//
+//	go func() { for v := range ch { use(v) } }()
+//	go func() { ch <- 1; close(ch) }()
+//
+// the consumer's drain services the producer's send and the producer's
+// close releases the consumer's range, so the parent owes nothing. A
+// goroutine's own operations never settle its own obligations — they
+// are sequenced after the very block they would have to release.
 //
 // Obligations can be met through helpers: passing ch to a static callee
 // whose summary (summary.go) closes, drains, or sends on the forwarded
@@ -38,13 +50,13 @@ var ChanLeak = &Analyzer{
 	Run:  runChanLeak,
 }
 
-// chanObligation is what the parent function owes one spawned goroutine.
+// chanObligation is what one spawned goroutine blocks on.
 type chanObligation int
 
 const (
-	needClose chanObligation = iota // goroutine ranges: only close releases it
-	needSendOrClose                 // goroutine receives once
-	needRecv                        // goroutine sends on an unbuffered channel
+	needClose       chanObligation = iota // goroutine ranges: only close releases it
+	needSendOrClose                       // goroutine receives once
+	needRecv                              // goroutine sends on an unbuffered channel
 )
 
 func (o chanObligation) blocked() string {
@@ -69,15 +81,49 @@ func (o chanObligation) missing() string {
 	}
 }
 
-// chanLeakFact maps a channel object to the pending obligation from the
-// most recent spawn. Facts are immutable; transfer copies on write.
-// chanPending is stored by value so fixpoint detection compares the
-// obligation itself, not an allocation identity.
-type chanLeakFact map[types.Object]chanPending
+// chanEffect is the set of channel operations a spawned goroutine
+// performs, as a bitmask. A sibling's effects can discharge the
+// obligation another goroutine's blocking operation created.
+type chanEffect uint8
 
-type chanPending struct {
-	ob    chanObligation
-	goPos token.Pos
+const (
+	effSend  chanEffect = 1 << iota // sends at least one value
+	effClose                        // closes the channel
+	effDrain                        // receives from / ranges over it
+)
+
+// discharges reports whether the effects settle the obligation.
+func (e chanEffect) discharges(ob chanObligation) bool {
+	switch ob {
+	case needClose:
+		return e&effClose != 0
+	case needSendOrClose:
+		return e&(effSend|effClose) != 0
+	default:
+		return e&effDrain != 0
+	}
+}
+
+// chanKey identifies one pending obligation. Obligations of different
+// kinds on the same channel are tracked independently, so a later
+// spawn can never weaken what an earlier one requires — a consumer's
+// needClose survives a producer's needRecv on the same channel.
+type chanKey struct {
+	obj types.Object
+	ob  chanObligation
+}
+
+// chanLeakFact carries, per path, the pending obligations of the
+// goroutines spawned so far (valued by the first spawning go
+// statement's position, for the diagnostic) and the accumulated
+// effects of those goroutines — a later spawn's obligation can be
+// serviced by an earlier, still-running sibling. Facts are immutable;
+// transfer copies on write. pending is a may-set (union at joins: a
+// leak on either path is a leak); spawned is a must-set (intersection:
+// only an effect available on every incoming path may discharge).
+type chanLeakFact struct {
+	pending map[chanKey]token.Pos
+	spawned map[types.Object]chanEffect
 }
 
 func runChanLeak(pass *Pass) {
@@ -208,8 +254,8 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 					if chanOf(arg) == nil {
 						continue
 					}
-					if ai < len(cs.SendsParams) &&
-						(cs.SendsParams[ai] || cs.ClosesParams[ai] || cs.DrainsParams[ai]) {
+					if pi := cs.ParamIndex(ai); pi >= 0 &&
+						(cs.SendsParams[pi] || cs.ClosesParams[pi] || cs.DrainsParams[pi]) {
 						markSanctioned(arg)
 					}
 				}
@@ -229,14 +275,17 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 		return true
 	})
 
-	// Obligations: what each spawned goroutine blocks on.
+	// Per spawn: the obligations its blocking operations create and the
+	// effects its operations provide to siblings.
 	spawnOf := make(map[*ast.GoStmt]map[types.Object]chanObligation)
+	spawnEffects := make(map[*ast.GoStmt]map[types.Object]chanEffect)
 	ast.Inspect(fn.body, func(n ast.Node) bool {
 		g, ok := n.(*ast.GoStmt)
 		if !ok {
 			return true
 		}
 		obs := make(map[types.Object]chanObligation)
+		effects := make(map[types.Object]chanEffect)
 		record := func(obj types.Object, ob chanObligation) {
 			if obj == nil || escaped[obj] {
 				return
@@ -250,27 +299,46 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 				obs[obj] = ob
 			}
 		}
+		affect := func(obj types.Object, e chanEffect) {
+			if obj == nil || escaped[obj] {
+				return
+			}
+			effects[obj] |= e
+		}
+		fromSummary := func(cs *Summary, args []ast.Expr) {
+			for ai, arg := range args {
+				obj := chanOf(arg)
+				pi := cs.ParamIndex(ai)
+				if obj == nil || pi < 0 {
+					continue
+				}
+				if cs.DrainsParams[pi] {
+					record(obj, needClose)
+					affect(obj, effDrain)
+				}
+				if cs.SendsParams[pi] {
+					record(obj, needRecv)
+					affect(obj, effSend)
+				}
+				if cs.ClosesParams[pi] {
+					affect(obj, effClose)
+				}
+			}
+		}
 		var scanBody ast.Node
 		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
 			scanBody = lit.Body
 		} else {
-			// go helper(ch, ...): obligations from the callee's summary.
+			// go helper(ch, ...): obligations and effects from the
+			// callee's summary.
 			if cs := pass.Summaries.CalleeSummary(info, g.Call); cs != nil {
-				for ai, arg := range g.Call.Args {
-					obj := chanOf(arg)
-					if obj == nil || ai >= len(cs.SendsParams) {
-						continue
-					}
-					if cs.DrainsParams[ai] {
-						record(obj, needClose)
-					}
-					if cs.SendsParams[ai] {
-						record(obj, needRecv)
-					}
-				}
+				fromSummary(cs, g.Call.Args)
 			}
 			if len(obs) > 0 {
 				spawnOf[g] = obs
+			}
+			if len(effects) > 0 {
+				spawnEffects[g] = effects
 			}
 			return true
 		}
@@ -278,36 +346,37 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 			switch m := m.(type) {
 			case *ast.SendStmt:
 				record(chanOf(m.Chan), needRecv)
+				affect(chanOf(m.Chan), effSend)
 			case *ast.UnaryExpr:
 				if m.Op == token.ARROW {
 					record(chanOf(m.X), needSendOrClose)
+					affect(chanOf(m.X), effDrain)
 				}
 			case *ast.RangeStmt:
 				if t := info.TypeOf(m.X); t != nil {
 					if _, isChan := t.Underlying().(*types.Chan); isChan {
 						record(chanOf(m.X), needClose)
+						affect(chanOf(m.X), effDrain)
 					}
 				}
 			case *ast.CallExpr:
-				if cs := pass.Summaries.CalleeSummary(info, m); cs != nil {
-					for ai, arg := range m.Args {
-						obj := chanOf(arg)
-						if obj == nil || ai >= len(cs.SendsParams) {
-							continue
-						}
-						if cs.DrainsParams[ai] {
-							record(obj, needClose)
-						}
-						if cs.SendsParams[ai] {
-							record(obj, needRecv)
-						}
+				if id, ok := m.Fun.(*ast.Ident); ok && id.Name == "close" && len(m.Args) == 1 {
+					if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+						affect(chanOf(m.Args[0]), effClose)
 					}
+					return true
+				}
+				if cs := pass.Summaries.CalleeSummary(info, m); cs != nil {
+					fromSummary(cs, m.Args)
 				}
 			}
 			return true
 		})
 		if len(obs) > 0 {
 			spawnOf[g] = obs
+		}
+		if len(effects) > 0 {
+			spawnEffects[g] = effects
 		}
 		return true
 	})
@@ -362,15 +431,16 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 				}
 				if cs := pass.Summaries.CalleeSummary(info, m); cs != nil {
 					for ai, arg := range m.Args {
-						if chanOf(arg) != obj || ai >= len(cs.SendsParams) {
+						pi := cs.ParamIndex(ai)
+						if chanOf(arg) != obj || pi < 0 {
 							continue
 						}
 						switch {
-						case ob == needClose && cs.ClosesParams[ai]:
+						case ob == needClose && cs.ClosesParams[pi]:
 							found = true
-						case ob == needSendOrClose && (cs.SendsParams[ai] || cs.ClosesParams[ai]):
+						case ob == needSendOrClose && (cs.SendsParams[pi] || cs.ClosesParams[pi]):
 							found = true
-						case ob == needRecv && cs.DrainsParams[ai]:
+						case ob == needRecv && cs.DrainsParams[pi]:
 							found = true
 						}
 					}
@@ -381,15 +451,20 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 		return found
 	}
 
-	reported := make(map[token.Pos]bool)
 	transfer := func(b *Block, in chanLeakFact) chanLeakFact {
 		out := in
 		cloned := false
 		clone := func() {
 			if !cloned {
-				c := make(chanLeakFact, len(out)+1)
-				for k, v := range out {
-					c[k] = v
+				c := chanLeakFact{
+					pending: make(map[chanKey]token.Pos, len(out.pending)+1),
+					spawned: make(map[types.Object]chanEffect, len(out.spawned)+1),
+				}
+				for k, v := range out.pending {
+					c.pending[k] = v
+				}
+				for k, v := range out.spawned {
+					c.spawned[k] = v
 				}
 				out = c
 				cloned = true
@@ -397,21 +472,44 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 		}
 		for _, node := range b.Nodes {
 			if gs, ok := node.(*ast.GoStmt); ok {
-				if obs := spawnOf[gs]; obs != nil {
-					clone()
-					for obj, ob := range obs {
-						out[obj] = chanPending{ob: ob, goPos: gs.Pos()}
+				obs, eff := spawnOf[gs], spawnEffects[gs]
+				if len(obs) == 0 && len(eff) == 0 {
+					continue
+				}
+				clone()
+				// The new goroutine's operations service siblings
+				// spawned earlier on this path.
+				for k := range out.pending {
+					if eff[k.obj].discharges(k.ob) {
+						delete(out.pending, k)
 					}
+				}
+				// Its own obligations may already be serviced by an
+				// earlier, still-running sibling — but never by its
+				// own effects, which are sequenced after the very
+				// block they would have to release (out.spawned does
+				// not yet include eff here).
+				for obj, ob := range obs {
+					if out.spawned[obj].discharges(ob) {
+						continue
+					}
+					k := chanKey{obj, ob}
+					if _, seen := out.pending[k]; !seen {
+						out.pending[k] = gs.Pos()
+					}
+				}
+				for obj, e := range eff {
+					out.spawned[obj] |= e
 				}
 				continue
 			}
 			if _, isDefer := node.(*ast.DeferStmt); isDefer {
 				continue // deferred discharges apply at exit
 			}
-			for obj, p := range out {
-				if discharges(node, obj, p.ob) {
+			for k := range out.pending {
+				if discharges(node, k.obj, k.ob) {
 					clone()
-					delete(out, obj)
+					delete(out.pending, k)
 				}
 			}
 		}
@@ -422,27 +520,44 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 		Entry:    chanLeakFact{},
 		Transfer: transfer,
 		Join: func(a, b chanLeakFact) chanLeakFact {
-			if len(b) == 0 {
-				return a
+			var out chanLeakFact
+			switch {
+			case len(a.pending) == 0:
+				out.pending = b.pending
+			case len(b.pending) == 0:
+				out.pending = a.pending
+			default:
+				out.pending = make(map[chanKey]token.Pos, len(a.pending)+len(b.pending))
+				for k, v := range a.pending {
+					out.pending[k] = v
+				}
+				for k, v := range b.pending {
+					if w, ok := out.pending[k]; !ok || v < w {
+						out.pending[k] = v
+					}
+				}
 			}
-			if len(a) == 0 {
-				return b
-			}
-			out := make(chanLeakFact, len(a)+len(b))
-			for k, v := range a {
-				out[k] = v
-			}
-			for k, v := range b {
-				out[k] = v
+			if len(a.spawned) != 0 && len(b.spawned) != 0 {
+				out.spawned = make(map[types.Object]chanEffect, len(a.spawned))
+				for k, v := range a.spawned {
+					if e := v & b.spawned[k]; e != 0 {
+						out.spawned[k] = e
+					}
+				}
 			}
 			return out
 		},
 		Equal: func(a, b chanLeakFact) bool {
-			if len(a) != len(b) {
+			if len(a.pending) != len(b.pending) || len(a.spawned) != len(b.spawned) {
 				return false
 			}
-			for k, v := range a {
-				if w, ok := b[k]; !ok || w != v {
+			for k, v := range a.pending {
+				if w, ok := b.pending[k]; !ok || w != v {
+					return false
+				}
+			}
+			for k, v := range a.spawned {
+				if w, ok := b.spawned[k]; !ok || w != v {
 					return false
 				}
 			}
@@ -453,21 +568,37 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 	if !res.Reached[g.Exit.Index] {
 		return
 	}
-	for obj, p := range res.In[g.Exit.Index] {
-		if p.ob != needRecv && deferredClose[obj] {
+	exit := res.In[g.Exit.Index].pending
+	keys := make([]chanKey, 0, len(exit))
+	for k := range exit {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if exit[a] != exit[b] {
+			return exit[a] < exit[b]
+		}
+		if a.obj.Pos() != b.obj.Pos() {
+			return a.obj.Pos() < b.obj.Pos()
+		}
+		return a.ob < b.ob
+	})
+	reported := make(map[token.Pos]bool)
+	for _, k := range keys {
+		if k.ob != needRecv && deferredClose[k.obj] {
 			continue
 		}
-		if reported[p.goPos] {
+		if reported[exit[k]] {
 			continue
 		}
-		reported[p.goPos] = true
+		reported[exit[k]] = true
 		hint := " (or defer the close)"
-		if p.ob == needRecv {
+		if k.ob == needRecv {
 			hint = ""
 		}
-		pass.Reportf(p.goPos,
+		pass.Reportf(exit[k],
 			"goroutine spawned here %s %q, but some path out of %s never %s again: the goroutine blocks forever; %s on every path%s",
-			p.ob.blocked(), obj.Name(), fn.name, opVerb(p.ob), p.ob.missing(), hint)
+			k.ob.blocked(), k.obj.Name(), fn.name, opVerb(k.ob), k.ob.missing(), hint)
 	}
 }
 

@@ -83,6 +83,31 @@ type Summary struct {
 	// (a handoff release on behalf of the caller).
 	AcquiresLock bool
 	ReleasesLock bool
+
+	// Variadic records whether the summarized function's last parameter
+	// is variadic — consulted by ParamIndex when mapping call arguments
+	// to the per-parameter effect slots above.
+	Variadic bool
+}
+
+// ParamIndex maps a call-argument position to the parameter slot it
+// binds: for a variadic callee every argument at or past the variadic
+// slot folds onto the variadic parameter (`f(a, x, y)` and
+// `f(a, xs...)` both reach slot 1 of `f(a T, xs ...U)`). Returns -1
+// when the position binds no parameter (or s is nil — no summary, no
+// slots).
+func (s *Summary) ParamIndex(ai int) int {
+	if s == nil {
+		return -1
+	}
+	np := len(s.SendsParams)
+	if s.Variadic && np > 0 && ai >= np-1 {
+		return np - 1
+	}
+	if ai < np {
+		return ai
+	}
+	return -1
 }
 
 // Summaries holds the computed summary of every call-graph node.
@@ -125,6 +150,7 @@ func ComputeSummaries(cg *CallGraph) *Summaries {
 			DrainsParams:   make([]bool, np),
 			DonesParams:    make([]bool, np),
 			CtxParam:       -1,
+			Variadic:       sig.Variadic(),
 		}
 		for i := 0; i < np; i++ {
 			if isContextType(sig.Params().At(i).Type()) {
@@ -448,16 +474,17 @@ func summarizeConcurrency(sums *Summaries, n *CGNode, s *Summary) {
 				s.SpawnsGoroutine = true
 			}
 			for ai, arg := range m.Args {
-				if ai >= len(cs.SendsParams) {
+				pi := cs.ParamIndex(ai)
+				if pi < 0 {
 					break
 				}
-				if cs.SendsParams[ai] {
+				if cs.SendsParams[pi] {
 					mark(s.SendsParams, arg)
 				}
-				if cs.ClosesParams[ai] {
+				if cs.ClosesParams[pi] {
 					mark(s.ClosesParams, arg)
 				}
-				if cs.DrainsParams[ai] {
+				if cs.DrainsParams[pi] {
 					mark(s.DrainsParams, arg)
 				}
 			}
@@ -502,7 +529,7 @@ func donesOnAllPaths(sums *Summaries, n *CGNode, wg types.Object) bool {
 			}
 			if cs := sums.CalleeSummary(info, call); cs != nil {
 				for ai, arg := range call.Args {
-					if ai < len(cs.DonesParams) && cs.DonesParams[ai] && usesObjectExpr(info, arg, wg) {
+					if pi := cs.ParamIndex(ai); pi >= 0 && cs.DonesParams[pi] && usesObjectExpr(info, arg, wg) {
 						done = true
 						return false
 					}
@@ -513,25 +540,19 @@ func donesOnAllPaths(sums *Summaries, n *CGNode, wg types.Object) bool {
 		return done
 	}
 
-	// A deferred Done (or deferred Done-guaranteeing call) covers every
-	// exit.
-	for _, d := range g.Defers {
-		if isDoneNode(d.Call) {
-			return true
-		}
-	}
-
 	// Forward must-analysis: fact = "Done has happened on every path to
-	// this point"; join is AND.
+	// this point"; join is AND. A defer counts at its registration
+	// point: registering `defer wg.Done()` guarantees the Done runs at
+	// the exit of every path passing through the DeferStmt node, while
+	// paths that skip a conditional defer get no credit — so
+	// `if c { defer wg.Done(); return }; work()` covers only the
+	// early-return path and the fall-through is still unproven.
 	type fact struct{ done bool }
 	res := Solve(g, FlowProblem[fact]{
 		Entry: fact{false},
 		Transfer: func(b *Block, in fact) fact {
 			out := in
 			for _, node := range b.Nodes {
-				if _, isDefer := node.(*ast.DeferStmt); isDefer {
-					continue // handled above; a conditional defer must not count
-				}
 				if !out.done && isDoneNode(node) {
 					out.done = true
 				}

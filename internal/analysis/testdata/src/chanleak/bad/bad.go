@@ -3,7 +3,7 @@
 // never closes or drains.
 package fixture
 
-func use(int)     {}
+func use(int)      {}
 func compute() int { return 1 }
 
 // produce spawns a consumer ranging over ch, then returns early on one
@@ -35,4 +35,20 @@ func request(fast bool) int {
 		return 0
 	}
 	return <-res
+}
+
+// twoConsumers spawns a ranging consumer and then a single-receive
+// consumer; nothing ever sends or closes, so both park forever. The
+// second spawn must not mask the first one's close obligation — the
+// obligations are distinct and both must be reported.
+func twoConsumers() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+	go func() {
+		use(<-ch)
+	}()
 }

@@ -59,6 +59,39 @@ func deferClose(jobs []int) {
 	}
 }
 
+// pairedWorkers splits production and consumption across two sibling
+// goroutines: the consumer's range drains the producer's send and the
+// producer's close releases the consumer's range, so the declaring
+// function owes nothing at its exit.
+func pairedWorkers() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+}
+
+// pairedReversed spawns the producer first: the consumer spawned later
+// must discharge the producer's pending send obligation, and the
+// producer's close (already spawned) must cover the consumer's range.
+func pairedReversed() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
 // newSource returns the channel: the matching operations live with the
 // caller, so the checker stays quiet (escape).
 func newSource() <-chan int {

@@ -48,3 +48,51 @@ func viaHelper(n int) {
 	go leakyWorker(&wg, n)
 	wg.Wait()
 }
+
+// condDefer registers the Done defer on one branch only: a defer
+// counts just for the paths that pass through it, so the fall-through
+// path (j >= 0) never Dones and Wait deadlocks.
+func condDefer(j int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if j < 0 {
+			defer wg.Done()
+			return
+		}
+		work()
+	}()
+	wg.Wait()
+}
+
+// condDeferWorker hides the same defect behind a summary: the
+// conditional defer must not let the summary claim Done on all paths.
+func condDeferWorker(wg *sync.WaitGroup, j int) {
+	if j < 0 {
+		defer wg.Done()
+		return
+	}
+	work()
+}
+
+// viaCondDefer spawns the conditionally-deferring worker: whenever
+// j >= 0 the Done never runs.
+func viaCondDefer(j int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go condDeferWorker(&wg, j)
+	wg.Wait()
+}
+
+// mentionsOnly references the WaitGroup but contains no Done at all:
+// the one shape where the mechanical `defer wg.Done()` insertion is
+// safe, so this spawn carries the suggested fix.
+func mentionsOnly() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		_ = wg
+		work()
+	}()
+	wg.Wait()
+}

@@ -51,3 +51,35 @@ func viaHelper(n int) {
 	}
 	wg.Wait()
 }
+
+// lateDefer registers the Done defer after some setup, but
+// unconditionally: every path passes through the registration, so the
+// guarantee holds even though the defer is not the first statement.
+func lateDefer() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// variadicWorker guarantees Done; the extra variadic arguments at the
+// call site fold onto the variadic slot and must not disturb the
+// WaitGroup parameter's guarantee.
+func variadicWorker(wg *sync.WaitGroup, ids ...int) {
+	defer wg.Done()
+	for range ids {
+		work()
+	}
+}
+
+// viaVariadic spawns the variadic worker with spread arguments.
+func viaVariadic() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go variadicWorker(&wg, 1, 2, 3)
+	wg.Wait()
+}

@@ -32,7 +32,11 @@ import (
 //     no summary — the pairing may live anywhere
 //
 // -fix inserts `defer wg.Done()` at the top of the one goroutine body
-// that references the WaitGroup but never calls Done.
+// that references the WaitGroup but never calls Done. A body that
+// already calls Done on some paths (or hands the WaitGroup to a callee
+// that might) gets the diagnostic without the automatic edit: stacking
+// a defer on top of a partial Done would over-release on the paths
+// that already Done and panic with "sync: negative WaitGroup counter".
 var WgBalance = &Analyzer{
 	Name: "wgbalance",
 	Doc:  "every wg.Add must be matched by a Done on all paths of the spawned function (callees count)",
@@ -72,6 +76,10 @@ type wgSpawn struct {
 	lit        *ast.FuncLit // nil when the goroutine runs a named function
 	guaranteed bool
 	mentions   bool // body references the WaitGroup at all
+	// mayDone: the body contains a Done for this WaitGroup on at least
+	// one path (or passes it to a call that could Done it) — the defer
+	// insertion fix must not stack another Done on top.
+	mayDone bool
 }
 
 func checkWgBalanceFunc(pass *Pass, fn *ast.FuncDecl) {
@@ -146,7 +154,7 @@ func checkWgBalanceFunc(pass *Pass, fn *ast.FuncDecl) {
 					continue
 				}
 				u := useOf(obj, types.ExprString(ast.Unparen(arg)))
-				if cs != nil && ai < len(cs.DonesParams) && cs.DonesParams[ai] {
+				if pi := cs.ParamIndex(ai); pi >= 0 && cs.DonesParams[pi] {
 					u.localDone = true
 				} else {
 					u.escaped = true
@@ -189,7 +197,7 @@ func checkWgBalanceFunc(pass *Pass, fn *ast.FuncDecl) {
 		}
 		if unguarded != nil {
 			var fix *SuggestedFix
-			if unguarded.lit != nil {
+			if unguarded.lit != nil && !unguarded.mayDone {
 				fix = &SuggestedFix{
 					Message: "defer wg.Done() at the top of the goroutine",
 					Edits: []TextEdit{{
@@ -228,8 +236,8 @@ func classifyWgSpawn(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt,
 				continue
 			}
 			u := useOf(obj, types.ExprString(ast.Unparen(arg)))
-			sp := wgSpawn{stmt: g, mentions: true}
-			if cs != nil && ai < len(cs.DonesParams) && cs.DonesParams[ai] {
+			sp := wgSpawn{stmt: g, mentions: true, mayDone: true}
+			if pi := cs.ParamIndex(ai); pi >= 0 && cs.DonesParams[pi] {
 				sp.guaranteed = true
 			} else if cs == nil {
 				u.escaped = true // unknown callee took the WaitGroup
@@ -260,6 +268,7 @@ func classifyWgSpawn(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt,
 				stmt:       g,
 				lit:        lit,
 				mentions:   true,
+				mayDone:    bodyMayCallDone(pass, lit.Body, obj),
 				guaranteed: goroutineGuaranteesDone(pass, lit, obj),
 			})
 		}
@@ -267,10 +276,14 @@ func classifyWgSpawn(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt,
 }
 
 // goroutineGuaranteesDone reports whether the goroutine body calls
-// Done on obj on every path to its exit: a defer covers all exits, and
-// otherwise the must-analysis over the body's CFG decides. A call to a
-// static callee whose summary Dones the forwarded parameter counts as
-// a Done.
+// Done on obj on every path to its exit, decided by a must-analysis
+// over the body's CFG. A call to a static callee whose summary Dones
+// the forwarded parameter counts as a Done. A defer counts at its
+// registration point — registering `defer wg.Done()` guarantees the
+// Done at the exit of every path through the DeferStmt, while paths
+// that skip a conditional defer get no credit, so
+// `if c { defer wg.Done(); return }; work()` leaves the fall-through
+// path unproven.
 func goroutineGuaranteesDone(pass *Pass, lit *ast.FuncLit, obj types.Object) bool {
 	info := pass.Pkg.Info
 	g := BuildCFG(lit.Body)
@@ -288,7 +301,7 @@ func goroutineGuaranteesDone(pass *Pass, lit *ast.FuncLit, obj types.Object) boo
 			}
 			if cs := pass.Summaries.CalleeSummary(info, call); cs != nil {
 				for ai, arg := range call.Args {
-					if ai < len(cs.DonesParams) && cs.DonesParams[ai] && usesObject(info, arg, obj, nil) {
+					if pi := cs.ParamIndex(ai); pi >= 0 && cs.DonesParams[pi] && usesObject(info, arg, obj, nil) {
 						found = true
 						return false
 					}
@@ -299,20 +312,12 @@ func goroutineGuaranteesDone(pass *Pass, lit *ast.FuncLit, obj types.Object) boo
 		return found
 	}
 
-	for _, d := range g.Defers {
-		if isDone(d.Call) {
-			return true
-		}
-	}
 	type fact struct{ done bool }
 	res := Solve(g, FlowProblem[fact]{
 		Entry: fact{false},
 		Transfer: func(b *Block, in fact) fact {
 			out := in
 			for _, node := range b.Nodes {
-				if _, isDefer := node.(*ast.DeferStmt); isDefer {
-					continue
-				}
 				if !out.done && isDone(node) {
 					out.done = true
 				}
@@ -323,6 +328,39 @@ func goroutineGuaranteesDone(pass *Pass, lit *ast.FuncLit, obj types.Object) boo
 		Equal: func(a, b fact) bool { return a == b },
 	})
 	return res.Reached[g.Exit.Index] && res.In[g.Exit.Index].done
+}
+
+// bodyMayCallDone reports whether the goroutine body might call Done
+// on obj on at least one path: a direct obj.Done() anywhere in the
+// body (defers and nested literals included), or obj handed to any
+// call — a callee can Done a forwarded WaitGroup even when its summary
+// cannot prove it on all paths. Gates the -fix defer insertion: a body
+// that may already Done must not get a second Done stacked on top, or
+// the paths with both over-release and panic the WaitGroup.
+func bodyMayCallDone(pass *Pass, body ast.Node, obj types.Object) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(body, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if o, _, ok := wgMethodCall(info, call, "Done"); ok && o == obj {
+			found = true
+			return false
+		}
+		for _, arg := range call.Args {
+			if usesObject(info, arg, obj, nil) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // wgMethodCall matches wg.<method>() on a WaitGroup-typed receiver that
