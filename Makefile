@@ -32,11 +32,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent packages: the parallel power
-# iteration, the distributed partition runtime, and the experiment
-# drivers that fan work out across goroutines.
+# Race-detector pass over the concurrent packages: the RankMany
+# fail-fast worker pool, the parallel power iteration, the distributed
+# partition runtime, and the experiment drivers that fan work out across
+# goroutines. The cancellation tests run here too — a cancel racing the
+# workers is exactly the interleaving -race exists to catch.
 race:
-	$(GO) test -race ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/
+	$(GO) test -race ./internal/core/ ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/
 
 # Focused engine benchmarks (chain construction, ApproxRank, the
 # sequential and parallel power iterations, RankMany fan-out) parsed to

@@ -33,6 +33,8 @@
 package approxrank
 
 import (
+	"context"
+
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/crawler"
@@ -138,7 +140,10 @@ func ApproxRank(sub *Subgraph, cfg Config) (*Result, error) {
 }
 
 // ApproxRankCtx is ApproxRank with a shared precomputed Context — the
-// multi-subgraph workflow the paper highlights.
+// multi-subgraph workflow the paper highlights. (The Ctx here is this
+// package's Context of global-graph aggregates, not a context.Context;
+// for cancellation build a chain and call its RunCtx, or use RankManyCtx
+// for batches.)
 func ApproxRankCtx(ctx *Context, sub *Subgraph, cfg Config) (*Result, error) {
 	return core.ApproxRankCtx(ctx, sub, cfg)
 }
@@ -173,6 +178,13 @@ func GlobalPageRank(g *Graph, opts PageRankOptions) (*PageRankResult, error) {
 	return pagerank.Compute(g, opts)
 }
 
+// GlobalPageRankCtx is GlobalPageRank under a context.Context: the power
+// iteration checks for cancellation periodically and returns a wrapped
+// ctx error instead of a result when it fires.
+func GlobalPageRankCtx(ctx context.Context, g *Graph, opts PageRankOptions) (*PageRankResult, error) {
+	return pagerank.ComputeCtx(ctx, g, opts)
+}
+
 // LocalPageRank is the paper's first baseline: PageRank on the induced
 // local graph, ignoring external pages.
 func LocalPageRank(sub *Subgraph, cfg BaselineConfig) (*PageRankResult, error) {
@@ -200,10 +212,24 @@ func BFSCrawl(g *Graph, seed NodeID, maxPages int) ([]NodeID, error) {
 	return crawler.BFS(g, seed, maxPages)
 }
 
+// BFSCrawlCtx is BFSCrawl under a context.Context; a cancelled crawl
+// returns the pages gathered so far plus a non-nil error wrapping
+// ctx.Err().
+func BFSCrawlCtx(ctx context.Context, g *Graph, seed NodeID, maxPages int) ([]NodeID, error) {
+	return crawler.BFSCtx(ctx, g, seed, maxPages)
+}
+
 // CrawlHops returns all pages within the given number of out-link hops of
 // the seed set — the paper's topic-subgraph construction.
 func CrawlHops(g *Graph, seeds []NodeID, hops int) ([]NodeID, error) {
 	return crawler.Hops(g, seeds, hops)
+}
+
+// CrawlHopsCtx is CrawlHops under a context.Context; a cancelled crawl
+// returns the pages gathered so far plus a non-nil error wrapping
+// ctx.Err().
+func CrawlHopsCtx(ctx context.Context, g *Graph, seeds []NodeID, hops int) ([]NodeID, error) {
+	return crawler.HopsCtx(ctx, g, seeds, hops)
 }
 
 // L1 returns the L1 distance between two score vectors (the paper's
@@ -250,7 +276,16 @@ func ErrorBound(sub *Subgraph, extScores []float64, epsilon float64) (float64, e
 
 // RankMany runs ApproxRank over many subgraphs of one global graph,
 // sharing a Context and dispatching chains across workers — the paper's
-// multi-subgraph scenario. parallelism ≤ 0 selects a sensible default.
-func RankMany(ctx *Context, subs []*Subgraph, cfg Config, parallelism int) ([]*Result, error) {
-	return core.RankMany(ctx, subs, cfg, parallelism)
+// multi-subgraph scenario. parallelism ≤ 0 selects one worker per
+// subgraph, capped at runtime.GOMAXPROCS(0). The first error cancels the
+// whole batch (fail-fast).
+func RankMany(gctx *Context, subs []*Subgraph, cfg Config, parallelism int) ([]*Result, error) {
+	return core.RankMany(gctx, subs, cfg, parallelism)
+}
+
+// RankManyCtx is RankMany under a context.Context: cancelling ctx stops
+// dispatching new chains and aborts the in-flight power iterations, as
+// does the batch's first per-subgraph error.
+func RankManyCtx(ctx context.Context, gctx *Context, subs []*Subgraph, cfg Config, parallelism int) ([]*Result, error) {
+	return core.RankManyCtx(ctx, gctx, subs, cfg, parallelism)
 }

@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -43,21 +44,30 @@ type Result struct {
 }
 
 func main() {
-	results, err := parse(bufio.NewScanner(os.Stdin))
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main. The zero-results check happens
+// BEFORE anything is encoded: input with no benchmark lines must exit 1
+// without printing an empty JSON array that a downstream consumer would
+// happily treat as a successful (if benchmark-free) run.
+func run(in io.Reader, out, errw io.Writer) int {
+	results, err := parse(bufio.NewScanner(in))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
 	}
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fmt.Fprintln(errw, "benchjson: no benchmark lines on stdin")
+		return 1
 	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	return 0
 }
 
 func parse(sc *bufio.Scanner) ([]Result, error) {

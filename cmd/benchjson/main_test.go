@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+BenchmarkApproxRank-8    120    9876543 ns/op    4096 B/op    12 allocs/op
+BenchmarkRankMany/workers=4-8    50    222222 ns/op
+PASS
+ok  	repro/internal/core	2.345s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(strings.NewReader(sampleBench), &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %q)", code, errw.String())
+	}
+	var results []Result
+	if err := json.Unmarshal([]byte(out.String()), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "ApproxRank" || r.Procs != 8 || r.Pkg != "repro/internal/core" {
+		t.Errorf("unexpected first result: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 9876543 || r.Metrics["allocs/op"] != 12 {
+		t.Errorf("unexpected metrics: %v", r.Metrics)
+	}
+	if results[1].Name != "RankMany/workers=4" {
+		t.Errorf("sub-benchmark name = %q", results[1].Name)
+	}
+}
+
+// TestRunEmptyInputExitsBeforeEncoding is the regression test for the
+// order-of-operations bug: with no benchmark lines on stdin, benchjson
+// must exit 1 and print NOTHING on stdout — previously it emitted an
+// empty JSON array first and only then noticed the input was empty, so a
+// pipeline writing the output to a file captured a plausible-looking
+// (but vacuous) artifact alongside the failure.
+func TestRunEmptyInputExitsBeforeEncoding(t *testing.T) {
+	for _, tc := range []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no bench lines", "goos: linux\nPASS\nok  \trepro/internal/core\t0.1s\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw strings.Builder
+			if code := run(strings.NewReader(tc.in), &out, &errw); code != 1 {
+				t.Fatalf("run = %d, want 1", code)
+			}
+			if out.Len() != 0 {
+				t.Errorf("stdout not empty: %q", out.String())
+			}
+			if !strings.Contains(errw.String(), "no benchmark lines") {
+				t.Errorf("stderr = %q, want a 'no benchmark lines' diagnostic", errw.String())
+			}
+		})
+	}
+}

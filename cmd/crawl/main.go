@@ -10,11 +10,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/crawler"
 	"repro/internal/graph"
@@ -35,6 +38,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM aborts the crawl loop; the partial frontier is
+	// discarded (the output file must describe a complete crawl).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	g, err := graph.LoadFile(*graphPath)
 	if err != nil {
 		fatal(err)
@@ -43,7 +51,7 @@ func main() {
 	var crawled []graph.NodeID
 	switch *mode {
 	case "bfs":
-		crawled, err = crawler.BFS(g, graph.NodeID(*seed), *pages)
+		crawled, err = crawler.BFSCtx(ctx, g, graph.NodeID(*seed), *pages)
 	case "hops":
 		if *seedsPath == "" {
 			fatal(fmt.Errorf("-mode hops requires -seeds"))
@@ -51,7 +59,7 @@ func main() {
 		var seeds []graph.NodeID
 		seeds, err = readIDs(*seedsPath)
 		if err == nil {
-			crawled, err = crawler.Hops(g, seeds, *hops)
+			crawled, err = crawler.HopsCtx(ctx, g, seeds, *hops)
 		}
 	default:
 		err = fmt.Errorf("unknown mode %q (want bfs or hops)", *mode)

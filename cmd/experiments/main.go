@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -68,10 +71,16 @@ func main() {
 		}
 	}
 
+	// The full suite runs for minutes at -scale paper; Ctrl-C / SIGTERM
+	// aborts whichever experiment is running instead of killing the
+	// process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	fmt.Printf("generating datasets (AU=%d pages, politics=%d pages, seed=%d)...\n",
 		orDefault(scale.AUPages, 300000), orDefault(scale.PoliticsPages, 220000), orDefault64(scale.Seed, 2009))
-	suite, err := experiments.NewSuite(scale)
+	suite, err := experiments.NewSuiteCtx(ctx, scale)
 	if err != nil {
 		fatal(err)
 	}
@@ -90,7 +99,7 @@ func main() {
 	var tsRuns []*experiments.SubgraphRun
 	if want["table3"] || want["table5"] {
 		fmt.Println("running TS subgraph experiments (Tables III & V)...")
-		tsRuns, err = suite.RunTS(experiments.TSParams{})
+		tsRuns, err = suite.RunTSCtx(ctx, experiments.TSParams{})
 		if err != nil {
 			fatal(err)
 		}
@@ -105,7 +114,7 @@ func main() {
 	var dsRuns []*experiments.SubgraphRun
 	if want["table4"] || want["table6"] {
 		fmt.Println("running DS subgraph experiments (Tables IV & VI)...")
-		dsRuns, err = suite.RunDS(12)
+		dsRuns, err = suite.RunDSCtx(ctx, 12)
 		if err != nil {
 			fatal(err)
 		}
@@ -119,7 +128,7 @@ func main() {
 
 	if want["figure7"] {
 		fmt.Println("running BFS subgraph experiments (Figure 7)...")
-		bfsRuns, err := suite.RunBFS(nil)
+		bfsRuns, err := suite.RunBFSCtx(ctx, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -143,6 +152,11 @@ func main() {
 	}
 
 	if want["ablations"] {
+		// The ablation drivers predate the context plumbing; check between
+		// phases so a signal at least stops the suite at the next boundary.
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		fmt.Println("running ablations...")
 		if pts, err := suite.AblationEpsilon(nil); err != nil {
 			fatal(err)
@@ -172,18 +186,21 @@ func main() {
 
 	if want["extended"] {
 		fmt.Println("running extended experiments (related-work systems)...")
-		if rows, err := suite.RunAcceleration(); err != nil {
+		if rows, err := suite.RunAccelerationCtx(ctx); err != nil {
 			fatal(err)
 		} else if err := experiments.WriteAcceleration(os.Stdout, rows); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
-		if pts, err := suite.RunJXP(6, 7); err != nil {
+		if pts, err := suite.RunJXPCtx(ctx, 6, 7); err != nil {
 			fatal(err)
 		} else if err := experiments.WriteJXP(os.Stdout, pts); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
+		if err := ctx.Err(); err != nil {
+			fatal(err) // the remaining drivers have no context plumbing
+		}
 		if rows, err := suite.RunPointRank(nil, 0); err != nil {
 			fatal(err)
 		} else if err := experiments.WritePointRank(os.Stdout, rows); err != nil {

@@ -8,10 +8,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro/internal/graph"
 	"repro/internal/pagerank"
@@ -30,11 +33,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM aborts the power iteration cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	g, err := graph.LoadFile(*path)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := pagerank.Compute(g, pagerank.Options{Epsilon: *eps, Tolerance: *tol})
+	res, err := pagerank.ComputeCtx(ctx, g, pagerank.Options{Epsilon: *eps, Tolerance: *tol})
 	if err != nil {
 		fatal(err)
 	}

@@ -14,12 +14,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -43,6 +46,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancels the ranker's power iteration instead of
+	// killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	g, err := graph.LoadFile(*graphPath)
 	if err != nil {
 		fatal(err)
@@ -65,7 +73,11 @@ func main() {
 
 	switch *algo {
 	case "approx":
-		res, err := core.ApproxRank(sub, cfg)
+		chain, err := core.NewApproxChain(sub)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := chain.RunCtx(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,25 +90,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := core.IdealRank(sub, global, cfg)
+		chain, err := core.NewIdealChain(sub, global)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := chain.RunCtx(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		scores, lambda, hasLambda, iters = res.Scores, res.Lambda, true, res.Iterations
 	case "local":
-		res, err := baseline.LocalPageRank(sub, blCfg)
+		res, err := baseline.LocalPageRankCtx(ctx, sub, blCfg)
 		if err != nil {
 			fatal(err)
 		}
 		scores, iters = res.Scores, res.Iterations
 	case "lpr2":
-		res, err := baseline.LPR2(sub, blCfg)
+		res, err := baseline.LPR2Ctx(ctx, sub, blCfg)
 		if err != nil {
 			fatal(err)
 		}
 		scores, iters = res.Scores, res.Iterations
 	case "sc":
-		res, err := baseline.SC(sub, baseline.SCConfig{Config: blCfg})
+		res, err := baseline.SCCtx(ctx, sub, baseline.SCConfig{Config: blCfg})
 		if err != nil {
 			fatal(err)
 		}

@@ -1,6 +1,8 @@
 package approxrank
 
 import (
+	"context"
+
 	"repro/internal/blockrank"
 	"repro/internal/crawler"
 	"repro/internal/distributed"
@@ -69,6 +71,11 @@ func NewPeerNetwork(global *Graph, assignments map[string][]NodeID, cfg Config, 
 // Meet performs one JXP meeting between two peers.
 func Meet(a, b *Peer) error { return distributed.Meet(a, b) }
 
+// MeetCtx is Meet under a context.Context; cancelling ctx aborts the two
+// post-exchange walks. (PeerNetwork's RoundCtx comes with the type
+// alias.)
+func MeetCtx(ctx context.Context, a, b *Peer) error { return distributed.MeetCtx(ctx, a, b) }
+
 // ServerRankConfig configures the ServerRank combination.
 type ServerRankConfig = distributed.ServerRankConfig
 
@@ -79,6 +86,12 @@ type ServerRankResult = distributed.ServerRankResult
 // ranking into global page estimates (Wang & DeWitt, VLDB 2004).
 func ServerRank(g *Graph, serverOf func(NodeID) int, numServers int, cfg ServerRankConfig) (*ServerRankResult, error) {
 	return distributed.ServerRank(g, serverOf, numServers, cfg)
+}
+
+// ServerRankCtx is ServerRank under a context.Context; cancellation is
+// checked between per-server runs and inside every walk.
+func ServerRankCtx(ctx context.Context, g *Graph, serverOf func(NodeID) int, numServers int, cfg ServerRankConfig) (*ServerRankResult, error) {
+	return distributed.ServerRankCtx(ctx, g, serverOf, numServers, cfg)
 }
 
 // PointRankConfig configures the single-page local estimator.
@@ -124,6 +137,12 @@ func BlockRank(g *Graph, blockOf func(NodeID) int, numBlocks int, cfg BlockRankC
 	return blockrank.Compute(g, blockOf, numBlocks, cfg)
 }
 
+// BlockRankCtx is BlockRank under a context.Context; cancellation is
+// checked between blocks and inside all three stages' walks.
+func BlockRankCtx(ctx context.Context, g *Graph, blockOf func(NodeID) int, numBlocks int, cfg BlockRankConfig) (*BlockRankResult, error) {
+	return blockrank.ComputeCtx(ctx, g, blockOf, numBlocks, cfg)
+}
+
 // IADConfig configures iterative aggregation/disaggregation updating.
 type IADConfig = iad.Config
 
@@ -147,6 +166,13 @@ type BestFirstConfig = crawler.BestFirstConfig
 // subgraph, re-ranking periodically with ApproxRank.
 func BestFirstCrawl(g *Graph, seed NodeID, cfg BestFirstConfig) ([]NodeID, error) {
 	return crawler.BestFirst(g, seed, cfg)
+}
+
+// BestFirstCrawlCtx is BestFirstCrawl under a context.Context; a
+// cancelled crawl returns the pages fetched so far plus a non-nil error
+// wrapping ctx.Err().
+func BestFirstCrawlCtx(ctx context.Context, g *Graph, seed NodeID, cfg BestFirstConfig) ([]NodeID, error) {
+	return crawler.BestFirstCtx(ctx, g, seed, cfg)
 }
 
 // StronglyConnectedComponents returns g's SCCs in reverse topological

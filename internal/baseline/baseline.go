@@ -18,6 +18,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -42,8 +43,15 @@ func (c Config) options() pagerank.Options {
 
 // LocalPageRank runs standard PageRank on the induced local graph. Edges
 // to and from external pages are discarded; out-degrees are local. This is
-// the paper's first baseline (■).
+// the paper's first baseline (■). It is LocalPageRankCtx with
+// context.Background().
 func LocalPageRank(sub *graph.Subgraph, cfg Config) (*pagerank.Result, error) {
+	return LocalPageRankCtx(context.Background(), sub, cfg)
+}
+
+// LocalPageRankCtx is LocalPageRank under a context; cancelling ctx aborts
+// the walk.
+func LocalPageRankCtx(ctx context.Context, sub *graph.Subgraph, cfg Config) (*pagerank.Result, error) {
 	if sub == nil {
 		return nil, fmt.Errorf("baseline: nil subgraph")
 	}
@@ -51,7 +59,7 @@ func LocalPageRank(sub *graph.Subgraph, cfg Config) (*pagerank.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return pagerank.Compute(local, cfg.options())
+	return pagerank.ComputeCtx(ctx, local, cfg.options())
 }
 
 // LPR2 runs the second baseline (●): an artificial page ξ is appended to
@@ -60,8 +68,13 @@ func LocalPageRank(sub *graph.Subgraph, cfg Config) (*pagerank.Result, error) {
 // edge ξ→i for every local page with at least one in-link from outside.
 // Standard PageRank runs on the constructed n+1 graph; the returned scores
 // are the entries of the n local pages (the ξ entry is dropped, so the
-// vector sums to less than one).
+// vector sums to less than one). It is LPR2Ctx with context.Background().
 func LPR2(sub *graph.Subgraph, cfg Config) (*pagerank.Result, error) {
+	return LPR2Ctx(context.Background(), sub, cfg)
+}
+
+// LPR2Ctx is LPR2 under a context; cancelling ctx aborts the walk.
+func LPR2Ctx(ctx context.Context, sub *graph.Subgraph, cfg Config) (*pagerank.Result, error) {
 	if sub == nil {
 		return nil, fmt.Errorf("baseline: nil subgraph")
 	}
@@ -92,7 +105,7 @@ func LPR2(sub *graph.Subgraph, cfg Config) (*pagerank.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := pagerank.Compute(ext, cfg.options())
+	res, err := pagerank.ComputeCtx(ctx, ext, cfg.options())
 	if err != nil {
 		return nil, err
 	}

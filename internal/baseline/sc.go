@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -59,7 +60,17 @@ type SCResult struct {
 // the O(deg j) surrogate for "estimate the PageRank scores on the subgraph
 // when added the candidate page" that makes the per-round frontier sweep
 // feasible while preserving SC's selection behaviour and cost profile.
+//
+// SC is SCCtx with context.Background().
 func SC(sub *graph.Subgraph, cfg SCConfig) (*SCResult, error) {
+	return SCCtx(context.Background(), sub, cfg)
+}
+
+// SCCtx is SC under a context. Cancellation is checked before each
+// expansion round and inside every supergraph PageRank run — SC is the
+// paper's most expensive competitor, so it is the ranker most worth
+// being able to abandon; a cancelled run returns only the error.
+func SCCtx(ctx context.Context, sub *graph.Subgraph, cfg SCConfig) (*SCResult, error) {
 	if sub == nil {
 		return nil, fmt.Errorf("baseline: nil subgraph")
 	}
@@ -91,7 +102,7 @@ func SC(sub *graph.Subgraph, cfg SCConfig) (*SCResult, error) {
 
 	// Current PageRank estimate on the supergraph, indexed by position in
 	// super.
-	pr, runs, err := supergraphPageRank(g, super, cfg.Config)
+	pr, runs, err := supergraphPageRank(ctx, g, super, cfg.Config)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +116,9 @@ func SC(sub *graph.Subgraph, cfg SCConfig) (*SCResult, error) {
 	}
 
 	for round := 0; round < cfg.Expansions; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("baseline: sc cancelled before expansion %d: %w", round, err)
+		}
 		// Score the frontier: external pages reachable by one outgoing
 		// link from the supergraph.
 		influence := make(map[graph.NodeID]float64)
@@ -180,7 +194,7 @@ func SC(sub *graph.Subgraph, cfg SCConfig) (*SCResult, error) {
 
 		// Recompute PageRank on the expanded supergraph (the per-round
 		// full computation is what dominates SC's runtime).
-		pr, runs, err = supergraphPageRank(g, super, cfg.Config)
+		pr, runs, err = supergraphPageRank(ctx, g, super, cfg.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +214,7 @@ func SC(sub *graph.Subgraph, cfg SCConfig) (*SCResult, error) {
 
 // supergraphPageRank runs standard PageRank on the subgraph of g induced
 // by the given node list, preserving the list's order in the score vector.
-func supergraphPageRank(g *graph.Graph, nodes []graph.NodeID, cfg Config) (*pagerank.Result, int, error) {
+func supergraphPageRank(ctx context.Context, g *graph.Graph, nodes []graph.NodeID, cfg Config) (*pagerank.Result, int, error) {
 	b := graph.NewBuilder(len(nodes))
 	member := graph.NewNodeSet(g.NumNodes())
 	pos := make(map[graph.NodeID]uint32, len(nodes))
@@ -226,7 +240,7 @@ func supergraphPageRank(g *graph.Graph, nodes []graph.NodeID, cfg Config) (*page
 	if err != nil {
 		return nil, 0, err
 	}
-	res, err := pagerank.Compute(ig, cfg.options())
+	res, err := pagerank.ComputeCtx(ctx, ig, cfg.options())
 	if err != nil {
 		return nil, 0, err
 	}

@@ -10,6 +10,7 @@
 package blockrank
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -80,8 +81,16 @@ type Result struct {
 }
 
 // Compute runs the 3-stage BlockRank on g with the given block
-// assignment (blockOf must map every page to 0..numBlocks−1).
+// assignment (blockOf must map every page to 0..numBlocks−1). It is
+// ComputeCtx with context.Background().
 func Compute(g *graph.Graph, blockOf func(graph.NodeID) int, numBlocks int, cfg Config) (*Result, error) {
+	return ComputeCtx(context.Background(), g, blockOf, numBlocks, cfg)
+}
+
+// ComputeCtx is Compute under a context. Cancellation is checked between
+// the per-block stage-1 runs and inside every PageRank walk of all three
+// stages; an aborted computation returns only the error.
+func ComputeCtx(ctx context.Context, g *graph.Graph, blockOf func(graph.NodeID) int, numBlocks int, cfg Config) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("blockrank: nil graph")
 	}
@@ -113,6 +122,9 @@ func Compute(g *graph.Graph, blockOf func(graph.NodeID) int, numBlocks int, cfg 
 	// Stage 1: local PageRank per block over intra-block links.
 	local := make([]float64, n)
 	for bi, pages := range pagesOf {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("blockrank: cancelled before block %d: %w", bi, err)
+		}
 		pos := make(map[graph.NodeID]uint32, len(pages))
 		for i, p := range pages {
 			pos[p] = uint32(i)
@@ -136,7 +148,7 @@ func Compute(g *graph.Graph, blockOf func(graph.NodeID) int, numBlocks int, cfg 
 		if err != nil {
 			return nil, fmt.Errorf("blockrank: block %d graph: %w", bi, err)
 		}
-		pr, err := pagerank.Compute(lg, pagerank.Options{
+		pr, err := pagerank.ComputeCtx(ctx, lg, pagerank.Options{
 			Epsilon: cfg.Epsilon, Tolerance: cfg.LocalTolerance, MaxIterations: cfg.MaxIterations,
 		})
 		if err != nil {
@@ -176,7 +188,7 @@ func Compute(g *graph.Graph, blockOf func(graph.NodeID) int, numBlocks int, cfg 
 	if err != nil {
 		return nil, fmt.Errorf("blockrank: block graph: %w", err)
 	}
-	bpr, err := pagerank.Compute(bg, pagerank.Options{
+	bpr, err := pagerank.ComputeCtx(ctx, bg, pagerank.Options{
 		Epsilon: cfg.Epsilon, Tolerance: cfg.Tolerance, MaxIterations: cfg.MaxIterations,
 	})
 	if err != nil {
@@ -200,7 +212,7 @@ func Compute(g *graph.Graph, blockOf func(graph.NodeID) int, numBlocks int, cfg 
 		x0[p] /= sum
 	}
 	res.Start = append([]float64(nil), x0...)
-	gpr, err := pagerank.Compute(g, pagerank.Options{
+	gpr, err := pagerank.ComputeCtx(ctx, g, pagerank.Options{
 		Epsilon: cfg.Epsilon, Tolerance: cfg.Tolerance, MaxIterations: cfg.MaxIterations, Start: x0,
 	})
 	if err != nil {

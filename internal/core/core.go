@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -35,6 +36,13 @@ import (
 	"repro/internal/numeric"
 	"repro/internal/pagerank"
 )
+
+// ctxCheckInterval is how many power-iteration steps run between
+// cancellation checks. An iteration touches every local edge, so a check
+// every few iterations bounds the post-cancellation work to a small
+// multiple of one sweep while keeping the common (never-cancelled) path
+// free of per-edge overhead.
+const ctxCheckInterval = 16
 
 // Config carries the random-walk parameters. The zero value selects the
 // paper's settings (ε = 0.85, L1 tolerance 1e-5, at most 1000 iterations,
@@ -54,6 +62,13 @@ type Config struct {
 	// still holds exactly (the proof only needs R = εAᵀR + (1−ε)P and
 	// left-multiplication by Q2ᵀ). nil selects the uniform vector.
 	Personalization []float64
+	// Deadline, when positive, bounds each run's wall-clock time: the
+	// run's context is derived with context.WithTimeout(ctx, Deadline),
+	// so a walk that has not converged by then returns a
+	// context.DeadlineExceeded error instead of burning the full
+	// MaxIterations budget. Zero means no per-run deadline (callers can
+	// still cancel through the context they pass to RunCtx).
+	Deadline time.Duration
 }
 
 func (c *Config) fill() error {
@@ -74,6 +89,9 @@ func (c *Config) fill() error {
 	}
 	if c.MaxIterations < 1 {
 		return fmt.Errorf("core: MaxIterations %d < 1", c.MaxIterations)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("core: negative Deadline %v", c.Deadline)
 	}
 	return nil
 }
@@ -387,10 +405,26 @@ func (c *ExtendedChain) finishLambdaRow() {
 }
 
 // Run performs the power iteration R = ε·A_eᵀ·R + (1−ε)·P_ideal on the
-// extended chain and returns local scores plus the Λ score.
+// extended chain and returns local scores plus the Λ score. It is
+// RunCtx with context.Background() — uncancellable; long-running
+// callers should prefer RunCtx.
 func (c *ExtendedChain) Run(cfg Config) (*Result, error) {
+	return c.RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context: the iteration checks ctx every
+// ctxCheckInterval steps and, when cancelled (or when cfg.Deadline
+// expires), returns nil and ctx's error wrapped with the iteration
+// reached. No partial scores are returned — an unconverged iterate is
+// not a distribution anyone should serve.
+func (c *ExtendedChain) RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
+	}
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
 	}
 	start := time.Now()
 	n := c.n
@@ -435,6 +469,11 @@ func (c *ExtendedChain) Run(cfg Config) (*Result, error) {
 	res := &Result{}
 	res.Deltas = make([]float64, 0, cfg.MaxIterations)
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		if iter%ctxCheckInterval == 1 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: power iteration cancelled at iteration %d: %w", iter-1, err)
+			}
+		}
 		// Mass that redistributes along the personalization vector: the
 		// random-jump mass, the mass on dangling local pages, and the mass
 		// Λ forwards on behalf of dangling external pages.

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/graph"
@@ -14,36 +16,77 @@ import (
 // only local cost") — localized search engines serving many domains, or
 // a personalization service ranking many user-defined regions.
 //
-// parallelism ≤ 0 selects one worker per subgraph (capped at 16).
-// Results are positionally aligned with subs. The first error aborts the
-// batch.
-func RankMany(ctx *Context, subs []*graph.Subgraph, cfg Config, parallelism int) ([]*Result, error) {
-	if ctx == nil {
+// parallelism ≤ 0 selects one worker per subgraph, capped at
+// runtime.GOMAXPROCS(0) (the chains are CPU-bound, so more workers than
+// schedulable threads only adds contention). Results are positionally
+// aligned with subs. The first error aborts the batch: no further
+// chains are dispatched, in-flight chains are cancelled, and the
+// returned error identifies the failing subgraph.
+//
+// RankMany is RankManyCtx with context.Background(); use RankManyCtx to
+// bound the batch with a caller deadline or OS signal.
+func RankMany(gctx *Context, subs []*graph.Subgraph, cfg Config, parallelism int) ([]*Result, error) {
+	return RankManyCtx(context.Background(), gctx, subs, cfg, parallelism)
+}
+
+// RankManyCtx is RankMany under a context. Cancelling ctx stops the
+// dispatch loop and propagates into every in-flight chain's power
+// iteration; the first per-subgraph error does the same via an internal
+// batch context, so one poisoned subgraph cannot keep the rest of the
+// batch burning CPU.
+func RankManyCtx(ctx context.Context, gctx *Context, subs []*graph.Subgraph, cfg Config, parallelism int) ([]*Result, error) {
+	if gctx == nil {
 		return nil, fmt.Errorf("core: nil context")
 	}
 	if len(subs) == 0 {
 		return nil, fmt.Errorf("core: no subgraphs")
 	}
-	for i, sub := range subs {
-		if sub == nil {
-			return nil, fmt.Errorf("core: nil subgraph at %d", i)
-		}
-		if sub.Global != ctx.g {
-			return nil, fmt.Errorf("core: subgraph %d belongs to a different global graph", i)
-		}
+	results := make([]*Result, len(subs))
+	if err := rankManyInto(ctx, gctx, subs, cfg, parallelism, results); err != nil {
+		return nil, err
 	}
+	return results, nil
+}
+
+// rankManyInto runs the batch into a caller-provided result slice. It is
+// the testable core of RankManyCtx: on error the slice shows exactly
+// which chains completed before the batch was cancelled (entries for
+// never-dispatched subgraphs stay nil), which the fail-fast regression
+// test asserts on.
+func rankManyInto(ctx context.Context, gctx *Context, subs []*graph.Subgraph, cfg Config, parallelism int, results []*Result) error {
 	if parallelism <= 0 {
 		parallelism = len(subs)
-		if parallelism > 16 {
-			parallelism = 16
+		if limit := runtime.GOMAXPROCS(0); parallelism > limit {
+			parallelism = limit
 		}
 	}
 	if parallelism > len(subs) {
 		parallelism = len(subs)
 	}
 
-	results := make([]*Result, len(subs))
-	errs := make([]error, len(subs))
+	// batchCtx cancels every in-flight chain as soon as one fails (or the
+	// caller's ctx is done) — the documented fail-fast contract.
+	batchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	// fail records the batch's first failure and cancels everything else.
+	// Workers can only observe a context error after some failure already
+	// called cancel (or the caller's ctx fired), so the first recorded
+	// error is the root cause, never a secondary cancellation.
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < parallelism; w++ {
@@ -51,25 +94,41 @@ func RankMany(ctx *Context, subs []*graph.Subgraph, cfg Config, parallelism int)
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				chain, err := NewApproxChainCtx(ctx, subs[i])
+				// Per-subgraph validation (nil entries, wrong global graph)
+				// surfaces here so a bad entry mid-batch aborts the rest
+				// instead of being scanned for upfront at O(len(subs)).
+				chain, err := NewApproxChainCtx(gctx, subs[i])
 				if err != nil {
-					errs[i] = err
-					continue
+					fail(i, err)
+					return
 				}
-				results[i], errs[i] = chain.Run(cfg)
+				res, err := chain.RunCtx(batchCtx, cfg)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = res
 			}
 		}()
 	}
+dispatch:
 	for i := range subs {
-		work <- i
+		select {
+		case work <- i:
+		case <-batchCtx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: subgraph %d: %w", i, err)
-		}
+	if firstErr != nil {
+		return fmt.Errorf("core: subgraph %d: %w", firstIdx, firstErr)
 	}
-	return results, nil
+	// The caller's ctx fired between dispatches, before any worker
+	// tripped on it.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: rank many: %w", err)
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -30,8 +31,17 @@ type BestFirstConfig struct {
 // to their out-links, so the crawl chases authority rather than hop
 // distance (contrast BFS).
 //
-// The returned pages are in fetch order, seed first.
+// The returned pages are in fetch order, seed first. BestFirst is
+// BestFirstCtx with context.Background().
 func BestFirst(g *graph.Graph, seed graph.NodeID, cfg BestFirstConfig) ([]graph.NodeID, error) {
+	return BestFirstCtx(context.Background(), g, seed, cfg)
+}
+
+// BestFirstCtx is BestFirst under a context. Cancellation is checked
+// before every fetch and propagates into the periodic ApproxRank
+// re-rankings; a cancelled crawl returns the pages fetched so far plus a
+// non-nil error wrapping ctx.Err().
+func BestFirstCtx(ctx context.Context, g *graph.Graph, seed graph.NodeID, cfg BestFirstConfig) ([]graph.NodeID, error) {
 	if g == nil {
 		return nil, fmt.Errorf("crawler: nil graph")
 	}
@@ -89,6 +99,11 @@ func BestFirst(g *graph.Graph, seed graph.NodeID, cfg BestFirstConfig) ([]graph.
 
 	sinceRescore := 0
 	for len(order) < cfg.MaxPages && pq.Len() > 0 {
+		// A fetch is the unit of work a real focused crawler would pay
+		// network latency for, so cancellation is checked per fetch.
+		if err := ctx.Err(); err != nil {
+			return order, fmt.Errorf("crawler: best-first crawl cancelled after %d pages: %w", len(order), err)
+		}
 		item := heap.Pop(pq).(frontierItem)
 		// The popped snapshot is compared bit-for-bit against the live
 		// priority it was copied from; any re-accumulation since the push
@@ -109,8 +124,8 @@ func BestFirst(g *graph.Graph, seed graph.NodeID, cfg BestFirstConfig) ([]graph.
 		sinceRescore++
 		if sinceRescore >= cfg.RescoreEvery && len(order) < cfg.MaxPages {
 			sinceRescore = 0
-			if err := rescore(g, order, score); err != nil {
-				return nil, err
+			if err := rescore(ctx, g, cfg.Walk, order, score); err != nil {
+				return order, err
 			}
 			// Rebuild frontier priorities from the fresh scores.
 			for f := range priority {
@@ -126,13 +141,18 @@ func BestFirst(g *graph.Graph, seed graph.NodeID, cfg BestFirstConfig) ([]graph.
 }
 
 // rescore runs ApproxRank on the crawled subgraph and refreshes the
-// crawled pages' authority estimates.
-func rescore(g *graph.Graph, order []graph.NodeID, score map[graph.NodeID]float64) error {
+// crawled pages' authority estimates. The walk runs under ctx so a
+// cancellation landing mid-re-ranking aborts promptly.
+func rescore(ctx context.Context, g *graph.Graph, walk core.Config, order []graph.NodeID, score map[graph.NodeID]float64) error {
 	sub, err := graph.NewSubgraph(g, order)
 	if err != nil {
 		return fmt.Errorf("crawler: rescore: %w", err)
 	}
-	res, err := core.ApproxRank(sub, core.Config{})
+	chain, err := core.NewApproxChain(sub)
+	if err != nil {
+		return fmt.Errorf("crawler: rescore: %w", err)
+	}
+	res, err := chain.RunCtx(ctx, walk)
 	if err != nil {
 		return fmt.Errorf("crawler: rescore: %w", err)
 	}

@@ -3,20 +3,39 @@
 // dmoz-style topic crawls (category seed set expanded a bounded number of
 // hops — TS subgraphs). DS subgraphs need no crawler: they are domain
 // blocks read directly off the dataset.
+//
+// Every crawl has a context-aware variant (BFSCtx, HopsCtx,
+// TopicCrawlCtx, BestFirstCtx). Cancellation is checked periodically as
+// pages are expanded; a cancelled crawl returns the frontier gathered so
+// far TOGETHER WITH a non-nil error wrapping ctx.Err(), so callers that
+// can use a truncated crawl (a best-effort subgraph is still a subgraph)
+// may, while callers that need the full frontier see the failure.
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/graph"
 )
 
+// ctxCheckEvery is how many page expansions run between cancellation
+// checks in the crawl loops.
+const ctxCheckEvery = 256
+
 // BFS crawls g breadth-first along out-links from seed and returns the
 // first maxPages distinct pages reached (including the seed), in crawl
 // order. Like a real crawler it may stall before maxPages if the reachable
-// set is smaller; callers should check the returned length.
+// set is smaller; callers should check the returned length. It is BFSCtx
+// with context.Background().
 func BFS(g *graph.Graph, seed graph.NodeID, maxPages int) ([]graph.NodeID, error) {
+	return BFSCtx(context.Background(), g, seed, maxPages)
+}
+
+// BFSCtx is BFS under a context. On cancellation it returns the pages
+// crawled so far plus a non-nil error wrapping ctx.Err().
+func BFSCtx(ctx context.Context, g *graph.Graph, seed graph.NodeID, maxPages int) ([]graph.NodeID, error) {
 	if int(seed) >= g.NumNodes() {
 		return nil, fmt.Errorf("crawler: seed %d outside graph (N=%d)", seed, g.NumNodes())
 	}
@@ -27,6 +46,11 @@ func BFS(g *graph.Graph, seed graph.NodeID, maxPages int) ([]graph.NodeID, error
 	visited.Add(seed)
 	order := []graph.NodeID{seed}
 	for head := 0; head < len(order) && len(order) < maxPages; head++ {
+		if head%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return order, fmt.Errorf("crawler: bfs cancelled after %d pages: %w", len(order), err)
+			}
+		}
 		for _, v := range g.OutNeighbors(order[head]) {
 			if visited.Contains(v) {
 				continue
@@ -42,8 +66,15 @@ func BFS(g *graph.Graph, seed graph.NodeID, maxPages int) ([]graph.NodeID, error
 }
 
 // Hops returns all pages within the given number of out-link hops of the
-// seed set (hop 0 = the seeds themselves), in BFS order.
+// seed set (hop 0 = the seeds themselves), in BFS order. It is HopsCtx
+// with context.Background().
 func Hops(g *graph.Graph, seeds []graph.NodeID, hops int) ([]graph.NodeID, error) {
+	return HopsCtx(context.Background(), g, seeds, hops)
+}
+
+// HopsCtx is Hops under a context. On cancellation it returns the pages
+// gathered so far plus a non-nil error wrapping ctx.Err().
+func HopsCtx(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, hops int) ([]graph.NodeID, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("crawler: empty seed set")
 	}
@@ -64,7 +95,12 @@ func Hops(g *graph.Graph, seeds []graph.NodeID, hops int) ([]graph.NodeID, error
 	level := append([]graph.NodeID(nil), order...)
 	for h := 0; h < hops; h++ {
 		var next []graph.NodeID
-		for _, u := range level {
+		for hi, u := range level {
+			if hi%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return order, fmt.Errorf("crawler: hop crawl cancelled at hop %d after %d pages: %w", h, len(order), err)
+				}
+			}
 			for _, v := range g.OutNeighbors(u) {
 				if visited.Contains(v) {
 					continue
@@ -86,14 +122,29 @@ func Hops(g *graph.Graph, seeds []graph.NodeID, hops int) ([]graph.NodeID, error
 // listing" is a random seedFraction sample of the pages labelled with the
 // topic (identified by the topicOf function), and the subgraph is the seed
 // set plus every page within hops out-link hops of it (the paper crawls
-// "to all pages within three links" of the dmoz category pages).
+// "to all pages within three links" of the dmoz category pages). It is
+// TopicCrawlCtx with context.Background().
 func TopicCrawl(g *graph.Graph, topicOf func(graph.NodeID) int, topic int,
+	seedFraction float64, hops int, rng *rand.Rand) ([]graph.NodeID, error) {
+	return TopicCrawlCtx(context.Background(), g, topicOf, topic, seedFraction, hops, rng)
+}
+
+// TopicCrawlCtx is TopicCrawl under a context. Cancellation is checked
+// during the seed scan and throughout the hop expansion; a cancelled
+// crawl returns the frontier gathered so far plus a non-nil error
+// wrapping ctx.Err().
+func TopicCrawlCtx(ctx context.Context, g *graph.Graph, topicOf func(graph.NodeID) int, topic int,
 	seedFraction float64, hops int, rng *rand.Rand) ([]graph.NodeID, error) {
 	if seedFraction <= 0 || seedFraction > 1 {
 		return nil, fmt.Errorf("crawler: seed fraction %v outside (0,1]", seedFraction)
 	}
 	var seeds []graph.NodeID
 	for p := 0; p < g.NumNodes(); p++ {
+		if p%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("crawler: topic crawl cancelled while sampling seeds: %w", err)
+			}
+		}
 		if topicOf(graph.NodeID(p)) == topic && rng.Float64() < seedFraction {
 			seeds = append(seeds, graph.NodeID(p))
 		}
@@ -101,5 +152,5 @@ func TopicCrawl(g *graph.Graph, topicOf func(graph.NodeID) int, topic int,
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("crawler: no seed pages found for topic %d", topic)
 	}
-	return Hops(g, seeds, hops)
+	return HopsCtx(ctx, g, seeds, hops)
 }

@@ -1,0 +1,165 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// countdownContext flips Err to context.Canceled after n calls. The crawl
+// loops poll ctx.Err() (every ctxCheckEvery expansions, or per fetch for
+// the best-first crawler), so this lands cancellations at exact points in
+// the crawl with no timing dependence.
+type countdownContext struct {
+	context.Context
+	left int
+}
+
+func (c *countdownContext) Err() error {
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func newCountdown(calls int) *countdownContext {
+	return &countdownContext{Context: context.Background(), left: calls}
+}
+
+func TestBFSCtxCancelledMidCrawl(t *testing.T) {
+	// A 1000-page line forces the crawl past the second periodic check
+	// (head 256): one check passes, the next cancels with 257 pages held.
+	g := lineGraph(1000)
+	order, err := BFSCtx(newCountdown(1), g, 0, 1000)
+	if err == nil {
+		t.Fatal("cancelled crawl finished")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(order) != ctxCheckEvery+1 {
+		t.Errorf("partial frontier holds %d pages, want %d", len(order), ctxCheckEvery+1)
+	}
+	// The partial result is a genuine crawl prefix, not garbage.
+	for i, p := range order {
+		if int(p) != i {
+			t.Fatalf("order[%d] = %d, want %d", i, p, i)
+		}
+	}
+	if !strings.Contains(err.Error(), "after 257 pages") {
+		t.Errorf("error %q does not report the pages gathered", err)
+	}
+}
+
+func TestHopsCtxCancelledMidCrawl(t *testing.T) {
+	// On a line each hop level holds one page, so the per-level check
+	// fires once per hop: one check passes (hop 0), hop 1 cancels. The
+	// partial frontier is the seed plus its hop-0 expansion.
+	g := lineGraph(10)
+	order, err := HopsCtx(newCountdown(1), g, []graph.NodeID{0}, 9)
+	if err == nil {
+		t.Fatal("cancelled crawl finished")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("partial frontier = %v, want [0 1]", order)
+	}
+	if !strings.Contains(err.Error(), "hop 1") {
+		t.Errorf("error %q does not report the hop reached", err)
+	}
+}
+
+func TestTopicCrawlCtxTimedOut(t *testing.T) {
+	g := lineGraph(100)
+	topicOf := func(p graph.NodeID) int {
+		if p < 5 {
+			return 1
+		}
+		return 0
+	}
+
+	// An already-expired deadline: the crawl must fail cleanly during seed
+	// sampling — nil frontier, wrapped DeadlineExceeded.
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	order, err := TopicCrawlCtx(ctx, g, topicOf, 1, 1.0, 3, rand.New(rand.NewSource(1)))
+	if order != nil {
+		t.Errorf("timed-out seed scan returned frontier %v", order)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+
+	// Cancellation landing after the seed scan (100 pages = one check)
+	// returns the partial frontier gathered so far.
+	order, err = TopicCrawlCtx(newCountdown(2), g, topicOf, 1, 1.0, 9, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("cancelled crawl finished")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(order) == 0 {
+		t.Error("cancelled hop expansion returned no partial frontier")
+	}
+}
+
+func TestTopicCrawlCtxBackgroundMatchesPlain(t *testing.T) {
+	g := lineGraph(60)
+	topicOf := func(p graph.NodeID) int { return int(p) % 4 }
+	plain, err := TopicCrawl(g, topicOf, 2, 0.5, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("TopicCrawl: %v", err)
+	}
+	withCtx, err := TopicCrawlCtx(context.Background(), g, topicOf, 2, 0.5, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("TopicCrawlCtx: %v", err)
+	}
+	if len(plain) != len(withCtx) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(plain), len(withCtx))
+	}
+	for i := range plain {
+		if plain[i] != withCtx[i] {
+			t.Fatalf("frontier[%d] differs: %d vs %d", i, plain[i], withCtx[i])
+		}
+	}
+}
+
+func TestBestFirstCtxCancelled(t *testing.T) {
+	g := lineGraph(50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The per-fetch check fires before the first pop, so only the seed is
+	// returned.
+	order, err := BestFirstCtx(ctx, g, 0, BestFirstConfig{MaxPages: 20})
+	if err == nil {
+		t.Fatal("cancelled crawl finished")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(order) != 1 || order[0] != 0 {
+		t.Errorf("partial order = %v, want just the seed", order)
+	}
+
+	// Mid-crawl: five fetch checks pass, the sixth cancels with the seed
+	// plus five fetched pages in hand.
+	order, err = BestFirstCtx(newCountdown(5), g, 0, BestFirstConfig{MaxPages: 20})
+	if err == nil {
+		t.Fatal("cancelled crawl finished")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(order) != 6 {
+		t.Errorf("partial order holds %d pages, want 6", len(order))
+	}
+}

@@ -1,0 +1,145 @@
+package distributed
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// countdownContext flips Err to context.Canceled after n calls, landing
+// cancellations at exact points in a round without timing dependence (the
+// network's loops and the walks underneath all poll ctx.Err()).
+type countdownContext struct {
+	context.Context
+	left int
+}
+
+func (c *countdownContext) Err() error {
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func TestRoundCtxPreCancelled(t *testing.T) {
+	ds, _ := testWorld(t, 2000, 4)
+	nw, err := NewNetwork(ds.Graph, domainAssignments(ds), core.Config{}, 17)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	meetings, err := nw.RoundCtx(ctx)
+	if err == nil {
+		t.Fatal("cancelled round completed")
+	}
+	if meetings != 0 {
+		t.Errorf("%d meetings happened under a pre-cancelled context", meetings)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "round aborted after 0 meetings") {
+		t.Errorf("error %q does not report the meetings completed", err)
+	}
+}
+
+func TestRoundCtxAbortsBetweenMeetings(t *testing.T) {
+	ds, _ := testWorld(t, 2000, 4)
+	nw, err := NewNetwork(ds.Graph, domainAssignments(ds), core.Config{}, 17)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	// A full round is len(Peers) meetings, each consuming one pre-meeting
+	// check plus the walks' own periodic checks. A budget of one means the
+	// first meeting's walk is cancelled; the round must surface that error
+	// rather than pressing on to the remaining peers.
+	meetings, err := nw.RoundCtx(&countdownContext{Context: context.Background(), left: 1})
+	if err == nil {
+		t.Fatal("cancelled round completed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if meetings >= len(nw.Peers) {
+		t.Errorf("round ran all %d meetings despite cancellation", meetings)
+	}
+	// The peers still hold servable scores from before the round: a
+	// cancelled meeting may refresh knowledge but never corrupts state.
+	for _, p := range nw.Peers {
+		if len(p.Scores()) != p.Subgraph().N() {
+			t.Errorf("peer %s left with %d scores for %d pages", p.Name, len(p.Scores()), p.Subgraph().N())
+		}
+	}
+}
+
+func TestRoundCtxBackgroundMatchesRound(t *testing.T) {
+	ds, truth := testWorld(t, 2000, 4)
+	mk := func() *Network {
+		nw, err := NewNetwork(ds.Graph, domainAssignments(ds), core.Config{}, 23)
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+		return nw
+	}
+	plain, withCtx := mk(), mk()
+	for r := 0; r < 3; r++ {
+		mp, err := plain.Round()
+		if err != nil {
+			t.Fatalf("Round: %v", err)
+		}
+		mc, err := withCtx.RoundCtx(context.Background())
+		if err != nil {
+			t.Fatalf("RoundCtx: %v", err)
+		}
+		if mp != mc {
+			t.Fatalf("round %d: %d vs %d meetings", r, mp, mc)
+		}
+	}
+	ep, err := plain.MaxError(truth)
+	if err != nil {
+		t.Fatalf("MaxError: %v", err)
+	}
+	ec, err := withCtx.MaxError(truth)
+	if err != nil {
+		t.Fatalf("MaxError: %v", err)
+	}
+	// Knowledge absorption accumulates floats in map order, so even two
+	// identical Round() runs differ in the last ulps; the contexts must
+	// agree to well within the convergence the peers have reached.
+	if diff := ep - ec; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("networks diverged: max error %v vs %v", ep, ec)
+	}
+}
+
+func TestServerRankCtxCancelled(t *testing.T) {
+	ds, _ := testWorld(t, 2000, 4)
+	serverOf := func(p graph.NodeID) int { return int(ds.Domain[p]) }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ServerRankCtx(ctx, ds.Graph, serverOf, ds.NumDomains(), ServerRankConfig{})
+	if err == nil || res != nil {
+		t.Fatalf("res=%v err=%v, want nil result and an error", res, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+
+	// Mid-run: the first server's local PageRank consumes the budget, so
+	// the cancellation surfaces partway through the per-server stage — and
+	// no partial combination leaks out.
+	res, err = ServerRankCtx(&countdownContext{Context: context.Background(), left: 2},
+		ds.Graph, serverOf, ds.NumDomains(), ServerRankConfig{})
+	if err == nil || res != nil {
+		t.Fatalf("res=%v err=%v, want nil result and an error", res, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+}

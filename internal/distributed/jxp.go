@@ -13,6 +13,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -42,8 +43,15 @@ type Peer struct {
 
 // NewPeer creates a peer owning the given local pages of global. Its
 // initial state is the ApproxRank estimate (uniform external weights) —
-// what a peer can compute before meeting anyone.
+// what a peer can compute before meeting anyone. NewPeer is NewPeerCtx
+// with context.Background().
 func NewPeer(name string, global *graph.Graph, local []graph.NodeID, cfg core.Config) (*Peer, error) {
+	return NewPeerCtx(context.Background(), name, global, local, cfg)
+}
+
+// NewPeerCtx is NewPeer under a context; cancelling ctx aborts the peer's
+// initial random walk.
+func NewPeerCtx(ctx context.Context, name string, global *graph.Graph, local []graph.NodeID, cfg core.Config) (*Peer, error) {
 	sub, err := graph.NewSubgraph(global, local)
 	if err != nil {
 		return nil, fmt.Errorf("distributed: peer %s: %w", name, err)
@@ -54,7 +62,7 @@ func NewPeer(name string, global *graph.Graph, local []graph.NodeID, cfg core.Co
 		learned: make(map[graph.NodeID]float64),
 		cfg:     cfg,
 	}
-	if err := p.recompute(); err != nil {
+	if err := p.recompute(ctx); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -87,11 +95,11 @@ func (p *Peer) Estimate(gid graph.NodeID) (float64, bool) {
 }
 
 // recompute rebuilds the peer's extended chain from its current knowledge
-// and re-runs the random walk. External pages with learned scores keep
-// them; the unknown remainder of the world's mass is spread uniformly —
-// with nothing learned this is exactly ApproxRank, and with everything
-// learned exactly (true scores) it is IdealRank.
-func (p *Peer) recompute() error {
+// and re-runs the random walk under ctx. External pages with learned
+// scores keep them; the unknown remainder of the world's mass is spread
+// uniformly — with nothing learned this is exactly ApproxRank, and with
+// everything learned exactly (true scores) it is IdealRank.
+func (p *Peer) recompute(ctx context.Context) error {
 	n := p.sub.Global.NumNodes()
 	ext := make([]float64, n)
 	if p.scores == nil {
@@ -135,7 +143,7 @@ func (p *Peer) recompute() error {
 	if err != nil {
 		return fmt.Errorf("distributed: peer %s: %w", p.Name, err)
 	}
-	res, err := chain.Run(p.cfg)
+	res, err := chain.RunCtx(ctx, p.cfg)
 	if err != nil {
 		return fmt.Errorf("distributed: peer %s: %w", p.Name, err)
 	}
@@ -146,8 +154,18 @@ func (p *Peer) recompute() error {
 
 // Meet performs a JXP meeting: the two peers exchange their current local
 // score estimates, absorb what the other knows about pages they do not
-// hold, and recompute their local walks. Meetings are symmetric.
+// hold, and recompute their local walks. Meetings are symmetric. Meet is
+// MeetCtx with context.Background().
 func Meet(a, b *Peer) error {
+	return MeetCtx(context.Background(), a, b)
+}
+
+// MeetCtx is Meet under a context: cancelling ctx aborts the two
+// post-exchange walks. The knowledge exchange itself still happens (it is
+// cheap and keeps the meeting symmetric); a cancelled meeting leaves both
+// peers with fresher knowledge but possibly stale scores, exactly the
+// state an interrupted gossip round leaves a real JXP peer in.
+func MeetCtx(ctx context.Context, a, b *Peer) error {
 	if a == nil || b == nil {
 		return fmt.Errorf("distributed: nil peer in meeting")
 	}
@@ -160,10 +178,10 @@ func Meet(a, b *Peer) error {
 	fromA := exportKnowledge(a)
 	absorb(a, fromB)
 	absorb(b, fromA)
-	if err := a.recompute(); err != nil {
+	if err := a.recompute(ctx); err != nil {
 		return err
 	}
-	return b.recompute()
+	return b.recompute(ctx)
 }
 
 // exportKnowledge collects what a peer can tell others: authoritative
@@ -208,8 +226,15 @@ type Network struct {
 }
 
 // NewNetwork partitions assigns to peers (one subgraph each; they may
-// overlap) and initializes every peer.
+// overlap) and initializes every peer. It is NewNetworkCtx with
+// context.Background().
 func NewNetwork(global *graph.Graph, assignments map[string][]graph.NodeID, cfg core.Config, seed int64) (*Network, error) {
+	return NewNetworkCtx(context.Background(), global, assignments, cfg, seed)
+}
+
+// NewNetworkCtx is NewNetwork under a context; cancellation is checked
+// between peer initializations and inside each peer's initial walk.
+func NewNetworkCtx(ctx context.Context, global *graph.Graph, assignments map[string][]graph.NodeID, cfg core.Config, seed int64) (*Network, error) {
 	if len(assignments) < 2 {
 		return nil, fmt.Errorf("distributed: a network needs at least 2 peers")
 	}
@@ -220,7 +245,7 @@ func NewNetwork(global *graph.Graph, assignments map[string][]graph.NodeID, cfg 
 	sortStrings(names)
 	nw := &Network{rng: rand.New(rand.NewSource(seed))}
 	for _, name := range names {
-		p, err := NewPeer(name, global, assignments[name], cfg)
+		p, err := NewPeerCtx(ctx, name, global, assignments[name], cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -230,15 +255,28 @@ func NewNetwork(global *graph.Graph, assignments map[string][]graph.NodeID, cfg 
 }
 
 // Round performs one JXP round: every peer meets one uniformly chosen
-// other peer. Returns the number of meetings held.
+// other peer. Returns the number of meetings held. It is RoundCtx with
+// context.Background().
 func (nw *Network) Round() (int, error) {
+	return nw.RoundCtx(context.Background())
+}
+
+// RoundCtx is Round under a context. Cancellation is checked before each
+// meeting (and inside the meetings' walks); an aborted round reports how
+// many meetings completed, and the meetings already held keep their
+// effect — JXP peers gossip asynchronously, so a partial round is a valid
+// network state.
+func (nw *Network) RoundCtx(ctx context.Context) (int, error) {
 	meetings := 0
 	for i, p := range nw.Peers {
+		if err := ctx.Err(); err != nil {
+			return meetings, fmt.Errorf("distributed: round aborted after %d meetings: %w", meetings, err)
+		}
 		j := nw.rng.Intn(len(nw.Peers) - 1)
 		if j >= i {
 			j++
 		}
-		if err := Meet(p, nw.Peers[j]); err != nil {
+		if err := MeetCtx(ctx, p, nw.Peers[j]); err != nil {
 			return meetings, err
 		}
 		meetings++

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -38,8 +39,16 @@ type ServerRankResult struct {
 // links only; the inter-server links induce a weighted server-level graph
 // whose PageRank measures server importance; a page's global estimate is
 // localPR(page) · serverRank(server). serverOf assigns every page to a
-// server 0..numServers−1.
+// server 0..numServers−1. ServerRank is ServerRankCtx with
+// context.Background().
 func ServerRank(g *graph.Graph, serverOf func(graph.NodeID) int, numServers int, cfg ServerRankConfig) (*ServerRankResult, error) {
+	return ServerRankCtx(context.Background(), g, serverOf, numServers, cfg)
+}
+
+// ServerRankCtx is ServerRank under a context. Cancellation is checked
+// between per-server local PageRank runs and inside every walk; there are
+// no partial results — an aborted combination returns only the error.
+func ServerRankCtx(ctx context.Context, g *graph.Graph, serverOf func(graph.NodeID) int, numServers int, cfg ServerRankConfig) (*ServerRankResult, error) {
 	if g == nil {
 		return nil, fmt.Errorf("distributed: nil graph")
 	}
@@ -68,6 +77,9 @@ func ServerRank(g *graph.Graph, serverOf func(graph.NodeID) int, numServers int,
 	// Layer 1: local PageRank per server over intra-server links.
 	localScore := make([]float64, n)
 	for s, pages := range pagesOf {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("distributed: server rank cancelled before server %d: %w", s, err)
+		}
 		pos := make(map[graph.NodeID]uint32, len(pages))
 		for i, p := range pages {
 			pos[p] = uint32(i)
@@ -84,7 +96,7 @@ func ServerRank(g *graph.Graph, serverOf func(graph.NodeID) int, numServers int,
 		if err != nil {
 			return nil, fmt.Errorf("distributed: server %d local graph: %w", s, err)
 		}
-		pr, err := pagerank.Compute(lg, cfg.options())
+		pr, err := pagerank.ComputeCtx(ctx, lg, cfg.options())
 		if err != nil {
 			return nil, fmt.Errorf("distributed: server %d local PageRank: %w", s, err)
 		}
@@ -117,7 +129,7 @@ func ServerRank(g *graph.Graph, serverOf func(graph.NodeID) int, numServers int,
 		if err != nil {
 			return nil, fmt.Errorf("distributed: server graph: %w", err)
 		}
-		spr, err := pagerank.Compute(sg, cfg.options())
+		spr, err := pagerank.ComputeCtx(ctx, sg, cfg.options())
 		if err != nil {
 			return nil, fmt.Errorf("distributed: server PageRank: %w", err)
 		}

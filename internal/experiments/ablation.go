@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -155,7 +156,7 @@ func AblationIntraDomain(intras []float64, pages int, seed int64) ([]AblationPoi
 	}
 	var pts []AblationPoint
 	for _, f := range intras {
-		grun, err := newGlobalRun(fmt.Sprintf("intra-%.2f", f), gen.Config{
+		grun, err := newGlobalRun(context.Background(), fmt.Sprintf("intra-%.2f", f), gen.Config{
 			Pages:         pages,
 			Domains:       16,
 			IntraFraction: f,

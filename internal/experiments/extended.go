@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -36,10 +37,17 @@ type AccelRow struct {
 
 // RunAcceleration compares the PageRank iteration schemes of the related
 // work (plain power iteration, quadratic extrapolation, Gauss–Seidel,
-// adaptive freezing) on the AU global graph at tolerance 1e-8.
+// adaptive freezing) on the AU global graph at tolerance 1e-8. It is
+// RunAccelerationCtx with context.Background().
 func (s *Suite) RunAcceleration() ([]AccelRow, error) {
+	return s.RunAccelerationCtx(context.Background())
+}
+
+// RunAccelerationCtx is RunAcceleration under a context; every scheme's
+// walk (and the tight reference run, the slowest of them) runs under it.
+func (s *Suite) RunAccelerationCtx(ctx context.Context) ([]AccelRow, error) {
 	g := s.AU.Data.Graph
-	ref, err := pagerank.Compute(g, pagerank.Options{Tolerance: numeric.ReferenceTolerance, MaxIterations: 5000})
+	ref, err := pagerank.ComputeCtx(ctx, g, pagerank.Options{Tolerance: numeric.ReferenceTolerance, MaxIterations: 5000})
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +62,7 @@ func (s *Suite) RunAcceleration() ([]AccelRow, error) {
 	}
 	var rows []AccelRow
 	for _, c := range cases {
-		res, err := pagerank.Compute(g, c.opts)
+		res, err := pagerank.ComputeCtx(ctx, g, c.opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", c.name, err)
 		}
@@ -74,7 +82,7 @@ func (s *Suite) RunAcceleration() ([]AccelRow, error) {
 	// its row reports only the final global stage's iteration count (the
 	// block stages are embarrassingly parallel in the original paper).
 	ds := s.AU.Data
-	br, err := blockrank.Compute(g, func(p graph.NodeID) int { return int(ds.Domain[p]) },
+	br, err := blockrank.ComputeCtx(ctx, g, func(p graph.NodeID) int { return int(ds.Domain[p]) },
 		ds.NumDomains(), blockrank.Config{Tolerance: numeric.TightTolerance})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: blockrank: %w", err)
@@ -115,8 +123,16 @@ type JXPPoint struct {
 // cover of the global graph) and records the error after each meeting
 // round. Round 0 is the pure-ApproxRank starting state, so the series
 // quantifies how much meeting-based knowledge improves on the uniform
-// external assumption (and converges toward IdealRank).
+// external assumption (and converges toward IdealRank). It is RunJXPCtx
+// with context.Background().
 func (s *Suite) RunJXP(rounds int, seed int64) ([]JXPPoint, error) {
+	return s.RunJXPCtx(context.Background(), rounds, seed)
+}
+
+// RunJXPCtx is RunJXP under a context: peer initialization and every
+// meeting round run under it, so a long gossip simulation can be aborted
+// between (or within) rounds.
+func (s *Suite) RunJXPCtx(ctx context.Context, rounds int, seed int64) ([]JXPPoint, error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("experiments: JXP needs at least 1 round")
 	}
@@ -125,7 +141,7 @@ func (s *Suite) RunJXP(rounds int, seed int64) ([]JXPPoint, error) {
 	for d := 0; d < ds.NumDomains(); d++ {
 		assignments[ds.DomainNames[d]] = ds.DomainPages(d)
 	}
-	nw, err := distributed.NewNetwork(ds.Graph, assignments, core.Config{Tolerance: numeric.TightTolerance}, seed)
+	nw, err := distributed.NewNetworkCtx(ctx, ds.Graph, assignments, core.Config{Tolerance: numeric.TightTolerance}, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +170,7 @@ func (s *Suite) RunJXP(rounds int, seed int64) ([]JXPPoint, error) {
 	}
 	pts := []JXPPoint{pt}
 	for r := 1; r <= rounds; r++ {
-		if _, err := nw.Round(); err != nil {
+		if _, err := nw.RoundCtx(ctx); err != nil {
 			return nil, err
 		}
 		pt, err := point(r)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,7 +56,16 @@ func AllAlgos() Algos { return Algos{Local: true, LPR2: true, SC: true, Approx: 
 // RunSubgraph executes the selected algorithms on the subgraph defined by
 // localPages within grun's dataset and evaluates each against the global
 // truth. cfg applies to every ranker; scCfg additionally configures SC.
+// It is RunSubgraphCtx with context.Background().
 func RunSubgraph(grun *GlobalRun, name string, localPages []graph.NodeID,
+	algos Algos, cfg core.Config, scCfg baseline.SCConfig) (*SubgraphRun, error) {
+	return RunSubgraphCtx(context.Background(), grun, name, localPages, algos, cfg, scCfg)
+}
+
+// RunSubgraphCtx is RunSubgraph under a context: every ranker — the
+// baselines and ApproxRank alike — runs its walk under ctx, so one
+// cancellation aborts whichever algorithm happens to be burning CPU.
+func RunSubgraphCtx(ctx context.Context, grun *GlobalRun, name string, localPages []graph.NodeID,
 	algos Algos, cfg core.Config, scCfg baseline.SCConfig) (*SubgraphRun, error) {
 
 	sub, err := graph.NewSubgraph(grun.Data.Graph, localPages)
@@ -71,7 +81,7 @@ func RunSubgraph(grun *GlobalRun, name string, localPages []graph.NodeID,
 	blCfg := baseline.Config{Epsilon: cfg.Epsilon, Tolerance: cfg.Tolerance, MaxIterations: cfg.MaxIterations}
 
 	if algos.Local {
-		res, err := baseline.LocalPageRank(sub, blCfg)
+		res, err := baseline.LocalPageRankCtx(ctx, sub, blCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: local PageRank on %s: %w", name, err)
 		}
@@ -81,7 +91,7 @@ func RunSubgraph(grun *GlobalRun, name string, localPages []graph.NodeID,
 		}
 	}
 	if algos.LPR2 {
-		res, err := baseline.LPR2(sub, blCfg)
+		res, err := baseline.LPR2Ctx(ctx, sub, blCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: LPR2 on %s: %w", name, err)
 		}
@@ -94,7 +104,7 @@ func RunSubgraph(grun *GlobalRun, name string, localPages []graph.NodeID,
 		if scCfg.Epsilon == 0 {
 			scCfg.Config = blCfg
 		}
-		res, err := baseline.SC(sub, scCfg)
+		res, err := baseline.SCCtx(ctx, sub, scCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: SC on %s: %w", name, err)
 		}
@@ -106,7 +116,11 @@ func RunSubgraph(grun *GlobalRun, name string, localPages []graph.NodeID,
 	}
 	if algos.Approx {
 		start := time.Now()
-		res, err := core.ApproxRankCtx(grun.Ctx, sub, cfg)
+		chain, err := core.NewApproxChainCtx(grun.Ctx, sub)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ApproxRank on %s: %w", name, err)
+		}
+		res, err := chain.RunCtx(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ApproxRank on %s: %w", name, err)
 		}

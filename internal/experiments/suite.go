@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -87,9 +88,16 @@ type Suite struct {
 }
 
 // NewSuite generates both datasets and computes their global PageRank.
+// It is NewSuiteCtx with context.Background().
 func NewSuite(scale Scale) (*Suite, error) {
+	return NewSuiteCtx(context.Background(), scale)
+}
+
+// NewSuiteCtx is NewSuite under a context; the two global PageRank
+// computations — the expensive part of suite construction — run under it.
+func NewSuiteCtx(ctx context.Context, scale Scale) (*Suite, error) {
 	scale.fill()
-	au, err := newGlobalRun("AU-syn", gen.Config{
+	au, err := newGlobalRun(ctx, "AU-syn", gen.Config{
 		Pages:            scale.AUPages,
 		Domains:          scale.AUDomains,
 		SizeLeakExponent: 0.8,
@@ -98,7 +106,7 @@ func NewSuite(scale Scale) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: AU dataset: %w", err)
 	}
-	pol, err := newGlobalRun("politics-syn", gen.Config{
+	pol, err := newGlobalRun(ctx, "politics-syn", gen.Config{
 		Pages:   scale.PoliticsPages,
 		Domains: maxInt(scale.AUDomains/2, 4),
 		Topics:  scale.PoliticsTopics,
@@ -115,13 +123,13 @@ func NewSuite(scale Scale) (*Suite, error) {
 	return &Suite{Scale: scale, AU: au, Politics: pol}, nil
 }
 
-func newGlobalRun(name string, cfg gen.Config) (*GlobalRun, error) {
+func newGlobalRun(ctx context.Context, name string, cfg gen.Config) (*GlobalRun, error) {
 	ds, err := gen.Generate(cfg)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	pr, err := pagerank.Compute(ds.Graph, pagerank.Options{})
+	pr, err := pagerank.ComputeCtx(ctx, ds.Graph, pagerank.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -49,7 +50,15 @@ var tsNames = []string{"conservatism", "liberalism", "socialism"}
 // RunTS crawls three topic subgraphs of the politics dataset (named after
 // the paper's liberalism/conservatism/socialism) and runs all algorithms
 // on each. The results feed Table III (accuracy) and Table V (runtime).
+// It is RunTSCtx with context.Background().
 func (s *Suite) RunTS(params TSParams) ([]*SubgraphRun, error) {
+	return s.RunTSCtx(context.Background(), params)
+}
+
+// RunTSCtx is RunTS under a context; both the crawls and the rankers run
+// under it. A cancelled driver returns only the error (per-subgraph
+// results already gathered are discarded — the tables need all rows).
+func (s *Suite) RunTSCtx(ctx context.Context, params TSParams) ([]*SubgraphRun, error) {
 	params.fill()
 	ds := s.Politics.Data
 	// Rank topics by size; pick a large, a larger, and a clearly smaller
@@ -68,11 +77,11 @@ func (s *Suite) RunTS(params TSParams) ([]*SubgraphRun, error) {
 		if i == 2 {
 			frac /= 3 // the socialism analogue is deliberately small
 		}
-		pages, err := crawler.TopicCrawl(ds.Graph, topicOf, topic, frac, params.Hops, rng)
+		pages, err := crawler.TopicCrawlCtx(ctx, ds.Graph, topicOf, topic, frac, params.Hops, rng)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: topic crawl %s: %w", tsNames[i], err)
 		}
-		run, err := RunSubgraph(s.Politics, tsNames[i], pages, AllAlgos(), core.Config{}, baseline.SCConfig{})
+		run, err := RunSubgraphCtx(ctx, s.Politics, tsNames[i], pages, AllAlgos(), core.Config{}, baseline.SCConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -102,8 +111,14 @@ func topicsDescending(ds *gen.Dataset) []int {
 
 // RunDS runs all algorithms on 12 domain subgraphs of the AU dataset,
 // ascending by size. The results feed Table IV (accuracy) and Table VI
-// (runtime).
+// (runtime). It is RunDSCtx with context.Background().
 func (s *Suite) RunDS(domains int) ([]*SubgraphRun, error) {
+	return s.RunDSCtx(context.Background(), domains)
+}
+
+// RunDSCtx is RunDS under a context; every per-domain ranker runs under
+// it.
+func (s *Suite) RunDSCtx(ctx context.Context, domains int) ([]*SubgraphRun, error) {
 	if domains == 0 {
 		domains = 12
 	}
@@ -111,7 +126,7 @@ func (s *Suite) RunDS(domains int) ([]*SubgraphRun, error) {
 	var runs []*SubgraphRun
 	for _, d := range picked {
 		pages := s.AU.Data.DomainPages(d)
-		run, err := RunSubgraph(s.AU, s.AU.Data.DomainNames[d], pages, AllAlgos(), core.Config{}, baseline.SCConfig{})
+		run, err := RunSubgraphCtx(ctx, s.AU, s.AU.Data.DomainNames[d], pages, AllAlgos(), core.Config{}, baseline.SCConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -127,8 +142,15 @@ var BFSFractions = []float64{0.1, 0.5, 2, 5, 8, 10, 12, 15, 20}
 // RunBFS crawls BFS subgraphs of the AU dataset at the Figure 7 fractions
 // and runs local PageRank, LPR2 and ApproxRank on each; SC runs only on
 // the two smallest crawls (the paper could not obtain SC rankings for the
-// larger ones because frontier scoring becomes too expensive).
+// larger ones because frontier scoring becomes too expensive). It is
+// RunBFSCtx with context.Background().
 func (s *Suite) RunBFS(fractions []float64) ([]*SubgraphRun, error) {
+	return s.RunBFSCtx(context.Background(), fractions)
+}
+
+// RunBFSCtx is RunBFS under a context; the crawls and rankers run under
+// it.
+func (s *Suite) RunBFSCtx(ctx context.Context, fractions []float64) ([]*SubgraphRun, error) {
 	if fractions == nil {
 		fractions = BFSFractions
 	}
@@ -140,12 +162,12 @@ func (s *Suite) RunBFS(fractions []float64) ([]*SubgraphRun, error) {
 		if target < 2 {
 			target = 2
 		}
-		pages, err := crawler.BFS(g, seed, target)
+		pages, err := crawler.BFSCtx(ctx, g, seed, target)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: BFS crawl %.1f%%: %w", f, err)
 		}
 		algos := Algos{Local: true, LPR2: true, Approx: true, SC: i < 2}
-		run, err := RunSubgraph(s.AU, fmt.Sprintf("BFS %.1f%%", f), pages, algos, core.Config{}, baseline.SCConfig{})
+		run, err := RunSubgraphCtx(ctx, s.AU, fmt.Sprintf("BFS %.1f%%", f), pages, algos, core.Config{}, baseline.SCConfig{})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package pagerank
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"time"
 )
@@ -12,7 +14,7 @@ import (
 // kept fresh: it is adjusted in place the moment a dangling page's score
 // changes, so the dangling component converges at the Gauss–Seidel rate
 // rather than lagging a full sweep behind.
-func computeGaussSeidel(g InEdgeGraph, opts Options) (*Result, error) {
+func computeGaussSeidel(ctx context.Context, g InEdgeGraph, opts Options) (*Result, error) {
 	n := g.NumNodes()
 	start := time.Now()
 	uniform := 1.0 / float64(n)
@@ -49,6 +51,11 @@ func computeGaussSeidel(g InEdgeGraph, opts Options) (*Result, error) {
 	}
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if iter%ctxCheckInterval == 1 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pagerank: cancelled at iteration %d: %w", iter-1, err)
+			}
+		}
 		delta := 0.0
 		for v := 0; v < n; v++ {
 			acc := (1-eps)*pAt(v) + eps*danglingMass*dAt(v)
@@ -93,7 +100,7 @@ func computeGaussSeidel(g InEdgeGraph, opts Options) (*Result, error) {
 // fixed base vector and the page drops out of the per-iteration work. On
 // web-like graphs most pages freeze early, cutting per-iteration cost
 // while perturbing the fixpoint by at most ~N·AdaptiveFreeze in L1.
-func computeAdaptive(g DirectedGraph, opts Options) (*Result, error) {
+func computeAdaptive(ctx context.Context, g DirectedGraph, opts Options) (*Result, error) {
 	n := g.NumNodes()
 	start := time.Now()
 	uniform := 1.0 / float64(n)
@@ -133,6 +140,11 @@ func computeAdaptive(g DirectedGraph, opts Options) (*Result, error) {
 	res.Deltas = make([]float64, 0, opts.MaxIterations)
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if iter%ctxCheckInterval == 1 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pagerank: cancelled at iteration %d: %w", iter-1, err)
+			}
+		}
 		activeDangling := 0.0
 		for u := 0; u < n; u++ {
 			if !frozen[u] && g.Dangling(uint32(u)) {

@@ -15,12 +15,19 @@
 package pagerank
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/numeric"
 )
+
+// ctxCheckInterval is how many iterations run between cancellation
+// checks in every iteration scheme. One iteration touches every edge,
+// so checking every few iterations bounds post-cancellation work to a
+// handful of sweeps without per-edge overhead on the hot path.
+const ctxCheckInterval = 16
 
 // DirectedGraph is the view of a graph the engine needs. *graph.Graph
 // satisfies it; the Λ-extended chains in internal/core run their own
@@ -97,6 +104,12 @@ type Options struct {
 	// Only valid with MethodPower; the final vector agrees with the plain
 	// iteration up to roughly N·AdaptiveFreeze in L1.
 	AdaptiveFreeze float64
+	// Deadline, when positive, bounds the computation's wall-clock time:
+	// ComputeCtx derives its context with context.WithTimeout(ctx,
+	// Deadline) and an unconverged run returns context.DeadlineExceeded
+	// instead of burning the full MaxIterations budget. Zero means no
+	// deadline.
+	Deadline time.Duration
 }
 
 func (o *Options) fill(n int) error {
@@ -146,6 +159,9 @@ func (o *Options) fill(n int) error {
 	if o.AdaptiveFreeze < 0 {
 		return fmt.Errorf("pagerank: negative AdaptiveFreeze %v", o.AdaptiveFreeze)
 	}
+	if o.Deadline < 0 {
+		return fmt.Errorf("pagerank: negative Deadline %v", o.Deadline)
+	}
 	if o.Method == MethodGaussSeidel && (o.ExtrapolateEvery > 0 || o.AdaptiveFreeze > 0) {
 		return fmt.Errorf("pagerank: Gauss–Seidel cannot combine with extrapolation or adaptive freezing")
 	}
@@ -181,8 +197,18 @@ type Result struct {
 	FrozenPages int
 }
 
-// Compute runs the PageRank power iteration on g.
+// Compute runs the PageRank power iteration on g. It is ComputeCtx with
+// context.Background() — uncancellable; long-running callers should
+// prefer ComputeCtx.
 func Compute(g DirectedGraph, opts Options) (*Result, error) {
+	return ComputeCtx(context.Background(), g, opts)
+}
+
+// ComputeCtx is Compute under a context: every iteration scheme checks
+// ctx every ctxCheckInterval iterations and, when cancelled (or when
+// opts.Deadline expires), returns nil and ctx's error wrapped with the
+// iteration reached.
+func ComputeCtx(ctx context.Context, g DirectedGraph, opts Options) (*Result, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("pagerank: empty graph")
@@ -190,18 +216,23 @@ func Compute(g DirectedGraph, opts Options) (*Result, error) {
 	if err := opts.fill(n); err != nil {
 		return nil, err
 	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
 	if opts.Method == MethodGaussSeidel {
 		ig, ok := g.(InEdgeGraph)
 		if !ok {
 			return nil, fmt.Errorf("pagerank: Gauss–Seidel needs a graph with in-adjacency")
 		}
-		return computeGaussSeidel(ig, opts)
+		return computeGaussSeidel(ctx, ig, opts)
 	}
 	if opts.AdaptiveFreeze > 0 {
-		return computeAdaptive(g, opts)
+		return computeAdaptive(ctx, g, opts)
 	}
 	if opts.Parallelism > 1 {
-		return computeParallel(g, opts)
+		return computeParallel(ctx, g, opts)
 	}
 	start := time.Now()
 
@@ -238,6 +269,11 @@ func Compute(g DirectedGraph, opts Options) (*Result, error) {
 
 	eps := opts.Epsilon
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if iter%ctxCheckInterval == 1 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pagerank: cancelled at iteration %d: %w", iter-1, err)
+			}
+		}
 		danglingMass := 0.0
 		for u := 0; u < n; u++ {
 			if g.Dangling(uint32(u)) {

@@ -1,6 +1,8 @@
 package pagerank
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -14,7 +16,13 @@ import (
 // (the reduction order is fixed); across different Parallelism values
 // results agree to floating-point reassociation error, far below any
 // practical tolerance.
-func computeParallel(g DirectedGraph, opts Options) (*Result, error) {
+//
+// Cancellation is checked between iterations (the workers of one
+// iteration are barrier-synchronized and bounded, so there is nothing
+// long-lived to interrupt mid-iteration); each worker also early-outs
+// when ctx is already done so a cancelled batch drains without scanning
+// its range.
+func computeParallel(ctx context.Context, g DirectedGraph, opts Options) (*Result, error) {
 	n := g.NumNodes()
 	start := time.Now()
 	workers := opts.Parallelism
@@ -82,6 +90,9 @@ func computeParallel(g DirectedGraph, opts Options) (*Result, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				if ctx.Err() != nil {
+					return // cancelled: skip the scan, the barrier below still holds
+				}
 				a := acc[w]
 				for i := range a {
 					a[i] = 0
@@ -122,6 +133,9 @@ func computeParallel(g DirectedGraph, opts Options) (*Result, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				if ctx.Err() != nil {
+					return // cancelled: the post-barrier check below discards this iteration
+				}
 				d := 0.0
 				for v := bounds[w]; v < bounds[w+1]; v++ {
 					x := (1-eps)*pAt(v) + eps*danglingMass*dAt(v)
@@ -135,6 +149,13 @@ func computeParallel(g DirectedGraph, opts Options) (*Result, error) {
 			}(w)
 		}
 		wg.Wait()
+
+		// A cancellation that landed mid-iteration left accumulators (and
+		// therefore next/deltas) stale; this check runs before either is
+		// trusted, so a cancelled iteration can never "converge".
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pagerank: cancelled at iteration %d: %w", iter-1, err)
+		}
 
 		delta := 0.0
 		for _, d := range deltas {
