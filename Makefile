@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 300ms
 
-.PHONY: all build lint lint-sarif fix-smoke vet test race bench fuzz-smoke
+.PHONY: all build lint lint-sarif fix-smoke vet test race bench bench-diff fuzz-smoke
 
 all: build lint vet test
 
@@ -47,6 +47,15 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' \
 		./internal/core/ ./internal/pagerank/ | $(GO) run ./cmd/benchjson > BENCH_core.json
 	@echo "wrote BENCH_core.json"
+
+# Gate the current tree's benchmarks against a baseline artifact:
+#   make bench-diff BASELINE=path/to/old.json [THRESHOLD=30]
+# Exits non-zero when ns/op or allocs/op regressed past the threshold.
+# The default threshold is generous because `make bench` runs at a short
+# BENCHTIME — allocs/op is exact, but ns/op carries sampling noise.
+THRESHOLD ?= 30
+bench-diff: bench
+	$(GO) run ./cmd/benchjson -diff -threshold $(THRESHOLD) $(BASELINE) BENCH_core.json
 
 # Short fuzzing pass over every fuzz target; go test accepts one -fuzz
 # pattern per package invocation, so each target gets its own run.

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// diffMetrics are the metrics a -diff run compares. ns/op catches time
+// regressions; allocs/op catches hot-path allocation creep — the two
+// budgets the kernel layer exists to protect. B/op and custom units are
+// reported in the artifact but not gated: they track ns/op and allocs/op
+// closely enough that gating them too would only double the noise
+// surface.
+var diffMetrics = []string{"ns/op", "allocs/op"}
+
+// diffRow is one (benchmark, metric) comparison.
+type diffRow struct {
+	Key        string  // pkg-qualified benchmark name
+	Metric     string  // ns/op or allocs/op
+	Old, New   float64 // metric values in the two artifacts
+	DeltaPct   float64 // (New-Old)/Old in percent
+	Regression bool    // DeltaPct exceeded the threshold
+}
+
+// runDiff implements `benchjson -diff [-threshold pct] old.json new.json`:
+// it loads two artifacts produced by benchjson, compares ns/op and
+// allocs/op for every benchmark present in both, prints a comparison
+// table, and exits non-zero when any metric regressed by more than
+// thresholdPct percent. Benchmarks present in only one artifact are
+// warned about but never fail the diff — renames and additions are
+// routine; silent coverage loss is not.
+func runDiff(oldPath, newPath string, thresholdPct float64, out, errw io.Writer) int {
+	oldRes, err := loadArtifact(oldPath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	newRes, err := loadArtifact(newPath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+
+	rows, onlyOld, onlyNew := diffResults(oldRes, newRes, thresholdPct)
+	for _, k := range onlyOld {
+		fmt.Fprintf(errw, "benchjson: warning: %s present only in %s (benchmark removed?)\n", k, oldPath)
+	}
+	for _, k := range onlyNew {
+		fmt.Fprintf(errw, "benchjson: warning: %s present only in %s (new benchmark, no baseline)\n", k, newPath)
+	}
+
+	regressions := 0
+	fmt.Fprintf(out, "%-52s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, r := range rows {
+		mark := ""
+		if r.Regression {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "%-52s %-10s %14.6g %14.6g %+8.1f%%%s\n", r.Key, r.Metric, r.Old, r.New, r.DeltaPct, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(errw, "benchjson: %d metric(s) regressed more than %.1f%%\n", regressions, thresholdPct)
+		return 1
+	}
+	return 0
+}
+
+// diffResults pairs the two artifacts by pkg-qualified name and compares
+// each gated metric, returning the comparison rows (sorted by key, then
+// metric) and the keys present in only one artifact.
+func diffResults(oldRes, newRes []Result, thresholdPct float64) (rows []diffRow, onlyOld, onlyNew []string) {
+	oldBy := indexByKey(oldRes)
+	newBy := indexByKey(newRes)
+	for k := range oldBy {
+		if _, ok := newBy[k]; !ok {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	for k, nr := range newBy {
+		or, ok := oldBy[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		for _, m := range diffMetrics {
+			ov, okOld := or.Metrics[m]
+			nv, okNew := nr.Metrics[m]
+			if !okOld || !okNew {
+				continue // e.g. allocs/op absent when -benchmem was off
+			}
+			row := diffRow{Key: k, Metric: m, Old: ov, New: nv}
+			switch {
+			case ov > 0:
+				row.DeltaPct = (nv - ov) / ov * 100
+				row.Regression = row.DeltaPct > thresholdPct
+			case nv > 0:
+				// From zero to non-zero: infinite relative growth. Only
+				// plausible for allocs/op, where it is always real creep.
+				row.DeltaPct = math.Inf(1)
+				row.Regression = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Key != rows[j].Key {
+			return rows[i].Key < rows[j].Key
+		}
+		return rows[i].Metric < rows[j].Metric
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return rows, onlyOld, onlyNew
+}
+
+// indexByKey maps pkg-qualified benchmark names to results. Procs is
+// deliberately not part of the key: CI runners differ in core count, and
+// a name collision across proc counts within one artifact is reported by
+// keeping the LAST entry (matching go test, which runs them in order).
+func indexByKey(results []Result) map[string]Result {
+	by := make(map[string]Result, len(results))
+	for _, r := range results {
+		key := r.Name
+		if r.Pkg != "" {
+			key = r.Pkg + "." + r.Name
+		}
+		by[key] = r
+	}
+	return by
+}
+
+// loadArtifact reads one benchjson output file.
+func loadArtifact(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return results, nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldArtifact = `[
+  {"name":"ApproxRank","pkg":"repro/internal/core","iterations":100,
+   "metrics":{"ns/op":1000000,"allocs/op":40,"B/op":500000}},
+  {"name":"RankMany/workers=4","pkg":"repro/internal/core","iterations":50,
+   "metrics":{"ns/op":2000000,"allocs/op":300}},
+  {"name":"Removed","pkg":"repro/internal/core","iterations":10,
+   "metrics":{"ns/op":5}}
+]`
+
+func TestDiffCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeArtifact(t, dir, "old.json", oldArtifact)
+	// Faster and leaner across the board, plus a brand-new benchmark.
+	newP := writeArtifact(t, dir, "new.json", `[
+	  {"name":"ApproxRank","pkg":"repro/internal/core","iterations":100,
+	   "metrics":{"ns/op":900000,"allocs/op":16,"B/op":350000}},
+	  {"name":"RankMany/workers=4","pkg":"repro/internal/core","iterations":50,
+	   "metrics":{"ns/op":1500000,"allocs/op":140}},
+	  {"name":"Added","pkg":"repro/internal/core","iterations":10,
+	   "metrics":{"ns/op":7}}
+	]`)
+	var out, errw strings.Builder
+	if code := runDiff(oldP, newP, 10, &out, &errw); code != 0 {
+		t.Fatalf("runDiff = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "ApproxRank") || !strings.Contains(out.String(), "-60.0%") {
+		t.Errorf("table missing improvement row:\n%s", out.String())
+	}
+	// Missing-on-either-side benchmarks warn but do not fail.
+	if !strings.Contains(errw.String(), "Removed") || !strings.Contains(errw.String(), "Added") {
+		t.Errorf("expected coverage warnings, got: %s", errw.String())
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeArtifact(t, dir, "old.json", oldArtifact)
+	// ns/op regressed 50% on one benchmark, allocs doubled on another.
+	newP := writeArtifact(t, dir, "new.json", `[
+	  {"name":"ApproxRank","pkg":"repro/internal/core","iterations":100,
+	   "metrics":{"ns/op":1500000,"allocs/op":40}},
+	  {"name":"RankMany/workers=4","pkg":"repro/internal/core","iterations":50,
+	   "metrics":{"ns/op":2000000,"allocs/op":600}},
+	  {"name":"Removed","pkg":"repro/internal/core","iterations":10,
+	   "metrics":{"ns/op":5}}
+	]`)
+	var out, errw strings.Builder
+	if code := runDiff(oldP, newP, 10, &out, &errw); code != 1 {
+		t.Fatalf("runDiff = %d, want 1\nstdout: %s", code, out.String())
+	}
+	if got := strings.Count(out.String(), "REGRESSION"); got != 2 {
+		t.Errorf("want 2 REGRESSION marks, got %d:\n%s", got, out.String())
+	}
+	if !strings.Contains(errw.String(), "regressed more than 10.0%") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+	// A looser threshold lets the same artifacts pass.
+	out.Reset()
+	errw.Reset()
+	if code := runDiff(oldP, newP, 120, &out, &errw); code != 0 {
+		t.Fatalf("runDiff(threshold=120) = %d, want 0\nstderr: %s", code, errw.String())
+	}
+}
+
+func TestDiffZeroToNonzeroAllocs(t *testing.T) {
+	rows, _, _ := diffResults(
+		[]Result{{Name: "X", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}}},
+		[]Result{{Name: "X", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 3}}},
+		50)
+	var found bool
+	for _, r := range rows {
+		if r.Metric == "allocs/op" {
+			found = true
+			if !r.Regression || !math.IsInf(r.DeltaPct, 1) {
+				t.Errorf("0→3 allocs/op must regress: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no allocs/op row")
+	}
+}
+
+func TestDiffBadArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	good := writeArtifact(t, dir, "good.json", oldArtifact)
+	empty := writeArtifact(t, dir, "empty.json", `[]`)
+	garbage := writeArtifact(t, dir, "garbage.json", `{not json`)
+	for _, tc := range []struct{ name, oldP, newP string }{
+		{"missing file", filepath.Join(dir, "nope.json"), good},
+		{"empty artifact", good, empty},
+		{"garbage", garbage, good},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw strings.Builder
+			if code := runDiff(tc.oldP, tc.newP, 10, &out, &errw); code != 1 {
+				t.Fatalf("runDiff = %d, want 1", code)
+			}
+			if errw.Len() == 0 {
+				t.Error("expected a diagnostic on stderr")
+			}
+		})
+	}
+}

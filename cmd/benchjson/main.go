@@ -14,11 +14,17 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' ./internal/core/ | benchjson
+//
+// With -diff, benchjson instead compares two of its own artifacts and
+// gates on regressions (see runDiff):
+//
+//	benchjson -diff [-threshold pct] old.json new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -44,6 +50,20 @@ type Result struct {
 }
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two benchjson artifacts: benchjson -diff [-threshold pct] old.json new.json")
+	threshold := flag.Float64("threshold", 10, "with -diff, max allowed percent regression in ns/op or allocs/op")
+	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifacts: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout, os.Stderr))
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: reads `go test -bench` output on stdin; positional arguments need -diff")
+		os.Exit(2)
+	}
 	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -25,6 +26,11 @@ import (
 // function. Intentional per-iteration allocations take an
 // //arlint:allow hotalloc sentinel.
 //
+// A flagged `x := make(...)` whose size arguments are loop-invariant —
+// every mentioned variable is declared before the loop and never
+// assigned inside it — carries a mechanical fix that hoists the
+// statement immediately before the loop.
+//
 // The checker is interprocedural through summaries (summary.go): a
 // static call inside the loop to a module function whose summary says
 // it allocates — directly or via its own callees — is flagged exactly
@@ -40,6 +46,7 @@ var HotAlloc = &Analyzer{
 // hotPackages are the iteration engines the checker covers.
 var hotPackages = map[string]bool{
 	"pagerank": true, "approxrank": true, "hits": true, "blockrank": true, "core": true,
+	"kernel": true, // the shared flat-sweep layer every engine runs on
 }
 
 func runHotAlloc(pass *Pass) {
@@ -64,6 +71,18 @@ func checkHotAllocFunc(pass *Pass, fn *ast.FuncDecl) {
 		if !ok || !isPowerLoop(loop) {
 			return true
 		}
+		// Map each single-define `x := <call>` statement in the body to
+		// its call, so the make case below can offer a hoist fix for the
+		// whole statement rather than the bare expression.
+		defines := make(map[*ast.CallExpr]*ast.AssignStmt)
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			if as, ok := m.(*ast.AssignStmt); ok && as.Tok == token.DEFINE && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+				if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+					defines[call] = as
+				}
+			}
+			return true
+		})
 		ast.Inspect(loop.Body, func(m ast.Node) bool {
 			call, ok := m.(*ast.CallExpr)
 			if !ok {
@@ -90,7 +109,7 @@ func checkHotAllocFunc(pass *Pass, fn *ast.FuncDecl) {
 			}
 			switch id.Name {
 			case "make":
-				pass.Reportf(call.Pos(),
+				pass.ReportfFix(call.Pos(), hoistMakeFix(pass, loop, call, defines[call]),
 					"make inside the power-iteration loop of %s allocates every iteration; hoist it before the loop",
 					fn.Name.Name)
 			case "append":
@@ -109,6 +128,98 @@ func checkHotAllocFunc(pass *Pass, fn *ast.FuncDecl) {
 		})
 		return false // nested loops are part of the same iteration body
 	})
+}
+
+// hoistMakeFix builds the mechanical hoist for the common shape
+//
+//	x := make(T, size...)
+//
+// when the make is the whole right-hand side of a single-variable
+// define and every variable mentioned by its arguments is declared
+// outside the loop and never assigned inside it — the buffer's size is
+// then loop-invariant, so the identical statement placed immediately
+// before the loop allocates once and the body reuses the buffer. Any
+// other shape (multi-assign, plain assignment, size depending on loop
+// state, make nested in a larger expression) gets no fix; the
+// diagnostic alone is the answer there. Callers that relied on a
+// freshly ZEROED buffer each iteration must clear it after hoisting —
+// the same caveat the diagnostic's advice always had.
+func hoistMakeFix(pass *Pass, loop *ast.ForStmt, call *ast.CallExpr, as *ast.AssignStmt) *SuggestedFix {
+	if as == nil {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, arg := range call.Args {
+		invariant := true
+		ast.Inspect(arg, func(m ast.Node) bool {
+			aid, isIdent := m.(*ast.Ident)
+			if !isIdent || !invariant {
+				return invariant
+			}
+			v, isVar := info.Uses[aid].(*types.Var)
+			if !isVar {
+				return true // types, consts, funcs: nothing to invalidate
+			}
+			if v.Pos() >= loop.Pos() && v.Pos() < loop.End() {
+				invariant = false // declared inside the loop (incl. iter)
+			} else if assignedWithin(info, loop, v) {
+				invariant = false
+			}
+			return invariant
+		})
+		if !invariant {
+			return nil
+		}
+	}
+	return &SuggestedFix{
+		Message: "hoist the loop-invariant make before the loop",
+		Edits: []TextEdit{
+			{Pos: loop.Pos(), End: loop.Pos(), NewText: id.Name + " := " + types.ExprString(call) + "\n"},
+			{Pos: as.Pos(), End: as.End(), NewText: ""},
+		},
+	}
+}
+
+// assignedWithin reports whether v may be mutated inside node: it is
+// the target of an assignment or inc/dec, a range variable, or has its
+// address taken (after which any callee could write it).
+func assignedWithin(info *types.Info, node ast.Node, v *types.Var) bool {
+	isV := func(e ast.Expr) bool {
+		eid, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[eid] == v
+	}
+	found := false
+	ast.Inspect(node, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if isV(lhs) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isV(m.X) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.AND && isV(m.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if (m.Key != nil && isV(m.Key)) || (m.Value != nil && isV(m.Value)) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // isPowerLoop recognizes the repository's convergence-loop convention:

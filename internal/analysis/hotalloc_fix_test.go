@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotAllocHoistFix drives the loop-invariant-make fix through the
+// whole pipeline: the diagnostic carries a fix exactly when the size is
+// loop-invariant, ApplyFixes hoists the define before the loop, and a
+// rerun over the rewritten file no longer flags the hoisted make (the
+// fix never fights the checker).
+func TestHotAllocHoistFix(t *testing.T) {
+	dir := t.TempDir()
+	src := `package pagerank
+
+func compute(n, maxIterations int) []float64 {
+	scores := make([]float64, n)
+	for iter := 1; iter <= maxIterations; iter++ {
+		buf := make([]float64, n)
+		buf[0] = scores[0]
+		scores[0] = buf[0] + 1
+	}
+	return scores
+}
+
+func variantSize(maxIterations int) {
+	for iter := 1; iter <= maxIterations; iter++ {
+		buf := make([]float64, iter) // size depends on the loop variable
+		_ = buf
+	}
+}
+`
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(dir, "fixture/hoist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{HotAlloc})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+	// Sorted by position: compute's invariant make first (fixable), then
+	// variantSize's iter-dependent make (diagnostic only).
+	if diags[0].Fix == nil {
+		t.Error("loop-invariant make in compute carries no fix")
+	}
+	if diags[1].Fix != nil {
+		t.Errorf("iter-sized make in variantSize must not be auto-hoisted: %+v", diags[1].Fix)
+	}
+
+	fixed, err := ApplyFixes(loader.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 || fixed[0] != path {
+		t.Fatalf("fixed files = %v, want just %s", fixed, path)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoisted := string(out)
+	forAt := strings.Index(hoisted, "for iter")
+	makeAt := strings.Index(hoisted, "buf := make([]float64, n)")
+	if makeAt < 0 || forAt < 0 || makeAt > forAt {
+		t.Fatalf("make not hoisted before the loop:\n%s", hoisted)
+	}
+
+	// Idempotency: only the unfixable diagnostic survives the rewrite.
+	pkg2, err := NewLoader().LoadDir(dir, "fixture/hoist2")
+	if err != nil {
+		t.Fatalf("rewritten file does not load: %v", err)
+	}
+	rest := Run([]*Package{pkg2}, []*Analyzer{HotAlloc})
+	if len(rest) != 1 || !strings.Contains(rest[0].Message, "variantSize") {
+		t.Errorf("after fixing, want only the variantSize diagnostic, got %v", rest)
+	}
+}

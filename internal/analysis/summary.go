@@ -347,11 +347,19 @@ func summarizeErrorDrop(n *CGNode, s *Summary) {
 // a make call, a growing append (target not preallocated with explicit
 // capacity in the same function), or a static call to a callee that
 // does.
+//
+// A function that touches a sync.Pool (calls Get or Put on one) is a
+// pooled allocator: its builtin make/new runs only on the pool-miss
+// path, which is exactly the amortization pooling buys, so those do NOT
+// mark it as allocating per call. Allocations inherited from callees
+// still count — wrapping an allocating helper in a function that also
+// happens to use a pool hides nothing.
 func summarizeAlloc(sums *Summaries, n *CGNode, s *Summary) {
 	if s.Allocates {
 		return
 	}
 	info := n.Pkg.Info
+	pooled := usesSyncPool(info, n.Decl.Body)
 	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
 		if s.Allocates {
 			return false
@@ -362,6 +370,9 @@ func summarizeAlloc(sums *Summaries, n *CGNode, s *Summary) {
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok {
 			if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+				if pooled {
+					return true // amortized pool-miss allocation
+				}
 				switch id.Name {
 				case "make", "new":
 					s.Allocates = true
@@ -379,6 +390,43 @@ func summarizeAlloc(sums *Summaries, n *CGNode, s *Summary) {
 		}
 		return true
 	})
+}
+
+// usesSyncPool reports whether the body calls Get or Put on a
+// sync.Pool — the repository's pooled-buffer idiom.
+func usesSyncPool(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+			return true
+		}
+		if t := info.TypeOf(sel.X); t != nil && isSyncPoolType(t) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isSyncPoolType reports whether t is sync.Pool or *sync.Pool.
+func isSyncPoolType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
 }
 
 // summarizeTaint runs the maprange taint flow over the function and

@@ -1,0 +1,36 @@
+// Package kernel mirrors the repository's pooled flat-sweep layer (and
+// by name is one of the packages the checker covers): the scratch
+// getter allocates only on pool misses, so calling it inside a
+// power-iteration loop is amortized-free and must not be flagged.
+package kernel
+
+import "sync"
+
+var vecPool sync.Pool // *[]float64
+
+// getVec returns a scratch vector of length n; the make runs only when
+// the pool has no buffer large enough, so the function's summary must
+// NOT say it allocates per call.
+func getVec(n int) []float64 {
+	if p, ok := vecPool.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+// putVec recycles a buffer obtained from getVec.
+func putVec(v []float64) {
+	vecPool.Put(&v)
+}
+
+// Sweep draws its per-round scratch from the pool inside the
+// convergence loop — the pattern the pooled engines use — and stays
+// finding-free.
+func Sweep(scores []float64, maxIterations int) {
+	for iter := 1; iter <= maxIterations; iter++ {
+		buf := getVec(len(scores))
+		copy(buf, scores)
+		scores[0] = buf[0]
+		putVec(buf)
+	}
+}

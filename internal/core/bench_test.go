@@ -10,8 +10,9 @@ import (
 // benchWeb builds a deterministic random web of n pages with outDeg
 // links each, and a subgraph over the first quarter — large enough for
 // the chain construction and the power iteration to dominate, small
-// enough for a -bench run.
-func benchWeb(b *testing.B, n, outDeg int) (*graph.Graph, *graph.Subgraph) {
+// enough for a -bench run. It takes testing.TB so the parallel-path
+// tests can reuse the same topology.
+func benchWeb(b testing.TB, n, outDeg int) (*graph.Graph, *graph.Subgraph) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(2009))
 	edges := make([][2]graph.NodeID, 0, n*outDeg)

@@ -30,9 +30,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/numeric"
 	"repro/internal/pagerank"
 )
@@ -69,6 +71,16 @@ type Config struct {
 	// MaxIterations budget. Zero means no per-run deadline (callers can
 	// still cancel through the context they pass to RunCtx).
 	Deadline time.Duration
+	// Parallelism selects the number of workers for the power iteration
+	// over the extended chain: 0 or 1 run the sequential flat sweep,
+	// k > 1 runs the pull-based parallel sweep over k edge-balanced
+	// target ranges of the chain's in-adjacency, and a negative value
+	// selects the CPU count. The parallel iterate is bit-identical
+	// across worker counts (each state's in-row is accumulated whole, in
+	// CSR order); runs are bit-deterministic for a fixed Parallelism,
+	// and agree with the sequential sweep to floating-point
+	// reassociation, far below any practical tolerance.
+	Parallelism int
 }
 
 func (c *Config) fill() error {
@@ -92,6 +104,9 @@ func (c *Config) fill() error {
 	}
 	if c.Deadline < 0 {
 		return fmt.Errorf("core: negative Deadline %v", c.Deadline)
+	}
+	if c.Parallelism < 0 {
+		c.Parallelism = pagerank.DefaultParallelism()
 	}
 	return nil
 }
@@ -150,6 +165,9 @@ type ExtendedChain struct {
 	locProb       []float64
 	toLambda      []float64
 	danglingLocal []bool
+	// locDang lists the locally-dangling states in ascending id order, so
+	// the per-iteration dangling-mass sum costs O(#dangling) not O(n).
+	locDang []uint32
 
 	// Λ row, sparse over local ids, plus the self-loop residual and the
 	// aggregate weight of dangling external pages (whose collapsed rows
@@ -158,6 +176,13 @@ type ExtendedChain struct {
 	lamProb         []float64
 	lamSelf         float64
 	extDanglingMass float64
+
+	// pull caches the in-adjacency (pull) form of the collapsed matrix
+	// over all n+1 states, built lazily by the first Parallelism > 1 run
+	// and reused for the chain's lifetime; sequential runs never pay for
+	// it.
+	pullOnce sync.Once
+	pull     *kernel.CSR
 }
 
 // Subgraph returns the subgraph the chain ranks.
@@ -226,13 +251,12 @@ func NewApproxChainCtx(ctx *Context, sub *graph.Subgraph) (*ExtendedChain, error
 	}
 	c := newChainShell(sub)
 	w := 1.0 / float64(sub.External())
-	extDangling := 0
-	for _, d := range ctx.dangling {
-		if _, local := sub.LocalID(d); !local {
-			extDangling++
-		}
-	}
 	c.buildLambdaRow(func(graph.NodeID) float64 { return w })
+	// Locally-dangling pages are a subset of the global dangling set, so
+	// the external dangling count is a subtraction — O(1) given the
+	// shell, replacing the former O(global-dangling) membership scan that
+	// made chain construction scale with the GLOBAL graph.
+	extDangling := ctx.DanglingCount() - len(c.locDang)
 	c.extDanglingMass = float64(extDangling) * w
 	c.finishLambdaRow()
 	return c, nil
@@ -328,6 +352,20 @@ func newChainShell(sub *graph.Subgraph) *ExtendedChain {
 		}
 		c.locOff[li+1] = int64(cnt)
 	}
+	nd := 0
+	for _, d := range c.danglingLocal {
+		if d {
+			nd++
+		}
+	}
+	if nd > 0 {
+		c.locDang = make([]uint32, 0, nd)
+		for i, d := range c.danglingLocal {
+			if d {
+				c.locDang = append(c.locDang, uint32(i))
+			}
+		}
+	}
 	for i := 0; i < n; i++ {
 		c.locOff[i+1] += c.locOff[i]
 	}
@@ -369,11 +407,18 @@ func newChainShell(sub *graph.Subgraph) *ExtendedChain {
 // must return the normalized E entry for an external page.
 func (c *ExtendedChain) buildLambdaRow(weight func(graph.NodeID) float64) {
 	g := c.sub.Global
+	// Presize for the dense worst case (every local page has an external
+	// in-neighbour) so the appends never reallocate — the doubling growth
+	// here used to dominate chain-construction allocations — then compact
+	// when the row turns out sparse so long-lived chains don't pin 2n of
+	// capacity.
+	adj := make([]uint32, 0, c.n)
+	prob := make([]float64, 0, c.n)
 	for li, gid := range c.sub.Local {
-		adj := g.InNeighbors(gid)
+		ins := g.InNeighbors(gid)
 		ws := g.InWeights(gid)
 		p := 0.0
-		for k, j := range adj {
+		for k, j := range ins {
 			if _, local := c.sub.LocalID(j); local {
 				continue
 			}
@@ -384,10 +429,15 @@ func (c *ExtendedChain) buildLambdaRow(weight func(graph.NodeID) float64) {
 			p += weight(j) * aj
 		}
 		if p > 0 {
-			c.lamAdj = append(c.lamAdj, uint32(li))
-			c.lamProb = append(c.lamProb, p)
+			adj = append(adj, uint32(li))
+			prob = append(prob, p)
 		}
 	}
+	if len(adj)*2 < c.n {
+		adj = append(make([]uint32, 0, len(adj)), adj...)
+		prob = append(make([]float64, 0, len(prob)), prob...)
+	}
+	c.lamAdj, c.lamProb = adj, prob
 }
 
 // finishLambdaRow sets the Λ self-loop to the stochastic residual of the
@@ -413,10 +463,15 @@ func (c *ExtendedChain) Run(cfg Config) (*Result, error) {
 }
 
 // RunCtx is Run under a context: the iteration checks ctx every
-// ctxCheckInterval steps and, when cancelled (or when cfg.Deadline
-// expires), returns nil and ctx's error wrapped with the iteration
-// reached. No partial scores are returned — an unconverged iterate is
-// not a distribution anyone should serve.
+// ctxCheckInterval steps (every iteration's barrier when Parallelism >
+// 1) and, when cancelled (or when cfg.Deadline expires), returns nil
+// and ctx's error wrapped with the iteration reached. No partial scores
+// are returned — an unconverged iterate is not a distribution anyone
+// should serve.
+//
+// All iteration buffers are drawn from the shared kernel pools and
+// recycled on return, so steady-state runs — e.g. a RankManyCtx batch —
+// allocate only the exact-size Scores/Deltas slices of each Result.
 func (c *ExtendedChain) RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -428,46 +483,58 @@ func (c *ExtendedChain) RunCtx(ctx context.Context, cfg Config) (*Result, error)
 	}
 	start := time.Now()
 	n := c.n
-	// Collapsed personalization: the paper's P_ideal (uniform case) or
-	// the caller's global vector with the external mass routed to Λ.
-	pLoc := make([]float64, n)
-	var pLambda float64
+	// Collapsed personalization packed as one n+1 vector (local entries,
+	// then Λ): the paper's P_ideal (uniform case) or the caller's global
+	// vector with the external mass routed to Λ. The buffer is pooled;
+	// every entry is written before any read.
+	pvec := kernel.GetVec(n + 1)
+	defer kernel.PutVec(pvec)
 	if cfg.Personalization == nil {
 		u := 1.0 / float64(c.bigN)
-		for i := range pLoc {
-			pLoc[i] = u
+		for i := 0; i < n; i++ {
+			pvec[i] = u
 		}
-		pLambda = float64(c.bigN-n) / float64(c.bigN)
+		pvec[n] = float64(c.bigN-n) / float64(c.bigN)
 	} else {
 		if len(cfg.Personalization) != c.bigN {
 			return nil, fmt.Errorf("core: personalization has length %d, want N=%d",
 				len(cfg.Personalization), c.bigN)
 		}
 		sum := 0.0
+		pvec[n] = 0
 		for gid, p := range cfg.Personalization {
 			if p < 0 || math.IsNaN(p) {
 				return nil, fmt.Errorf("core: invalid personalization entry %v at %d", p, gid)
 			}
 			sum += p
 			if li, local := c.sub.LocalID(graph.NodeID(gid)); local {
-				pLoc[li] = p
+				pvec[li] = p
 			} else {
-				pLambda += p
+				pvec[n] += p
 			}
 		}
 		if math.Abs(sum-1) > numeric.SumTolerance {
 			return nil, fmt.Errorf("core: personalization sums to %v, want 1", sum)
 		}
 	}
-	eps := cfg.Epsilon
 
-	cur := make([]float64, n+1)
-	copy(cur, pLoc)
-	cur[n] = pLambda
-	next := make([]float64, n+1)
+	if cfg.Parallelism > 1 {
+		return c.runParallel(ctx, cfg, pvec, start)
+	}
+
+	eps := cfg.Epsilon
+	// cur and next swap names each iteration, but the defer arguments are
+	// evaluated here, so both backing arrays return to the pool whichever
+	// name they end under — and no closure is allocated to capture them.
+	cur := kernel.GetVec(n + 1)
+	next := kernel.GetVec(n + 1)
+	deltas := kernel.GetVec(cfg.MaxIterations)
+	defer kernel.PutVec(cur)
+	defer kernel.PutVec(next)
+	defer kernel.PutVec(deltas)
+	copy(cur, pvec)
 
 	res := &Result{}
-	res.Deltas = make([]float64, 0, cfg.MaxIterations)
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		if iter%ctxCheckInterval == 1 {
 			if err := ctx.Err(); err != nil {
@@ -478,16 +545,13 @@ func (c *ExtendedChain) RunCtx(ctx context.Context, cfg Config) (*Result, error)
 		// random-jump mass, the mass on dangling local pages, and the mass
 		// Λ forwards on behalf of dangling external pages.
 		danglingMass := 0.0
-		for i := 0; i < n; i++ {
-			if c.danglingLocal[i] {
-				danglingMass += cur[i]
-			}
+		for _, i := range c.locDang {
+			danglingMass += cur[i]
 		}
 		jump := (1 - eps) + eps*danglingMass + eps*cur[n]*c.extDanglingMass
-		for i := 0; i < n; i++ {
-			next[i] = jump * pLoc[i]
+		for i := 0; i <= n; i++ {
+			next[i] = jump * pvec[i]
 		}
-		next[n] = jump * pLambda
 
 		// Local rows.
 		for i := 0; i < n; i++ {
@@ -512,7 +576,7 @@ func (c *ExtendedChain) RunCtx(ctx context.Context, cfg Config) (*Result, error)
 		for i := 0; i <= n; i++ {
 			delta += math.Abs(next[i] - cur[i])
 		}
-		res.Deltas = append(res.Deltas, delta)
+		deltas[res.Iterations] = delta
 		res.Iterations = iter
 		cur, next = next, cur
 		if delta < cfg.Tolerance {
@@ -521,9 +585,7 @@ func (c *ExtendedChain) RunCtx(ctx context.Context, cfg Config) (*Result, error)
 		}
 	}
 
-	res.Scores = cur[:n]
-	res.Lambda = cur[n]
-	res.Elapsed = time.Since(start)
+	finishChainResult(res, cur, deltas[:res.Iterations], n, start)
 	return res, nil
 }
 

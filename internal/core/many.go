@@ -23,6 +23,11 @@ import (
 // chains are dispatched, in-flight chains are cancelled, and the
 // returned error identifies the failing subgraph.
 //
+// Each chain's iteration buffers come from the shared kernel pools, so
+// a worker recycles one set of scratch vectors across every subgraph it
+// processes: the steady-state batch allocates only each Result's
+// exact-size Scores/Deltas plus the per-chain topology.
+//
 // RankMany is RankManyCtx with context.Background(); use RankManyCtx to
 // bound the batch with a caller deadline or OS signal.
 func RankMany(gctx *Context, subs []*graph.Subgraph, cfg Config, parallelism int) ([]*Result, error) {

@@ -37,8 +37,8 @@ type AccelRow struct {
 
 // RunAcceleration compares the PageRank iteration schemes of the related
 // work (plain power iteration, quadratic extrapolation, Gauss–Seidel,
-// adaptive freezing) on the AU global graph at tolerance 1e-8. It is
-// RunAccelerationCtx with context.Background().
+// adaptive freezing, the parallel pull sweep) on the AU global graph at
+// tolerance 1e-8. It is RunAccelerationCtx with context.Background().
 func (s *Suite) RunAcceleration() ([]AccelRow, error) {
 	return s.RunAccelerationCtx(context.Background())
 }
@@ -59,6 +59,11 @@ func (s *Suite) RunAccelerationCtx(ctx context.Context) ([]AccelRow, error) {
 		{"power+extrapolation", pagerank.Options{Tolerance: numeric.TightTolerance, ExtrapolateEvery: 10}},
 		{"gauss-seidel", pagerank.Options{Tolerance: numeric.TightTolerance, Method: pagerank.MethodGaussSeidel}},
 		{"adaptive(1e-4)", pagerank.Options{Tolerance: numeric.TightTolerance, AdaptiveFreeze: numeric.DefaultAdaptiveFreeze}},
+		// The parallel pull sweep computes the same matrix iteration as
+		// "power" (the sequential path pushes, the parallel path pulls, so
+		// their iterates differ only by float reassociation), making its
+		// row isolate the wall-clock effect of edge-balanced workers.
+		{"power(parallel)", pagerank.Options{Tolerance: numeric.TightTolerance, Parallelism: -1}},
 	}
 	var rows []AccelRow
 	for _, c := range cases {

@@ -89,6 +89,34 @@ func (g *Graph) InWeights(u NodeID) []float64 {
 	return g.inW[g.inOff[u]:g.inOff[u+1]]
 }
 
+// InCSR exposes the graph's materialized in-adjacency as flat CSR
+// slices (kernel.FlatInSource), letting the iteration kernel alias
+// them instead of rebuilding the in-adjacency per snapshot. Only
+// unweighted graphs qualify (ok=false otherwise): their rows are
+// exact — a dangling node has no out-edges at all, every listed edge
+// carries probability 1/outdegree, and sources within each row are
+// ascending — whereas a weighted node with zero total out-weight is
+// dangling yet may still list neighbors, so its rows cannot be taken
+// verbatim. The returned slices alias internal storage and must not be
+// modified.
+func (g *Graph) InCSR() (off []int64, src []NodeID, ok bool) {
+	if g.outW != nil {
+		return nil, nil, false
+	}
+	return g.inOff, g.inAdj, true
+}
+
+// OutCSR is the push-side mirror of InCSR (kernel.FlatOutSource): the
+// materialized out-adjacency as flat CSR slices, under the same
+// unweighted-only exactness contract. The returned slices alias
+// internal storage and must not be modified.
+func (g *Graph) OutCSR() (off []int64, dst []NodeID, ok bool) {
+	if g.outW != nil {
+		return nil, nil, false
+	}
+	return g.outOff, g.outAdj, true
+}
+
 // WeightOut returns the total outgoing edge weight of u. For unweighted
 // graphs it equals the out-degree.
 func (g *Graph) WeightOut(u NodeID) float64 {
@@ -134,7 +162,18 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 
 // DanglingNodes returns the ids of all dangling nodes.
 func (g *Graph) DanglingNodes() []NodeID {
-	var out []NodeID
+	// Two passes: count, then fill an exact-size slice — one allocation
+	// instead of append-doubling growth.
+	cnt := 0
+	for u := 0; u < g.n; u++ {
+		if g.Dangling(NodeID(u)) {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, cnt)
 	for u := 0; u < g.n; u++ {
 		if g.Dangling(NodeID(u)) {
 			out = append(out, NodeID(u))

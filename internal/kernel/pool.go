@@ -1,0 +1,107 @@
+package kernel
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch-buffer pools. The power iterations burn three kinds of
+// transient slices — float vectors (cur/next/personalization/deltas),
+// uint32 id lists and int64 offset arrays — at every Compute/Run call.
+// A multi-subgraph serving workload (RankManyCtx) repeats those
+// allocations per chain; drawing them from sync.Pools instead makes the
+// steady-state cost of a chain a handful of small allocations. The
+// pools are per-P cached by the runtime, so concurrent workers scale
+// without a shared lock.
+//
+// Buffers are segregated by power-of-two size class: class c holds
+// buffers with cap in [2^c, 2^(c+1)), and Get(n) draws only from the
+// class whose every member can satisfy n. Without the segregation, a
+// workload mixing graph sizes (e.g. RankMany over small subgraphs
+// followed by a Compute over the global graph) has Get pop a too-small
+// buffer, discard it and allocate — a miss per call for as long as the
+// small buffers last. Misses allocate with cap rounded up to the class
+// boundary so the replacement files back into the class it was drawn
+// from (at most 2× the requested memory).
+//
+// Each class pool stores *[]T headers, and the pool type keeps a side
+// pool of empty *[]T boxes: Put takes a spare box, parks the slice
+// header in it and hands the pointer to the class pool; Get unwraps the
+// header and returns the box. The boxes shuttle between the two pools,
+// so a steady-state Get/Put cycle performs zero allocations — without
+// the pairing, every Put would heap-allocate a fresh box for the
+// escaping &v.
+//
+// Contract: Get* return a slice of the requested length with UNDEFINED
+// contents — callers must fully initialize it. Put* hands the buffer
+// back; the caller must not retain any alias. Never Put a slice that is
+// (or aliases) a value returned to user code.
+
+// maxClass bounds the pooled size classes; buffers of 2^maxClass
+// elements or more bypass the pools entirely (for float64 that is
+// 2 GiB — far past any graph this repository handles).
+const maxClass = 28
+
+type slicePool[T any] struct {
+	classes [maxClass]sync.Pool // class c: *[]T with cap in [2^c, 2^(c+1))
+	boxes   sync.Pool           // spare empty *[]T boxes
+}
+
+func (p *slicePool[T]) get(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	// Smallest c with 2^c >= n: every buffer in class c can hold n.
+	c := bits.Len(uint(n - 1))
+	if c >= maxClass {
+		return make([]T, n)
+	}
+	if bp, ok := p.classes[c].Get().(*[]T); ok {
+		v := *bp
+		*bp = nil
+		p.boxes.Put(bp)
+		return v[:n]
+	}
+	return make([]T, n, 1<<c)
+}
+
+func (p *slicePool[T]) put(v []T) {
+	c := cap(v)
+	if c == 0 {
+		return
+	}
+	f := bits.Len(uint(c)) - 1 // 2^f <= cap < 2^(f+1)
+	if f >= maxClass {
+		return
+	}
+	bp, ok := p.boxes.Get().(*[]T)
+	if !ok {
+		bp = new([]T)
+	}
+	*bp = v[:0]
+	p.classes[f].Put(bp)
+}
+
+var (
+	vecs slicePool[float64]
+	ids  slicePool[uint32]
+	offs slicePool[int64]
+)
+
+// GetVec returns a float64 scratch slice of length n, undefined contents.
+func GetVec(n int) []float64 { return vecs.get(n) }
+
+// PutVec recycles a slice obtained from GetVec.
+func PutVec(v []float64) { vecs.put(v) }
+
+// GetIDs returns a uint32 scratch slice of length n, undefined contents.
+func GetIDs(n int) []uint32 { return ids.get(n) }
+
+// PutIDs recycles a slice obtained from GetIDs.
+func PutIDs(v []uint32) { ids.put(v) }
+
+// GetOff returns an int64 scratch slice of length n, undefined contents.
+func GetOff(n int) []int64 { return offs.get(n) }
+
+// PutOff recycles a slice obtained from GetOff.
+func PutOff(v []int64) { offs.put(v) }

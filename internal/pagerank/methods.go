@@ -5,51 +5,46 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/kernel"
 )
 
-// computeGaussSeidel runs the pull-based Gauss–Seidel sweep: pages are
-// updated in id order and each update reads the freshest available values
-// of its in-neighbours (already-updated pages contribute this sweep's
-// value, later pages last sweep's). The aggregate dangling mass is also
-// kept fresh: it is adjusted in place the moment a dangling page's score
-// changes, so the dangling component converges at the Gauss–Seidel rate
-// rather than lagging a full sweep behind.
-func computeGaussSeidel(ctx context.Context, g InEdgeGraph, opts Options) (*Result, error) {
+// computeGaussSeidel runs the pull-based Gauss–Seidel sweep on the flat
+// kernel snapshot: pages are updated in id order and each update reads
+// the freshest available values of its in-neighbours (already-updated
+// pages contribute this sweep's value, later pages last sweep's). The
+// aggregate dangling mass is also kept fresh: it is adjusted in place
+// the moment a dangling page's score changes, so the dangling component
+// converges at the Gauss–Seidel rate rather than lagging a full sweep
+// behind. The snapshot materializes the in-adjacency with precomputed
+// transition probabilities, so the scheme no longer requires the graph
+// to implement InEdgeGraph and the inner loop performs no interface
+// calls or divisions.
+func computeGaussSeidel(ctx context.Context, g DirectedGraph, opts Options) (*Result, error) {
 	n := g.NumNodes()
 	start := time.Now()
-	uniform := 1.0 / float64(n)
-	pAt := func(i int) float64 {
-		if opts.Personalization == nil {
-			return uniform
-		}
-		return opts.Personalization[i]
-	}
-	dAt := func(i int) float64 {
-		if opts.DanglingDist == nil {
-			return pAt(i)
-		}
-		return opts.DanglingDist[i]
+	csr := kernel.Snapshot(g)
+	defer csr.Release()
+	p, d, pooled := jumpVectors(n, &opts)
+	defer kernel.PutVec(pooled)
+
+	x := kernel.GetVec(n)
+	deltas := kernel.GetVec(opts.MaxIterations)
+	defer kernel.PutVec(x)
+	defer kernel.PutVec(deltas)
+	initStart(x, p, &opts)
+
+	// Dense dangling membership for the in-place mass update (the sweep
+	// needs an O(1) "is v dangling?" answer mid-row).
+	isDangling := make([]bool, n)
+	for _, u := range csr.DanglingIdx {
+		isDangling[u] = true
 	}
 
-	x := make([]float64, n)
-	if opts.Start != nil {
-		copy(x, opts.Start)
-	} else {
-		for i := range x {
-			x[i] = pAt(i)
-		}
-	}
 	eps := opts.Epsilon
 	res := &Result{}
-	res.Deltas = make([]float64, 0, opts.MaxIterations)
-
-	danglingMass := 0.0
-	for u := 0; u < n; u++ {
-		if g.Dangling(uint32(u)) {
-			danglingMass += x[u]
-		}
-	}
-
+	danglingMass := csr.DanglingMass(x)
+	off, srcs, prob := csr.InOff, csr.InSrc, csr.InProb
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		if iter%ctxCheckInterval == 1 {
 			if err := ctx.Err(); err != nil {
@@ -58,27 +53,19 @@ func computeGaussSeidel(ctx context.Context, g InEdgeGraph, opts Options) (*Resu
 		}
 		delta := 0.0
 		for v := 0; v < n; v++ {
-			acc := (1-eps)*pAt(v) + eps*danglingMass*dAt(v)
-			in := g.InNeighbors(uint32(v))
-			ws := g.InWeights(uint32(v))
-			for k, u := range in {
-				wout := g.WeightOut(u)
-				if wout == 0 {
-					continue
-				}
-				p := 1.0 / wout
-				if ws != nil {
-					p = ws[k] / wout
-				}
-				acc += eps * x[u] * p
+			s := 0.0
+			end := off[v+1]
+			for k := off[v]; k < end; k++ {
+				s += x[srcs[k]] * prob[k]
 			}
+			acc := (1-eps)*p[v] + eps*danglingMass*d[v] + eps*s
 			delta += math.Abs(acc - x[v])
-			if g.Dangling(uint32(v)) {
+			if isDangling[v] {
 				danglingMass += acc - x[v]
 			}
 			x[v] = acc
 		}
-		res.Deltas = append(res.Deltas, delta)
+		deltas[res.Iterations] = delta
 		res.Iterations = iter
 		if delta < opts.Tolerance {
 			res.Converged = true
@@ -86,9 +73,7 @@ func computeGaussSeidel(ctx context.Context, g InEdgeGraph, opts Options) (*Resu
 		}
 	}
 
-	normalize(x)
-	res.Scores = x
-	res.Elapsed = time.Since(start)
+	finishResult(res, x, deltas[:res.Iterations], start)
 	return res, nil
 }
 

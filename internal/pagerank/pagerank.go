@@ -20,6 +20,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/kernel"
 	"repro/internal/numeric"
 )
 
@@ -40,9 +41,11 @@ type DirectedGraph interface {
 	Dangling(u uint32) bool
 }
 
-// InEdgeGraph is the additional view the Gauss–Seidel method needs: it
-// pulls scores along in-edges so freshly updated values can be used
-// within the same sweep. *graph.Graph satisfies it.
+// InEdgeGraph is the optional in-adjacency view. The iteration engines
+// no longer require it — the kernel snapshot materializes the
+// in-adjacency from the out-edges — but the interface remains for
+// callers that pull along in-edges themselves. *graph.Graph satisfies
+// it.
 type InEdgeGraph interface {
 	DirectedGraph
 	InNeighbors(u uint32) []uint32
@@ -59,7 +62,8 @@ const (
 	// MethodGaussSeidel updates scores in place, pulling along in-edges
 	// so each page sees the current sweep's values for already-updated
 	// pages. Typically converges in fewer sweeps than MethodPower for the
-	// same tolerance. Requires a graph with in-adjacency (InEdgeGraph).
+	// same tolerance. The kernel snapshot materializes the in-adjacency,
+	// so any DirectedGraph works.
 	MethodGaussSeidel
 )
 
@@ -91,10 +95,13 @@ type Options struct {
 	Method Method
 	// Parallelism selects the number of workers for the power iteration:
 	// 0 or 1 runs sequentially, k > 1 uses k workers, and a negative
-	// value selects the CPU count. Results are bit-deterministic for a
-	// fixed Parallelism; across values they agree up to floating-point
-	// reassociation (≪ any practical tolerance). Only MethodPower without
-	// extrapolation or adaptive freezing parallelizes.
+	// value selects the CPU count. The parallel scheme is a pull sweep
+	// over edge-balanced target ranges: the per-iteration iterate is
+	// bit-identical across worker counts and runs are bit-deterministic
+	// for a fixed Parallelism; only the convergence test's delta sum
+	// reassociates across values (≪ any practical tolerance). Only
+	// MethodPower without extrapolation or adaptive freezing
+	// parallelizes.
 	Parallelism int
 	// AdaptiveFreeze, when positive, enables adaptive PageRank (Kamvar et
 	// al., "Adaptive methods for the computation of PageRank", 2003):
@@ -222,11 +229,7 @@ func ComputeCtx(ctx context.Context, g DirectedGraph, opts Options) (*Result, er
 		defer cancel()
 	}
 	if opts.Method == MethodGaussSeidel {
-		ig, ok := g.(InEdgeGraph)
-		if !ok {
-			return nil, fmt.Errorf("pagerank: Gauss–Seidel needs a graph with in-adjacency")
-		}
-		return computeGaussSeidel(ctx, ig, opts)
+		return computeGaussSeidel(ctx, g, opts)
 	}
 	if opts.AdaptiveFreeze > 0 {
 		return computeAdaptive(ctx, g, opts)
@@ -234,86 +237,101 @@ func ComputeCtx(ctx context.Context, g DirectedGraph, opts Options) (*Result, er
 	if opts.Parallelism > 1 {
 		return computeParallel(ctx, g, opts)
 	}
-	start := time.Now()
+	return computeFlat(ctx, g, opts)
+}
 
-	uniform := 1.0 / float64(n)
-	pAt := func(i int) float64 {
-		if opts.Personalization == nil {
-			return uniform
+// jumpVectors materializes the personalization and dangling
+// distributions as plain slices for the flat kernels: p is the caller's
+// Personalization or a pooled uniform vector, d is DanglingDist or p.
+// pooled is the buffer to hand back with kernel.PutVec when done (nil —
+// a no-op Put — when the caller supplied its own Personalization);
+// callers defer the Put directly rather than through a closure, which
+// would cost a heap allocation per call.
+func jumpVectors(n int, opts *Options) (p, d, pooled []float64) {
+	p = opts.Personalization
+	if p == nil {
+		pooled = kernel.GetVec(n)
+		u := 1.0 / float64(n)
+		for i := range pooled {
+			pooled[i] = u
 		}
-		return opts.Personalization[i]
+		p = pooled
 	}
-	dAt := func(i int) float64 {
-		if opts.DanglingDist == nil {
-			return pAt(i)
-		}
-		return opts.DanglingDist[i]
+	d = opts.DanglingDist
+	if d == nil {
+		d = p
 	}
+	return p, d, pooled
+}
 
-	cur := make([]float64, n)
+// initStart fills cur with the start vector: opts.Start if set, else p.
+func initStart(cur, p []float64, opts *Options) {
 	if opts.Start != nil {
 		copy(cur, opts.Start)
 	} else {
-		for i := range cur {
-			cur[i] = pAt(i)
-		}
+		copy(cur, p)
 	}
-	next := make([]float64, n)
-	res := &Result{}
-	res.Deltas = make([]float64, 0, opts.MaxIterations)
+}
+
+// finishResult copies the converged iterate and the recorded deltas out
+// of the pooled working buffers into exact-size result slices.
+func finishResult(res *Result, cur, deltas []float64, start time.Time) {
+	normalize(cur)
+	res.Scores = make([]float64, len(cur))
+	copy(res.Scores, cur)
+	res.Deltas = make([]float64, len(deltas))
+	copy(res.Deltas, deltas)
+	res.Elapsed = time.Since(start)
+}
+
+// computeFlat is the sequential power iteration on the flat PUSH
+// kernel: the graph is snapshot once into frozen out-CSR slices
+// (aliased straight from *graph.Graph storage when unweighted), and
+// every iteration is pure slice arithmetic — zero interface calls and
+// zero divisions on the per-edge path. The sequential path pushes
+// rather than pulls because its random accesses then ride the store
+// buffer instead of stalling the accumulation chain (see
+// kernel.PushCSR); the parallel path in parallel.go pulls, which is
+// what makes disjoint output ranges possible. Scratch buffers come
+// from the kernel pools and are recycled on every exit path.
+func computeFlat(ctx context.Context, g DirectedGraph, opts Options) (*Result, error) {
+	n := g.NumNodes()
+	start := time.Now()
+	csr := kernel.PushSnapshot(g)
+	defer csr.Release()
+	p, d, pooled := jumpVectors(n, &opts)
+	defer kernel.PutVec(pooled)
+
+	// Direct defers with the buffer evaluated at the defer site: cur and
+	// next swap names each iteration, but both backing arrays go back to
+	// the pool regardless of which name they end under — and no closure
+	// is allocated to capture them.
+	cur := kernel.GetVec(n)
+	next := kernel.GetVec(n)
+	deltas := kernel.GetVec(opts.MaxIterations)
+	defer kernel.PutVec(cur)
+	defer kernel.PutVec(next)
+	defer kernel.PutVec(deltas)
+	initStart(cur, p, &opts)
+
 	var prev1, prev2 []float64
 	if opts.ExtrapolateEvery > 0 {
-		prev1 = make([]float64, n)
-		prev2 = make([]float64, n)
+		prev1 = kernel.GetVec(n)
+		prev2 = kernel.GetVec(n)
+		defer kernel.PutVec(prev1)
+		defer kernel.PutVec(prev2)
 	}
 
 	eps := opts.Epsilon
+	res := &Result{}
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		if iter%ctxCheckInterval == 1 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("pagerank: cancelled at iteration %d: %w", iter-1, err)
 			}
 		}
-		danglingMass := 0.0
-		for u := 0; u < n; u++ {
-			if g.Dangling(uint32(u)) {
-				danglingMass += cur[u]
-			}
-		}
-		for v := 0; v < n; v++ {
-			next[v] = (1-eps)*pAt(v) + eps*danglingMass*dAt(v)
-		}
-		for u := 0; u < n; u++ {
-			if cur[u] == 0 {
-				continue
-			}
-			adj := g.OutNeighbors(uint32(u))
-			if len(adj) == 0 {
-				continue
-			}
-			ws := g.OutWeights(uint32(u))
-			if ws == nil {
-				share := eps * cur[u] / float64(len(adj))
-				for _, v := range adj {
-					next[v] += share
-				}
-			} else {
-				wout := g.WeightOut(uint32(u))
-				if wout == 0 {
-					continue
-				}
-				scale := eps * cur[u] / wout
-				for k, v := range adj {
-					next[v] += scale * ws[k]
-				}
-			}
-		}
-
-		delta := 0.0
-		for i := 0; i < n; i++ {
-			delta += math.Abs(next[i] - cur[i])
-		}
-		res.Deltas = append(res.Deltas, delta)
+		delta := csr.Sweep(next, cur, p, d, eps, csr.DanglingMass(cur))
+		deltas[res.Iterations] = delta
 		res.Iterations = iter
 
 		if opts.ExtrapolateEvery > 0 {
@@ -331,9 +349,7 @@ func ComputeCtx(ctx context.Context, g DirectedGraph, opts Options) (*Result, er
 		}
 	}
 
-	normalize(cur)
-	res.Scores = cur
-	res.Elapsed = time.Since(start)
+	finishResult(res, cur, deltas[:res.Iterations], start)
 	return res, nil
 }
 

@@ -3,165 +3,84 @@ package pagerank
 import (
 	"context"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/kernel"
 )
 
-// computeParallel runs the power iteration with Parallelism workers. Each
-// worker pushes the contributions of a fixed contiguous range of source
-// nodes into a private accumulator; accumulators are then reduced in
-// worker order. For a fixed Parallelism the result is bit-deterministic
-// (the reduction order is fixed); across different Parallelism values
-// results agree to floating-point reassociation error, far below any
-// practical tolerance.
+// computeParallel runs the power iteration with Parallelism workers on
+// the flat pull kernel. The graph is snapshot once into frozen CSR
+// slices; each worker then owns a disjoint, edge-count-balanced range
+// of TARGET nodes and pulls contributions along the materialized
+// in-adjacency — reading the immutable cur, writing only its own slice
+// of next. Compared to the previous push scheme with per-worker private
+// accumulators this removes the O(workers·n) reduction pass, the
+// length-n accumulator allocation per worker, and one barrier per
+// iteration.
 //
-// Cancellation is checked between iterations (the workers of one
-// iteration are barrier-synchronized and bounded, so there is nothing
-// long-lived to interrupt mid-iteration); each worker also early-outs
-// when ctx is already done so a cancelled batch drains without scanning
-// its range.
+// Determinism: every next[v] is accumulated over v's whole in-row in
+// CSR order no matter how targets are partitioned, so the per-iteration
+// ITERATE is bit-identical across worker counts; only the L1 delta
+// (summed per range, then in range order) reassociates, which can move
+// the convergence test by at most the float error of one sum. For a
+// fixed Parallelism the whole run is bit-deterministic.
+//
+// Cancellation is checked after each iteration's barrier (the workers
+// are bounded, so there is nothing long-lived to interrupt mid-sweep);
+// each worker also early-outs when ctx is already done so a cancelled
+// batch drains without scanning its range.
 func computeParallel(ctx context.Context, g DirectedGraph, opts Options) (*Result, error) {
 	n := g.NumNodes()
 	start := time.Now()
-	workers := opts.Parallelism
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	csr := kernel.Snapshot(g)
+	defer csr.Release()
+	p, d, pooled := jumpVectors(n, &opts)
+	defer kernel.PutVec(pooled)
 
-	uniform := 1.0 / float64(n)
-	pAt := func(i int) float64 {
-		if opts.Personalization == nil {
-			return uniform
-		}
-		return opts.Personalization[i]
-	}
-	dAt := func(i int) float64 {
-		if opts.DanglingDist == nil {
-			return pAt(i)
-		}
-		return opts.DanglingDist[i]
-	}
+	// Buffers evaluated at the defer site: the cur/next swap only moves
+	// names, both backing arrays return to the pool either way.
+	cur := kernel.GetVec(n)
+	next := kernel.GetVec(n)
+	deltas := kernel.GetVec(opts.MaxIterations)
+	defer kernel.PutVec(cur)
+	defer kernel.PutVec(next)
+	defer kernel.PutVec(deltas)
+	initStart(cur, p, &opts)
 
-	cur := make([]float64, n)
-	if opts.Start != nil {
-		copy(cur, opts.Start)
-	} else {
-		for i := range cur {
-			cur[i] = pAt(i)
-		}
-	}
-	next := make([]float64, n)
+	bounds := kernel.PartitionByEdges(csr.InOff, opts.Parallelism)
+	partDeltas := make([]float64, len(bounds)-1)
 
-	// Precompute the dangling node list once; scanning it is cheaper than
-	// an interface call per node per iteration.
-	var danglingNodes []uint32
-	for u := 0; u < n; u++ {
-		if g.Dangling(uint32(u)) {
-			danglingNodes = append(danglingNodes, uint32(u))
-		}
-	}
-
-	// Source ranges and private accumulators.
-	bounds := make([]int, workers+1)
-	for w := 0; w <= workers; w++ {
-		bounds[w] = w * n / workers
-	}
-	acc := make([][]float64, workers)
-	for w := range acc {
-		acc[w] = make([]float64, n)
+	// Uniform snapshots take the scaled sweep (see computeFlat): the
+	// pre-scale runs once on the coordinating goroutine, the workers then
+	// share the read-only scaled vector.
+	var scaled []float64
+	if csr.Uniform() {
+		scaled = kernel.GetVec(n)
+		defer kernel.PutVec(scaled)
 	}
 
 	eps := opts.Epsilon
 	res := &Result{}
-	res.Deltas = make([]float64, 0, opts.MaxIterations)
-	deltas := make([]float64, workers)
 	var wg sync.WaitGroup
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
-		danglingMass := 0.0
-		for _, u := range danglingNodes {
-			danglingMass += cur[u]
+		var delta float64
+		if scaled != nil {
+			csr.ScaleInto(scaled, cur)
+			delta = csr.ParallelSweepScaled(ctx, &wg, next, scaled, cur, p, d, eps, csr.DanglingMass(cur), bounds, partDeltas)
+		} else {
+			delta = csr.ParallelSweep(ctx, &wg, next, cur, p, d, eps, csr.DanglingMass(cur), bounds, partDeltas)
 		}
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				if ctx.Err() != nil {
-					return // cancelled: skip the scan, the barrier below still holds
-				}
-				a := acc[w]
-				for i := range a {
-					a[i] = 0
-				}
-				for u := bounds[w]; u < bounds[w+1]; u++ {
-					if cur[u] == 0 {
-						continue
-					}
-					adj := g.OutNeighbors(uint32(u))
-					if len(adj) == 0 {
-						continue
-					}
-					ws := g.OutWeights(uint32(u))
-					if ws == nil {
-						share := eps * cur[u] / float64(len(adj))
-						for _, v := range adj {
-							a[v] += share
-						}
-					} else {
-						wout := g.WeightOut(uint32(u))
-						if wout == 0 {
-							continue
-						}
-						scale := eps * cur[u] / wout
-						for k, v := range adj {
-							a[v] += scale * ws[k]
-						}
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
 
-		// Reduce in fixed worker order (deterministic), fusing the base
-		// term and the delta computation; the reduction itself is also
-		// parallel over target ranges.
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				if ctx.Err() != nil {
-					return // cancelled: the post-barrier check below discards this iteration
-				}
-				d := 0.0
-				for v := bounds[w]; v < bounds[w+1]; v++ {
-					x := (1-eps)*pAt(v) + eps*danglingMass*dAt(v)
-					for _, a := range acc {
-						x += a[v]
-					}
-					next[v] = x
-					d += math.Abs(x - cur[v])
-				}
-				deltas[w] = d
-			}(w)
-		}
-		wg.Wait()
-
-		// A cancellation that landed mid-iteration left accumulators (and
-		// therefore next/deltas) stale; this check runs before either is
+		// A cancellation that landed mid-iteration left next (and the
+		// partial deltas) stale; this check runs before either is
 		// trusted, so a cancelled iteration can never "converge".
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("pagerank: cancelled at iteration %d: %w", iter-1, err)
 		}
 
-		delta := 0.0
-		for _, d := range deltas {
-			delta += d
-		}
-		res.Deltas = append(res.Deltas, delta)
+		deltas[res.Iterations] = delta
 		res.Iterations = iter
 		cur, next = next, cur
 		if delta < opts.Tolerance {
@@ -170,9 +89,7 @@ func computeParallel(ctx context.Context, g DirectedGraph, opts Options) (*Resul
 		}
 	}
 
-	normalize(cur)
-	res.Scores = cur
-	res.Elapsed = time.Since(start)
+	finishResult(res, cur, deltas[:res.Iterations], start)
 	return res, nil
 }
 
