@@ -107,6 +107,74 @@ func TestListFlag(t *testing.T) {
 	}
 }
 
+func TestListShowsFixSupportAndState(t *testing.T) {
+	bin := buildArlint(t)
+	stdout, _, code := runIn(t, bin, ".", "-disable=floatcmp", "-list")
+	if code != 0 {
+		t.Fatalf("arlint -list exit code = %d, want 0", code)
+	}
+	for _, line := range strings.Split(stdout, "\n") {
+		switch {
+		case strings.HasPrefix(line, "floatcmp"):
+			if !strings.Contains(line, "disabled") {
+				t.Errorf("-disable=floatcmp not reflected in -list: %q", line)
+			}
+		case strings.HasPrefix(line, "errflow"):
+			if !strings.Contains(line, "enabled") || !strings.Contains(line, "[fix]") {
+				t.Errorf("errflow line should be enabled with [fix]: %q", line)
+			}
+		case strings.HasPrefix(line, "chanleak"):
+			if strings.Contains(line, "[fix]") {
+				t.Errorf("chanleak has no fixes but -list claims [fix]: %q", line)
+			}
+		}
+	}
+}
+
+func TestCheckerSelection(t *testing.T) {
+	bin := buildArlint(t)
+	dir := filepath.Join("testdata", "dirtymod")
+
+	stdout, _, code := runIn(t, bin, dir, "-checkers=floatcmp")
+	if code != 1 {
+		t.Fatalf("-checkers=floatcmp exit code = %d, want 1\n%s", code, stdout)
+	}
+	for _, line := range strings.Split(strings.TrimRight(stdout, "\n"), "\n") {
+		if !strings.Contains(line, ": floatcmp: ") {
+			t.Errorf("-checkers=floatcmp leaked another checker's finding: %q", line)
+		}
+	}
+
+	stdout, _, _ = runIn(t, bin, dir, "-disable=floatcmp")
+	if strings.Contains(stdout, ": floatcmp: ") {
+		t.Errorf("-disable=floatcmp still reports floatcmp findings:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, ": panicfree: ") {
+		t.Errorf("-disable=floatcmp should leave the other checkers running:\n%s", stdout)
+	}
+
+	_, stderr, code := runIn(t, bin, dir, "-checkers=nosuch")
+	if code != 2 || !strings.Contains(stderr, "unknown checker") {
+		t.Errorf("unknown checker: exit %d stderr %q, want 2 with an unknown-checker error", code, stderr)
+	}
+}
+
+func TestStaleBaselineReport(t *testing.T) {
+	bin := buildArlint(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	entry := `{"version":1,"findings":[{"file":"gone.go","checker":"floatcmp","message":"long fixed"}]}`
+	if err := os.WriteFile(base, []byte(entry), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runIn(t, bin, filepath.Join("testdata", "cleanmod"), "-baseline="+base)
+	if code != 0 {
+		t.Fatalf("stale entries must stay non-fatal on a clean module, exit = %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") || !strings.Contains(stderr, "gone.go") {
+		t.Errorf("stderr does not report the stale entry: %q", stderr)
+	}
+}
+
 func TestBadPattern(t *testing.T) {
 	bin := buildArlint(t)
 	_, stderr, code := runIn(t, bin, filepath.Join("testdata", "cleanmod"), "./nonexistent/...")

@@ -17,13 +17,21 @@
 //
 // Pipeline flags:
 //
-//	-baseline FILE        suppress the findings recorded in FILE
+//	-checkers a,b         run only the named checkers
+//	-disable a,b          run all but the named checkers
+//	-baseline FILE        suppress the findings recorded in FILE; stale
+//	                      entries (matching nothing) are reported to
+//	                      stderr, non-fatally, so they can be pruned
 //	-write-baseline FILE  record the current findings in FILE and exit 0
 //	-fix                  apply suggested fixes, then re-analyze and
 //	                      report what remains
 //	-callgraph=dot        print the interprocedural call graph (with the
 //	                      per-function effect summaries in the labels) as
 //	                      Graphviz dot instead of running the checkers
+//
+// `-list` prints the suite — one checker per line with its enabled
+// state under the current -checkers/-disable selection and whether it
+// supports -fix — and exits.
 //
 // Exit status is 0 when the module is clean (after baseline filtering
 // and fixes), 1 when there are findings, and 2 when the module fails to
@@ -43,7 +51,9 @@ import (
 
 func main() {
 	var (
-		list          = flag.Bool("list", false, "list the checkers and exit")
+		list          = flag.Bool("list", false, "list the checkers (with enabled state and -fix support) and exit")
+		checkers      = flag.String("checkers", "", "comma-separated checker names to run (default: all)")
+		disable       = flag.String("disable", "", "comma-separated checker names to skip")
 		format        = flag.String("format", "text", "output format: text, json or sarif")
 		baselinePath  = flag.String("baseline", "", "suppress findings recorded in this baseline file")
 		writeBaseline = flag.String("write-baseline", "", "record current findings to this file and exit")
@@ -51,9 +61,26 @@ func main() {
 		callgraph     = flag.String("callgraph", "", "debug output: 'dot' prints the call graph with summaries and exits")
 	)
 	flag.Parse()
+	suite, err := selectCheckers(*checkers, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arlint:", err)
+		os.Exit(2)
+	}
 	if *list {
+		enabled := make(map[string]bool, len(suite))
+		for _, a := range suite {
+			enabled[a.Name] = true
+		}
 		for _, a := range analysis.All {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			state := "enabled"
+			if !enabled[a.Name] {
+				state = "disabled"
+			}
+			fixes := "     "
+			if a.CanFix {
+				fixes = "[fix]"
+			}
+			fmt.Printf("%-12s %-8s %s  %s\n", a.Name, state, fixes, a.Doc)
 		}
 		return
 	}
@@ -72,10 +99,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "arlint: unknown format %q (want text, json or sarif)\n", *format)
 		os.Exit(2)
 	}
-	os.Exit(run(flag.Args(), *format, *baselinePath, *writeBaseline, *fix))
+	os.Exit(run(flag.Args(), suite, *format, *baselinePath, *writeBaseline, *fix))
 }
 
-func run(patterns []string, format, baselinePath, writeBaseline string, fix bool) int {
+// selectCheckers resolves -checkers/-disable into the suite to run.
+// Both flags name checkers from analysis.All, comma-separated; unknown
+// names are an error rather than a silent no-op, so a typo cannot turn
+// a checker off in CI unnoticed.
+func selectCheckers(only, disable string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(analysis.All))
+	for _, a := range analysis.All {
+		byName[a.Name] = a
+	}
+	parse := func(flagName, csv string) (map[string]bool, error) {
+		if strings.TrimSpace(csv) == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("-%s: unknown checker %q (see -list)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	keep, err := parse("checkers", only)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse("disable", disable)
+	if err != nil {
+		return nil, err
+	}
+	var suite []*analysis.Analyzer
+	for _, a := range analysis.All {
+		if keep != nil && !keep[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		suite = append(suite, a)
+	}
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("the -checkers/-disable selection leaves no checkers to run")
+	}
+	return suite, nil
+}
+
+func run(patterns []string, suite []*analysis.Analyzer, format, baselinePath, writeBaseline string, fix bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arlint:", err)
@@ -87,7 +164,7 @@ func run(patterns []string, format, baselinePath, writeBaseline string, fix bool
 		return 2
 	}
 
-	diags, npkgs, code := analyze(root, cwd, patterns)
+	diags, npkgs, code := analyze(root, cwd, patterns, suite)
 	if code != 0 {
 		return code
 	}
@@ -103,7 +180,7 @@ func run(patterns []string, format, baselinePath, writeBaseline string, fix bool
 		}
 		if len(fixed) > 0 {
 			// The files changed under the loaded ASTs; re-analyze from disk.
-			diags, npkgs, code = analyze(root, cwd, patterns)
+			diags, npkgs, code = analyze(root, cwd, patterns, suite)
 			if code != 0 {
 				return code
 			}
@@ -124,7 +201,15 @@ func run(patterns []string, format, baselinePath, writeBaseline string, fix bool
 			fmt.Fprintln(os.Stderr, "arlint:", err)
 			return 2
 		}
-		diags = base.Filter(diags, root)
+		var stale []string
+		diags, stale = base.Filter(diags, root)
+		for _, s := range stale {
+			fmt.Fprintf(os.Stderr, "arlint: stale baseline entry (matches no finding): %s\n", s)
+		}
+		if len(stale) > 0 {
+			fmt.Fprintf(os.Stderr, "arlint: %d stale baseline entr%s in %s; re-run -write-baseline to prune\n",
+				len(stale), map[bool]string{true: "y", false: "ies"}[len(stale) == 1], baselinePath)
+		}
 	}
 
 	switch format {
@@ -155,9 +240,9 @@ func run(patterns []string, format, baselinePath, writeBaseline string, fix bool
 var analysisFset *token.FileSet
 
 // analyze loads the module, selects packages by pattern and runs the
-// full suite. Returns the findings, the number of packages analyzed,
-// and a non-zero exit code on load failure.
-func analyze(root, cwd string, patterns []string) ([]analysis.Diagnostic, int, int) {
+// selected checker suite. Returns the findings, the number of packages
+// analyzed, and a non-zero exit code on load failure.
+func analyze(root, cwd string, patterns []string, suite []*analysis.Analyzer) ([]analysis.Diagnostic, int, int) {
 	loader := analysis.NewLoader()
 	analysisFset = loader.Fset
 	pkgs, err := loader.LoadModule(root)
@@ -170,7 +255,7 @@ func analyze(root, cwd string, patterns []string) ([]analysis.Diagnostic, int, i
 		fmt.Fprintln(os.Stderr, "arlint:", err)
 		return nil, 0, 2
 	}
-	return analysis.Run(selected, analysis.All), len(selected), 0
+	return analysis.Run(selected, suite), len(selected), 0
 }
 
 // dumpCallGraph loads the selected packages, builds the call graph and

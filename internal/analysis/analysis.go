@@ -100,6 +100,9 @@ type Analyzer struct {
 	// LibraryOnly restricts the checker to non-main packages: commands
 	// and examples are exempt.
 	LibraryOnly bool
+	// CanFix marks checkers that attach SuggestedFixes to (some of)
+	// their findings, applied by the driver under -fix.
+	CanFix bool
 	// Run reports findings for one package through pass.Reportf.
 	Run func(*Pass)
 }
@@ -108,7 +111,7 @@ type Analyzer struct {
 var All = []*Analyzer{
 	FloatCmp, GoCapture, NormReturn, Tolerances, PanicFree,
 	ErrFlow, LockBalance, MapRange, HotAlloc,
-	WgBalance, ChanLeak, CtxFlow,
+	WgBalance, ChanLeak, CtxFlow, HotPure,
 }
 
 // Pass carries one analyzed package to one checker, together with the

@@ -80,21 +80,31 @@ func LoadBaseline(path string) (*Baseline, error) {
 	return b, nil
 }
 
-// Filter returns the diagnostics not covered by the baseline. Each
-// baseline entry suppresses at most one matching finding.
-func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+// Filter returns the diagnostics not covered by the baseline, plus the
+// stale baseline entries — suppressions that matched no finding at all,
+// rendered "file: checker: message" and sorted, each repeated entry
+// listed once per unmatched copy. Each baseline entry suppresses at
+// most one matching finding; stale entries are the prunable residue
+// that would otherwise accumulate as the code they suppressed is fixed
+// or deleted.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (kept []Diagnostic, stale []string) {
 	remaining := make(map[baselineEntry]int, len(b.counts))
 	for k, v := range b.counts {
 		remaining[k] = v
 	}
-	var out []Diagnostic
 	for _, d := range diags {
 		key := baselineEntry{File: relPath(root, d.Pos.Filename), Checker: d.Checker, Message: d.Message}
 		if remaining[key] > 0 {
 			remaining[key]--
 			continue
 		}
-		out = append(out, d)
+		kept = append(kept, d)
 	}
-	return out
+	for k, n := range remaining {
+		for ; n > 0; n-- {
+			stale = append(stale, fmt.Sprintf("%s: %s: %s", k.File, k.Checker, k.Message))
+		}
+	}
+	sort.Strings(stale)
+	return kept, stale
 }

@@ -44,6 +44,15 @@ type CGNode struct {
 	// Calls are the distinct static callees within the analyzed set, in
 	// first-call-site order.
 	Calls []*CGNode
+	// Candidates are the distinct known-implementation callees of the
+	// node's interface-method call sites (devirtualization): for each
+	// dynamic call x.M() with x of interface type I, every analyzed
+	// concrete type implementing I contributes its M. Candidate edges
+	// participate in the SCC condensation — a summary fact flowing
+	// through an interface seam still needs bottom-up ordering — but
+	// are kept apart from Calls so checkers can distinguish "will call"
+	// from "may call one of".
+	Candidates []*CGNode
 	// Callers are the distinct nodes with an edge into this one.
 	Callers []*CGNode
 	// SCC is the index of the node's strongly-connected component in
@@ -73,10 +82,15 @@ type CallGraph struct {
 	Nodes []*CGNode
 	// SCCs is the condensation in bottom-up order: every callee of a
 	// node in SCCs[i] lies in SCCs[j] with j <= i. Summaries iterate
-	// this slice forward.
+	// this slice forward. Candidate (devirtualized) edges count as
+	// edges here.
 	SCCs [][]*CGNode
 
 	byFunc map[*types.Func]*CGNode
+	// ifaceImpls maps an interface method object to the analyzed
+	// concrete methods implementing it, in deterministic (package,
+	// type-name) order.
+	ifaceImpls map[*types.Func][]*CGNode
 }
 
 // NodeOf returns the node for fn, or nil when fn is not an analyzed
@@ -140,8 +154,140 @@ func BuildCallGraph(pkgs []*Package) *CallGraph {
 		})
 	}
 
+	cg.buildDevirt(pkgs)
 	cg.condense()
 	return cg
+}
+
+// buildDevirt computes the known-implementation table and the candidate
+// edges. For every named interface declared in the analyzed packages
+// and every named concrete type in the same set, types.Implements
+// decides (for T and *T) whether the type satisfies the interface; each
+// satisfied interface method then maps to the concrete method the
+// method set selects. The enumeration is conservative in the only
+// direction that matters: a type outside the analyzed set contributes
+// no candidate, so consumers must keep treating a candidate list as
+// "at least these" — CalleeSummaryDevirt documents why the join is
+// still sound for the checkers that use it.
+func (cg *CallGraph) buildDevirt(pkgs []*Package) {
+	cg.ifaceImpls = make(map[*types.Func][]*CGNode)
+
+	var ifaces []*types.Interface
+	var concretes []types.Type
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue // generic types would need per-instantiation work
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				if iface.NumMethods() > 0 {
+					ifaces = append(ifaces, iface)
+				}
+			} else {
+				concretes = append(concretes, named)
+			}
+		}
+	}
+
+	seen := make(map[*types.Func]map[*CGNode]bool)
+	for _, iface := range ifaces {
+		for _, T := range concretes {
+			impl := T
+			if !types.Implements(T, iface) {
+				if ptr := types.NewPointer(T); types.Implements(ptr, iface) {
+					impl = ptr
+				} else {
+					continue
+				}
+			}
+			ms := types.NewMethodSet(impl)
+			for i := 0; i < iface.NumMethods(); i++ {
+				im := iface.Method(i)
+				sel := ms.Lookup(im.Pkg(), im.Name())
+				if sel == nil {
+					continue
+				}
+				f, ok := sel.Obj().(*types.Func)
+				if !ok {
+					continue
+				}
+				node := cg.byFunc[f.Origin()]
+				if node == nil {
+					continue // implementation without an analyzed body
+				}
+				key := im.Origin()
+				if seen[key] == nil {
+					seen[key] = make(map[*CGNode]bool)
+				}
+				if !seen[key][node] {
+					seen[key][node] = true
+					cg.ifaceImpls[key] = append(cg.ifaceImpls[key], node)
+				}
+			}
+		}
+	}
+
+	// Candidate edges: one per (caller, implementation) over the
+	// interface-method call sites of each body.
+	for _, node := range cg.Nodes {
+		dedup := make(map[*CGNode]bool)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			m := InterfaceCallee(node.Pkg.Info, call)
+			if m == nil {
+				return true
+			}
+			for _, target := range cg.ifaceImpls[m] {
+				if !dedup[target] {
+					dedup[target] = true
+					node.Candidates = append(node.Candidates, target)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// InterfaceCallee resolves a dynamic method call x.M() through an
+// interface-typed receiver to the interface's method object, or nil
+// when the call is not an interface-method call. This is the key the
+// devirtualizer's candidate table is indexed by.
+func InterfaceCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	f, ok := selection.Obj().(*types.Func)
+	if !ok || !types.IsInterface(selection.Recv()) {
+		return nil
+	}
+	return f.Origin()
+}
+
+// CandidatesOf returns the known implementations of the interface
+// method called by call, or nil for static and unresolvable calls.
+func (cg *CallGraph) CandidatesOf(info *types.Info, call *ast.CallExpr) []*CGNode {
+	if cg == nil {
+		return nil
+	}
+	m := InterfaceCallee(info, call)
+	if m == nil {
+		return nil
+	}
+	return cg.ifaceImpls[m]
 }
 
 // StaticCallee resolves the callee of a call expression to a declared
@@ -196,14 +342,16 @@ func (cg *CallGraph) condense() {
 		next++
 		stack = append(stack, v)
 		onStack[v] = true
-		for _, w := range v.Calls {
-			if index[w] == unvisited {
-				strongConnect(w)
-				if low[w] < low[v] {
-					low[v] = low[w]
+		for _, edges := range [2][]*CGNode{v.Calls, v.Candidates} {
+			for _, w := range edges {
+				if index[w] == unvisited {
+					strongConnect(w)
+					if low[w] < low[v] {
+						low[v] = low[w]
+					}
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
 				}
-			} else if onStack[w] && index[w] < low[v] {
-				low[v] = index[w]
 			}
 		}
 		if low[v] == index[v] {
@@ -260,8 +408,17 @@ func (cg *CallGraph) WriteDot(w io.Writer, sums *Summaries) error {
 		fmt.Fprintf(w, "  %s [%s];\n", id(n), attrs)
 	}
 	for _, n := range cg.Nodes {
+		static := make(map[*CGNode]bool, len(n.Calls))
 		for _, c := range n.Calls {
+			static[c] = true
 			fmt.Fprintf(w, "  %s -> %s;\n", id(n), id(c))
+		}
+		// Candidate (devirtualized) edges render dashed; a target also
+		// called statically keeps only its solid edge.
+		for _, c := range n.Candidates {
+			if !static[c] {
+				fmt.Fprintf(w, "  %s -> %s [style=dashed];\n", id(n), id(c))
+			}
 		}
 	}
 	_, err := fmt.Fprintln(w, "}")
@@ -274,6 +431,14 @@ func (s *Summary) bits() string {
 		return ""
 	}
 	var out []string
+	// The purity lattice point leads: Impure is the unmarked default,
+	// the two provable levels are worth showing.
+	switch s.Purity {
+	case PurityPure:
+		out = append(out, "pure")
+	case PurityOutput:
+		out = append(out, "out-writes")
+	}
 	if s.DropsError {
 		out = append(out, "drops-err")
 	}

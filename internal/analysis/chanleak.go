@@ -44,6 +44,14 @@ import (
 // Channels that escape the function — returned, stored in a struct or
 // another variable, passed to a callee with no summary — are skipped:
 // the matching operation may live anywhere.
+//
+// select statements are modeled: a communication that is a case of a
+// select carrying a default clause or a `<-ctx.Done()` cancellation
+// case cannot block forever — the goroutine always has another way
+// out — so it creates no obligation. Symmetrically it provides no
+// effect to siblings: a send that may be skipped (default taken, or
+// the context cancelled first) cannot be counted on to release a
+// sibling's receive.
 var ChanLeak = &Analyzer{
 	Name: "chanleak",
 	Doc:  "a goroutine must not block forever on a channel no live path closes or drains",
@@ -249,7 +257,7 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 			// A channel argument to a summarized callee is a known
 			// operation; to anything else it's an escape (left
 			// unsanctioned).
-			if cs := pass.Summaries.CalleeSummary(info, n); cs != nil {
+			if cs := pass.Summaries.CalleeSummaryDevirt(info, n); cs != nil {
 				for ai, arg := range n.Args {
 					if chanOf(arg) == nil {
 						continue
@@ -331,7 +339,7 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 		} else {
 			// go helper(ch, ...): obligations and effects from the
 			// callee's summary.
-			if cs := pass.Summaries.CalleeSummary(info, g.Call); cs != nil {
+			if cs := pass.Summaries.CalleeSummaryDevirt(info, g.Call); cs != nil {
 				fromSummary(cs, g.Call.Args)
 			}
 			if len(obs) > 0 {
@@ -342,13 +350,20 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 			}
 			return true
 		}
+		guarded := guardedCommOps(info, fn.body, scanBody)
 		ast.Inspect(scanBody, func(m ast.Node) bool {
 			switch m := m.(type) {
 			case *ast.SendStmt:
+				if guarded[m] {
+					return true
+				}
 				record(chanOf(m.Chan), needRecv)
 				affect(chanOf(m.Chan), effSend)
 			case *ast.UnaryExpr:
 				if m.Op == token.ARROW {
+					if guarded[m] {
+						return true
+					}
 					record(chanOf(m.X), needSendOrClose)
 					affect(chanOf(m.X), effDrain)
 				}
@@ -366,7 +381,7 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 					}
 					return true
 				}
-				if cs := pass.Summaries.CalleeSummary(info, m); cs != nil {
+				if cs := pass.Summaries.CalleeSummaryDevirt(info, m); cs != nil {
 					fromSummary(cs, m.Args)
 				}
 			}
@@ -429,7 +444,7 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 					}
 					return true
 				}
-				if cs := pass.Summaries.CalleeSummary(info, m); cs != nil {
+				if cs := pass.Summaries.CalleeSummaryDevirt(info, m); cs != nil {
 					for ai, arg := range m.Args {
 						pi := cs.ParamIndex(ai)
 						if chanOf(arg) != obj || pi < 0 {
@@ -600,6 +615,133 @@ func checkChanLeakFunc(pass *Pass, fn funcBody) {
 			"goroutine spawned here %s %q, but some path out of %s never %s again: the goroutine blocks forever; %s on every path%s",
 			k.ob.blocked(), k.obj.Name(), fn.name, opVerb(k.ob), k.ob.missing(), hint)
 	}
+}
+
+// guardedCommOps returns the communication operations (sends and
+// receive UnaryExprs) appearing as select cases of a select statement
+// that has an escape: a default clause, or a cancellation case receiving
+// from a context's Done channel. Such an operation can never park its
+// goroutine forever — the select always has another way out — so it
+// creates no obligation; and because it may be skipped entirely, it
+// provides no effect a sibling could rely on. scope is the enclosing
+// function body, searched for `done := ctx.Done()` bindings.
+func guardedCommOps(info *types.Info, scope, body ast.Node) map[ast.Node]bool {
+	var out map[ast.Node]bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasEscape := false
+		for _, stmt := range sel.Body.List {
+			cc, ok := stmt.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil || isCancelRecv(info, scope, cc.Comm) {
+				hasEscape = true
+				break
+			}
+		}
+		if !hasEscape {
+			return true
+		}
+		for _, stmt := range sel.Body.List {
+			cc, ok := stmt.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.SendStmt:
+					if out == nil {
+						out = make(map[ast.Node]bool)
+					}
+					out[m] = true
+				case *ast.UnaryExpr:
+					if m.Op == token.ARROW {
+						if out == nil {
+							out = make(map[ast.Node]bool)
+						}
+						out[m] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// isCancelRecv reports whether comm receives from a context's Done
+// channel: `<-ctx.Done()` directly, or `<-done` where done is bound to
+// a Done() result somewhere in scope.
+func isCancelRecv(info *types.Info, scope ast.Node, comm ast.Stmt) bool {
+	var x ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			x = u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				x = u.X
+			}
+		}
+	}
+	if x == nil {
+		return false
+	}
+	x = ast.Unparen(x)
+	if isDoneCall(info, x) {
+		return true
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	bound := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if bound {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if (info.Defs[lid] == obj || info.Uses[lid] == obj) && isDoneCall(info, as.Rhs[i]) {
+				bound = true
+			}
+		}
+		return true
+	})
+	return bound
+}
+
+// isDoneCall reports whether e is a call of context.Context's Done
+// method.
+func isDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	return t != nil && isContextType(t)
 }
 
 // opVerb renders the missing parent-side operation for the diagnostic.

@@ -1,0 +1,125 @@
+package analysis
+
+import "testing"
+
+func candidatesOf(n *CGNode, callee *CGNode) bool {
+	for _, c := range n.Candidates {
+		if c == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDevirtTwoImplementations asserts the core candidate-edge rule: an
+// interface-method call site with two concrete implementations in the
+// analyzed set gets exactly one candidate edge per implementation.
+func TestDevirtTwoImplementations(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"shape/shape.go": `package shape
+
+type Shape interface{ Area() float64 }
+
+type Square struct{ S float64 }
+
+func (q Square) Area() float64 { return q.S * q.S }
+
+type Circle struct{ R float64 }
+
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+func Total(ss []Shape) float64 {
+	sum := 0.0
+	for _, s := range ss {
+		sum += s.Area()
+	}
+	return sum
+}
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["shape"]})
+
+	total := nodeByName(t, cg, "shape.Total")
+	square := nodeByName(t, cg, "shape.Square.Area")
+	circle := nodeByName(t, cg, "shape.Circle.Area")
+
+	if len(total.Candidates) != 2 {
+		t.Fatalf("shape.Total has %d candidate edges, want 2: %v", len(total.Candidates), total.Candidates)
+	}
+	if !candidatesOf(total, square) || !candidatesOf(total, circle) {
+		t.Errorf("candidates %v do not cover both implementations", total.Candidates)
+	}
+	if callsTo(total, square) || callsTo(total, circle) {
+		t.Errorf("candidate edges leaked into the static Calls list")
+	}
+}
+
+// TestDevirtOutsidePackageSet asserts the soundness boundary: a type
+// implementing the interface contributes a candidate edge only when its
+// package is part of the analyzed set. The unexported implementation is
+// invisible when its package is left out — the call goes back to ⊤ —
+// and discovered when it is included.
+func TestDevirtOutsidePackageSet(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"iface/iface.go": `package iface
+
+type Ranker interface{ Rank() float64 }
+
+func Score(r Ranker) float64 { return r.Rank() }
+`,
+		"impl/impl.go": `package impl
+
+import "cgtest/iface"
+
+type hidden struct{}
+
+func (hidden) Rank() float64 { return 1 }
+
+func New() iface.Ranker { return hidden{} }
+`,
+	})
+
+	partial := BuildCallGraph([]*Package{pkgs["iface"]})
+	if score := nodeByName(t, partial, "iface.Score"); len(score.Candidates) != 0 {
+		t.Errorf("with impl excluded, iface.Score has %d candidate edges, want 0", len(score.Candidates))
+	}
+
+	full := BuildCallGraph([]*Package{pkgs["iface"], pkgs["impl"]})
+	score := nodeByName(t, full, "iface.Score")
+	rank := nodeByName(t, full, "impl.hidden.Rank")
+	if len(score.Candidates) != 1 || !candidatesOf(score, rank) {
+		t.Errorf("with impl included, candidates = %v, want exactly [impl.hidden.Rank]", score.Candidates)
+	}
+}
+
+// TestDevirtSummaryJoin asserts that a dynamic call with known
+// candidates joins their summaries instead of going to ⊤: may-facts OR
+// (one allocating implementation taints the join), must-facts AND.
+func TestDevirtSummaryJoin(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"buf/buf.go": `package buf
+
+type Maker interface{ Make(n int) []int }
+
+type Alloc struct{}
+
+func (Alloc) Make(n int) []int { return make([]int, n) }
+
+type Fixed struct{ b []int }
+
+func (f Fixed) Make(n int) []int { return f.b[:n] }
+
+func Build(m Maker, n int) []int { return m.Make(n) }
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["buf"]})
+	sums := ComputeSummaries(cg)
+
+	s := sums.Of(nodeByName(t, cg, "buf.Build").Func)
+	if s == nil {
+		t.Fatal("no summary for buf.Build")
+	}
+	if !s.Allocates {
+		t.Errorf("buf.Build: Allocates=false, want true (Alloc.Make is a candidate)")
+	}
+}

@@ -41,8 +41,9 @@ import (
 // an analysis hole.
 var ErrFlow = &Analyzer{
 	Name: "errflow",
-	Doc:  "a returned error must be checked or explicitly discarded on every path",
-	Run:  runErrFlow,
+	Doc:    "a returned error must be checked or explicitly discarded on every path",
+	CanFix: true,
+	Run:    runErrFlow,
 }
 
 // errFact maps a pending error variable to the position of the
@@ -69,7 +70,7 @@ func reportErrorDropperCalls(pass *Pass, file *ast.File) {
 		if !ok {
 			return true
 		}
-		cs := pass.Summaries.CalleeSummary(info, call)
+		cs := pass.Summaries.CalleeSummaryDevirt(info, call)
 		if cs == nil || !cs.DropsError {
 			return true
 		}

@@ -40,6 +40,7 @@ var HotAlloc = &Analyzer{
 	Name:        "hotalloc",
 	Doc:         "no allocations or append growth inside power-iteration loops (pagerank/core/hits/blockrank)",
 	LibraryOnly: true,
+	CanFix:      true,
 	Run:         runHotAlloc,
 }
 
@@ -96,7 +97,7 @@ func checkHotAllocFunc(pass *Pass, fn *ast.FuncDecl) {
 			if !isBuiltin {
 				// Interprocedural: a call to a module function that
 				// allocates per call is an allocation per iteration.
-				if cs := pass.Summaries.CalleeSummary(info, call); cs != nil && cs.Allocates {
+				if cs := pass.Summaries.CalleeSummaryDevirt(info, call); cs != nil && cs.Allocates {
 					via := ""
 					if cs.AllocVia != "" {
 						via = " (via " + cs.AllocVia + ")"

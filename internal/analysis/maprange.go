@@ -37,6 +37,7 @@ var MapRange = &Analyzer{
 	Name:        "maprange",
 	Doc:         "map iteration order must not reach an exported score producer's return value unsorted",
 	LibraryOnly: true,
+	CanFix:      true,
 	Run:         runMapRange,
 }
 

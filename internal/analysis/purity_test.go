@@ -1,0 +1,152 @@
+package analysis
+
+import "testing"
+
+// TestPurityLattice pins the three-level classification on the shapes
+// the repository's kernels are made of: strictly pure reads, the
+// out-writes output-buffer shape, locally-owned allocation, and the
+// ways a function falls to impure (global writes, channel ops,
+// impure or unknown callees — directly or transitively).
+func TestPurityLattice(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"pure/pure.go": `package pure
+
+import "math"
+
+var counter int
+
+func Add(a, b float64) float64 { return a + b }
+
+func Abs(x float64) float64 { return math.Abs(x) }
+
+func Fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+func Owned(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func Bump() { counter++ }
+
+func Via() { Bump() }
+
+func Send(ch chan int) { ch <- 1 }
+
+func Spawn() { go Bump() }
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["pure"]})
+	sums := ComputeSummaries(cg)
+	get := func(name string) *Summary {
+		s := sums.Of(nodeByName(t, cg, "pure."+name).Func)
+		if s == nil {
+			t.Fatalf("no summary for pure.%s", name)
+		}
+		return s
+	}
+
+	if s := get("Add"); s.Purity != PurityPure {
+		t.Errorf("Add: purity %v (%s), want pure", s.Purity, s.PurityCause)
+	}
+	if s := get("Abs"); s.Purity != PurityPure {
+		t.Errorf("Abs: purity %v (%s), want pure (math is whitelisted)", s.Purity, s.PurityCause)
+	}
+	if s := get("Fill"); s.Purity != PurityOutput || !s.WritesParams[0] || s.WritesParams[1] {
+		t.Errorf("Fill: purity %v WritesParams %v, want out-writes through param 0 only", s.Purity, s.WritesParams)
+	}
+	if s := get("Owned"); s.Purity != PurityPure || !s.Allocates {
+		t.Errorf("Owned: purity %v Allocates %v, want pure+alloc (writes confined to an owned buffer)", s.Purity, s.Allocates)
+	}
+	if s := get("Bump"); s.Purity != PurityImpure {
+		t.Errorf("Bump: purity %v, want impure (global write)", s.Purity)
+	}
+	if s := get("Via"); s.Purity != PurityImpure {
+		t.Errorf("Via: purity %v, want impure (impure callee)", s.Purity)
+	}
+	if s := get("Send"); s.Purity != PurityImpure {
+		t.Errorf("Send: purity %v, want impure (channel op)", s.Purity)
+	}
+	if s := get("Spawn"); s.Purity != PurityImpure {
+		t.Errorf("Spawn: purity %v, want impure (go statement)", s.Purity)
+	}
+}
+
+// TestPuritySCCConvergence exercises the within-SCC fixpoint: a
+// mutually recursive pure pair must converge at pure (the optimistic
+// start is not knocked down by the cycle), an out-writes self-recursion
+// stays at out-writes, and one impure statement anywhere in a cycle
+// drags every member to impure.
+func TestPuritySCCConvergence(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"rec/rec.go": `package rec
+
+var hits int
+
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+func RFill(dst []float64, i int) {
+	if i < len(dst) {
+		dst[i] = 0
+		RFill(dst, i+1)
+	}
+}
+
+func PingI(n int) {
+	if n > 0 {
+		hits++
+		PongI(n - 1)
+	}
+}
+
+func PongI(n int) {
+	if n > 0 {
+		PingI(n - 1)
+	}
+}
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["rec"]})
+	sums := ComputeSummaries(cg)
+	get := func(name string) *Summary {
+		s := sums.Of(nodeByName(t, cg, "rec."+name).Func)
+		if s == nil {
+			t.Fatalf("no summary for rec.%s", name)
+		}
+		return s
+	}
+
+	if s := get("Even"); s.Purity != PurityPure {
+		t.Errorf("Even: purity %v (%s), want pure through the cycle", s.Purity, s.PurityCause)
+	}
+	if s := get("Odd"); s.Purity != PurityPure {
+		t.Errorf("Odd: purity %v (%s), want pure through the cycle", s.Purity, s.PurityCause)
+	}
+	if s := get("RFill"); s.Purity != PurityOutput || !s.WritesParams[0] {
+		t.Errorf("RFill: purity %v WritesParams %v, want out-writes through param 0", s.Purity, s.WritesParams)
+	}
+	if s := get("PingI"); s.Purity != PurityImpure {
+		t.Errorf("PingI: purity %v, want impure (writes a global inside the cycle)", s.Purity)
+	}
+	if s := get("PongI"); s.Purity != PurityImpure {
+		t.Errorf("PongI: purity %v, want impure (impurity must propagate around the cycle)", s.Purity)
+	}
+}

@@ -17,7 +17,7 @@ func TestSuiteComplete(t *testing.T) {
 	want := []string{
 		"floatcmp", "gocapture", "normreturn", "tolerances", "panicfree",
 		"errflow", "lockbalance", "maprange", "hotalloc",
-		"wgbalance", "chanleak", "ctxflow",
+		"wgbalance", "chanleak", "ctxflow", "hotpure",
 	}
 	if len(All) != len(want) {
 		t.Fatalf("len(All) = %d, want %d", len(All), len(want))

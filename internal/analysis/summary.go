@@ -88,6 +88,21 @@ type Summary struct {
 	// is variadic — consulted by ParamIndex when mapping call arguments
 	// to the per-parameter effect slots above.
 	Variadic bool
+
+	// Purity is the function's point on the purity lattice (purity.go):
+	// Pure ⊏ Output (writes confined to parameter-reachable memory) ⊏
+	// Impure. PurityCause names the first fact that forced the current
+	// level, for diagnostics and the dot labels.
+	Purity      Purity
+	PurityCause string
+	// WritesParams[i]: the function may write memory reachable from
+	// parameter i (directly or via a callee). WritesRecv is the same
+	// for a method's receiver. WritesEscaped records an Output-level
+	// write the analysis could not attribute to any parameter — callers
+	// must assume any pointer-like argument may be written.
+	WritesParams  []bool
+	WritesRecv    bool
+	WritesEscaped bool
 }
 
 // ParamIndex maps a call-argument position to the parameter slot it
@@ -135,6 +150,101 @@ func (s *Summaries) CalleeSummary(info *types.Info, call *ast.CallExpr) *Summary
 	return s.Of(StaticCallee(info, call))
 }
 
+// CalleeSummaryDevirt is CalleeSummary extended through the candidate
+// edges: at an interface-method call site it returns the pessimistic
+// join of the summaries of every known implementation in the analyzed
+// package set, so checkers see through the DirectedGraph/InEdgeGraph
+// seam instead of going to ⊤. The join keeps may-facts (drops-error,
+// allocates, sends, purity level …) if ANY implementation has them and
+// must-facts (Done-on-all-paths, context forwarding) only if EVERY
+// implementation proves them — sound for both polarities no matter
+// which implementation runs. Nil when the callee is neither static nor
+// an interface method with at least one candidate.
+func (s *Summaries) CalleeSummaryDevirt(info *types.Info, call *ast.CallExpr) *Summary {
+	if s == nil {
+		return nil
+	}
+	if cs := s.Of(StaticCallee(info, call)); cs != nil {
+		return cs
+	}
+	if s.Graph == nil {
+		return nil
+	}
+	cands := s.Graph.CandidatesOf(info, call)
+	if len(cands) == 0 {
+		return nil
+	}
+	out := joinSummaries(s, cands)
+	return out
+}
+
+// joinSummaries folds the candidates' summaries into one joined view:
+// may-facts by OR, must-facts by AND, purity by lattice max. All
+// candidates implement the same interface method, so the per-parameter
+// slices line up; joins still guard on length for safety.
+func joinSummaries(s *Summaries, cands []*CGNode) *Summary {
+	var out *Summary
+	for _, c := range cands {
+		cs := s.byFunc[c.Func]
+		if cs == nil {
+			continue
+		}
+		if out == nil {
+			cp := *cs
+			cp.TaintedResults = append([]bool(nil), cs.TaintedResults...)
+			cp.SendsParams = append([]bool(nil), cs.SendsParams...)
+			cp.ClosesParams = append([]bool(nil), cs.ClosesParams...)
+			cp.DrainsParams = append([]bool(nil), cs.DrainsParams...)
+			cp.DonesParams = append([]bool(nil), cs.DonesParams...)
+			cp.WritesParams = append([]bool(nil), cs.WritesParams...)
+			out = &cp
+			continue
+		}
+		if cs.DropsError && !out.DropsError {
+			out.DropsError = true
+			out.DropPos = cs.DropPos
+			out.DropSource = cs.DropSource
+		}
+		if cs.Allocates && !out.Allocates {
+			out.Allocates = true
+			out.AllocVia = cs.AllocVia
+		}
+		orBools(out.TaintedResults, cs.TaintedResults)
+		orBools(out.SendsParams, cs.SendsParams)
+		orBools(out.ClosesParams, cs.ClosesParams)
+		orBools(out.DrainsParams, cs.DrainsParams)
+		orBools(out.WritesParams, cs.WritesParams)
+		andBools(out.DonesParams, cs.DonesParams)
+		out.SpawnsGoroutine = out.SpawnsGoroutine || cs.SpawnsGoroutine
+		out.AcquiresLock = out.AcquiresLock || cs.AcquiresLock
+		out.ReleasesLock = out.ReleasesLock || cs.ReleasesLock
+		out.WritesRecv = out.WritesRecv || cs.WritesRecv
+		out.WritesEscaped = out.WritesEscaped || cs.WritesEscaped
+		out.ForwardsCtx = out.ForwardsCtx && cs.ForwardsCtx
+		if cs.Purity > out.Purity {
+			out.Purity = cs.Purity
+			out.PurityCause = cs.PurityCause
+		}
+	}
+	return out
+}
+
+func orBools(dst, src []bool) {
+	for i := range dst {
+		if i < len(src) && src[i] {
+			dst[i] = true
+		}
+	}
+}
+
+func andBools(dst, src []bool) {
+	for i := range dst {
+		if i >= len(src) || !src[i] {
+			dst[i] = false
+		}
+	}
+}
+
 // ComputeSummaries walks the call graph's SCCs bottom-up and computes
 // every node's summary, iterating within each SCC to a fixpoint.
 func ComputeSummaries(cg *CallGraph) *Summaries {
@@ -149,6 +259,7 @@ func ComputeSummaries(cg *CallGraph) *Summaries {
 			ClosesParams:   make([]bool, np),
 			DrainsParams:   make([]bool, np),
 			DonesParams:    make([]bool, np),
+			WritesParams:   make([]bool, np),
 			CtxParam:       -1,
 			Variadic:       sig.Variadic(),
 		}
@@ -183,6 +294,7 @@ func summarizeNode(sums *Summaries, n *CGNode) bool {
 	oldSends := append([]bool(nil), s.SendsParams...)
 	oldCloses := append([]bool(nil), s.ClosesParams...)
 	oldDrains := append([]bool(nil), s.DrainsParams...)
+	oldWrites := append([]bool(nil), s.WritesParams...)
 
 	info := n.Pkg.Info
 	body := n.Decl.Body
@@ -192,6 +304,7 @@ func summarizeNode(sums *Summaries, n *CGNode) bool {
 	summarizeTaint(sums, n, s)
 	summarizeConcurrency(sums, n, s)
 	summarizeLocks(n, s)
+	summarizePurity(sums, n, s)
 
 	// Context forwarding: every context-accepting call receives the
 	// function's own (or a derived) context.
@@ -214,12 +327,14 @@ func summarizeNode(sums *Summaries, n *CGNode) bool {
 
 	if old.DropsError != s.DropsError || old.Allocates != s.Allocates ||
 		old.SpawnsGoroutine != s.SpawnsGoroutine || old.ForwardsCtx != s.ForwardsCtx ||
-		old.AcquiresLock != s.AcquiresLock || old.ReleasesLock != s.ReleasesLock {
+		old.AcquiresLock != s.AcquiresLock || old.ReleasesLock != s.ReleasesLock ||
+		old.Purity != s.Purity || old.WritesRecv != s.WritesRecv ||
+		old.WritesEscaped != s.WritesEscaped {
 		return true
 	}
 	return !boolsEqual(oldTaint, s.TaintedResults) || !boolsEqual(oldDones, s.DonesParams) ||
 		!boolsEqual(oldSends, s.SendsParams) || !boolsEqual(oldCloses, s.ClosesParams) ||
-		!boolsEqual(oldDrains, s.DrainsParams)
+		!boolsEqual(oldDrains, s.DrainsParams) || !boolsEqual(oldWrites, s.WritesParams)
 }
 
 func boolsEqual(a, b []bool) bool {
@@ -384,7 +499,7 @@ func summarizeAlloc(sums *Summaries, n *CGNode, s *Summary) {
 				return true
 			}
 		}
-		if cs := sums.CalleeSummary(info, call); cs != nil && cs.Allocates {
+		if cs := sums.CalleeSummaryDevirt(info, call); cs != nil && cs.Allocates {
 			s.Allocates = true
 			s.AllocVia = callName(call)
 		}
@@ -513,8 +628,9 @@ func summarizeConcurrency(sums *Summaries, n *CGNode, s *Summary) {
 				return true
 			}
 			// Forwarded effects: passing a parameter to a callee that
-			// sends/closes/drains its corresponding parameter.
-			cs := sums.CalleeSummary(info, m)
+			// sends/closes/drains its corresponding parameter (through
+			// the candidate join at interface call sites).
+			cs := sums.CalleeSummaryDevirt(info, m)
 			if cs == nil {
 				return true
 			}
@@ -575,7 +691,7 @@ func donesOnAllPaths(sums *Summaries, n *CGNode, wg types.Object) bool {
 				done = true
 				return false
 			}
-			if cs := sums.CalleeSummary(info, call); cs != nil {
+			if cs := sums.CalleeSummaryDevirt(info, call); cs != nil {
 				for ai, arg := range call.Args {
 					if pi := cs.ParamIndex(ai); pi >= 0 && cs.DonesParams[pi] && usesObjectExpr(info, arg, wg) {
 						done = true

@@ -1,0 +1,13 @@
+package fixture
+
+// A select with neither a default clause nor a cancellation case is
+// still a blocking communication: this single-case select is exactly a
+// blocking send, and nobody ever receives.
+func blockingSelect() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		}
+	}()
+}

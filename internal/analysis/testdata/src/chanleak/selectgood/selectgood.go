@@ -1,0 +1,52 @@
+package fixture
+
+import "context"
+
+// A default-guarded send never parks the goroutine: when no receiver is
+// ready the default fires and the goroutine moves on. The parent owes
+// nothing.
+func defaultGuarded() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// A send raced against cancellation is released either way: by a
+// receiver, or by the context being cancelled.
+func cancelGuarded(ctx context.Context) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// The multi-case drain loop of a serving worker: receives until the
+// channel closes or the context is cancelled — through a Done channel
+// bound to a variable. The parent's send and close are ordinary
+// discharges; the goroutine's guarded receive creates no obligation.
+func drainLoop(ctx context.Context) {
+	ch := make(chan int)
+	done := ctx.Done()
+	go func() {
+		for {
+			select {
+			case v, ok := <-ch:
+				if !ok {
+					return
+				}
+				_ = v
+			case <-done:
+				return
+			}
+		}
+	}()
+	ch <- 1
+	close(ch)
+}

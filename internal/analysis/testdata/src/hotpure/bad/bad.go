@@ -1,0 +1,52 @@
+package fixture
+
+var total float64
+
+// impure: accumulates into a package-level variable.
+//
+//arlint:hot
+func sumInto(dst, src []float64) float64 {
+	s := 0.0
+	for i := range src {
+		dst[i] = src[i]
+		s += src[i]
+	}
+	total = s
+	return s
+}
+
+// allocates: a fresh output buffer on every call.
+//
+//arlint:hot
+func scaled(src []float64, f float64) []float64 {
+	out := make([]float64, len(src))
+	for i := range src {
+		out[i] = f * src[i]
+	}
+	return out
+}
+
+type source interface {
+	At(i int) float64
+}
+
+// dynamic dispatch inside the sweep loop.
+//
+//arlint:hot
+func gather(dst []float64, s source) {
+	for i := range dst {
+		dst[i] = s.At(i)
+	}
+}
+
+func bump() { total++ }
+
+// impure transitively: the helper writes a global.
+//
+//arlint:hot
+func viaHelper(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	bump()
+}

@@ -1,0 +1,41 @@
+package fixture
+
+// The canonical kernel shape: writes confined to the output parameter
+// (out-writes on the purity lattice), no allocation, every call static.
+//
+//arlint:hot
+func sweep(next, cur []float64, eps float64) float64 {
+	delta := 0.0
+	for i := range next {
+		v := (1 - eps) * cur[i]
+		d := v - next[i]
+		if d < 0 {
+			d = -d
+		}
+		next[i] = v
+		delta += d
+	}
+	return delta
+}
+
+// Strictly pure: reads only.
+//
+//arlint:hot
+func mass(cur []float64, idx []uint32) float64 {
+	s := 0.0
+	for _, u := range idx {
+		s += cur[u]
+	}
+	return s
+}
+
+// Hot functions may call other hot-grade helpers statically.
+//
+//arlint:hot
+func step(next, cur []float64, eps float64) float64 {
+	return sweep(next, cur, eps)
+}
+
+func caller(a, b []float64) float64 {
+	return step(a, b, 0.85) + mass(a, nil)
+}

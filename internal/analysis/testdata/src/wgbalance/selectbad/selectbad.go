@@ -1,0 +1,23 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// Done only on the send branch: the CFG decomposes the select into
+// per-case paths, and the cancellation path returns without Done —
+// Wait blocks forever on a cancelled request.
+func missingDoneOnCancel(ctx context.Context, out chan<- int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		select {
+		case out <- 1:
+			wg.Done()
+		case <-ctx.Done():
+			return
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// The sanctioned serving shape: defer guarantees Done no matter which
+// select case fires.
+func deferredDone(ctx context.Context, out chan<- int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case out <- 1:
+		case <-ctx.Done():
+		}
+	}()
+	wg.Wait()
+}

@@ -39,8 +39,9 @@ import (
 // that already Done and panic with "sync: negative WaitGroup counter".
 var WgBalance = &Analyzer{
 	Name: "wgbalance",
-	Doc:  "every wg.Add must be matched by a Done on all paths of the spawned function (callees count)",
-	Run:  runWgBalance,
+	Doc:    "every wg.Add must be matched by a Done on all paths of the spawned function (callees count)",
+	CanFix: true,
+	Run:    runWgBalance,
 }
 
 func runWgBalance(pass *Pass) {
@@ -147,7 +148,7 @@ func checkWgBalanceFunc(pass *Pass, fn *ast.FuncDecl) {
 			}
 			// A WaitGroup argument: accepted when the callee's summary
 			// guarantees Done on that parameter, an escape otherwise.
-			cs := pass.Summaries.CalleeSummary(info, n)
+			cs := pass.Summaries.CalleeSummaryDevirt(info, n)
 			for ai, arg := range n.Args {
 				obj, ok := resolveWG(arg)
 				if !ok {
@@ -229,7 +230,7 @@ func classifyWgSpawn(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt,
 	// go helper(&wg, ...): guaranteed when helper's summary Dones the
 	// corresponding parameter.
 	if lit, ok := g.Call.Fun.(*ast.FuncLit); !ok {
-		cs := pass.Summaries.CalleeSummary(info, g.Call)
+		cs := pass.Summaries.CalleeSummaryDevirt(info, g.Call)
 		for ai, arg := range g.Call.Args {
 			obj, ok := resolveWG(arg)
 			if !ok {
@@ -299,7 +300,7 @@ func goroutineGuaranteesDone(pass *Pass, lit *ast.FuncLit, obj types.Object) boo
 				found = true
 				return false
 			}
-			if cs := pass.Summaries.CalleeSummary(info, call); cs != nil {
+			if cs := pass.Summaries.CalleeSummaryDevirt(info, call); cs != nil {
 				for ai, arg := range call.Args {
 					if pi := cs.ParamIndex(ai); pi >= 0 && cs.DonesParams[pi] && usesObject(info, arg, obj, nil) {
 						found = true

@@ -77,33 +77,11 @@ func Compute(g *graph.Graph, cfg Config) (*Result, error) {
 
 	res := &Result{}
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
-		// auth ← Aᵀ·hub
-		for v := 0; v < n; v++ {
-			acc := 0.0
-			ws := g.InWeights(graph.NodeID(v))
-			for k, u := range g.InNeighbors(graph.NodeID(v)) {
-				if ws != nil {
-					acc += hub[u] * ws[k]
-				} else {
-					acc += hub[u]
-				}
-			}
-			newAuth[v] = acc
-		}
+		authSweep(g, newAuth, hub)
 		normalize(newAuth)
-		// hub ← A·auth (with the fresh authorities, the standard update).
-		for u := 0; u < n; u++ {
-			acc := 0.0
-			ws := g.OutWeights(graph.NodeID(u))
-			for k, v := range g.OutNeighbors(graph.NodeID(u)) {
-				if ws != nil {
-					acc += newAuth[v] * ws[k]
-				} else {
-					acc += newAuth[v]
-				}
-			}
-			newHub[u] = acc
-		}
+		// The hub update uses the fresh authorities — the standard
+		// in-order HITS iteration.
+		hubSweep(g, newHub, newAuth)
 		normalize(newHub)
 
 		delta := 0.0
@@ -124,9 +102,49 @@ func Compute(g *graph.Graph, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// authSweep computes one authority update, auth ← Aᵀ·hub: each state
+// accumulates the (optionally weighted) hub scores of its in-neighbors.
+//
+//arlint:hot
+func authSweep(g *graph.Graph, newAuth, hub []float64) {
+	for v := range newAuth {
+		acc := 0.0
+		ws := g.InWeights(graph.NodeID(v))
+		for k, u := range g.InNeighbors(graph.NodeID(v)) {
+			if ws != nil {
+				acc += hub[u] * ws[k]
+			} else {
+				acc += hub[u]
+			}
+		}
+		newAuth[v] = acc
+	}
+}
+
+// hubSweep computes one hub update, hub ← A·auth: each state accumulates
+// the (optionally weighted) authority scores of its out-neighbors.
+//
+//arlint:hot
+func hubSweep(g *graph.Graph, newHub, auth []float64) {
+	for u := range newHub {
+		acc := 0.0
+		ws := g.OutWeights(graph.NodeID(u))
+		for k, v := range g.OutNeighbors(graph.NodeID(u)) {
+			if ws != nil {
+				acc += auth[v] * ws[k]
+			} else {
+				acc += auth[v]
+			}
+		}
+		newHub[u] = acc
+	}
+}
+
 // normalize rescales to sum 1 (a graph with no edges yields all-zero
 // vectors, which are left untouched — HITS is undefined there and the
 // caller sees zeros rather than NaNs).
+//
+//arlint:hot
 func normalize(v []float64) {
 	s := 0.0
 	for _, x := range v {

@@ -160,6 +160,8 @@ func (c *PushCSR) Release() {
 }
 
 // DanglingMass returns the score mass sitting on the dangling states.
+//
+//arlint:hot
 func (c *PushCSR) DanglingMass(cur []float64) float64 {
 	s := 0.0
 	for _, u := range c.DanglingIdx {
@@ -177,6 +179,8 @@ func (c *PushCSR) DanglingMass(cur []float64) float64 {
 // stores), then accumulate the L1 delta (streaming) — and returns the
 // delta. Zero interface calls and zero divisions anywhere; sources
 // with no mass to move (dangling, or score exactly 0) skip their row.
+//
+//arlint:hot
 func (c *PushCSR) Sweep(next, cur, p, d []float64, eps, danglingMass float64) float64 {
 	base := 1 - eps
 	jump := eps * danglingMass

@@ -83,10 +83,6 @@ func Compute(d *DataGraph, baseSet []graph.NodeID, cfg Config) (*Result, error) 
 	}
 
 	// Precompute per-edge weights grouped by source for the push sweep.
-	type outEdge struct {
-		to graph.NodeID
-		w  float64
-	}
 	out := make([][]outEdge, n)
 	for _, e := range d.edges {
 		w, err := d.transferWeight(e)
@@ -103,22 +99,7 @@ func Compute(d *DataGraph, baseSet []graph.NodeID, cfg Config) (*Result, error) 
 	res := &Result{}
 	eps := cfg.Epsilon
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
-		for v := 0; v < n; v++ {
-			next[v] = (1 - eps) * q[v]
-		}
-		for u := 0; u < n; u++ {
-			if cur[u] == 0 || len(out[u]) == 0 {
-				continue
-			}
-			xu := eps * cur[u]
-			for _, e := range out[u] {
-				next[e.to] += xu * e.w
-			}
-		}
-		delta := 0.0
-		for i := 0; i < n; i++ {
-			delta += math.Abs(next[i] - cur[i])
-		}
+		delta := pushSweep(next, cur, q, out, eps)
 		cur, next = next, cur
 		res.Iterations = iter
 		if delta < cfg.Tolerance {
@@ -129,6 +110,43 @@ func Compute(d *DataGraph, baseSet []graph.NodeID, cfg Config) (*Result, error) 
 	res.Scores = cur
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// outEdge is one precomputed transfer edge of the push sweep: target
+// object and authority-transfer weight, grouped by source.
+type outEdge struct {
+	to graph.NodeID
+	w  float64
+}
+
+// pushSweep computes one ObjectRank iteration,
+//
+//	next[v] = (1−eps)·q[v] + eps·Σ_{u→v} cur[u]·w(u→v),
+//
+// by pushing each object's scaled score along its precomputed out-edges,
+// and returns the L1 delta to the previous iterate. Sources with no mass
+// or no edges skip their row.
+//
+//arlint:hot
+func pushSweep(next, cur, q []float64, out [][]outEdge, eps float64) float64 {
+	n := len(next)
+	for v := 0; v < n; v++ {
+		next[v] = (1 - eps) * q[v]
+	}
+	for u := 0; u < n; u++ {
+		if cur[u] == 0 || len(out[u]) == 0 {
+			continue
+		}
+		xu := eps * cur[u]
+		for _, e := range out[u] {
+			next[e.to] += xu * e.w
+		}
+	}
+	delta := 0.0
+	for i := 0; i < n; i++ {
+		delta += math.Abs(next[i] - cur[i])
+	}
+	return delta
 }
 
 // ComputeQuery is Compute seeded by the keyword base set of query. It
