@@ -38,7 +38,7 @@ test:
 # goroutines. The cancellation tests run here too — a cancel racing the
 # workers is exactly the interleaving -race exists to catch.
 race:
-	$(GO) test -race ./internal/core/ ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/
+	$(GO) test -race ./internal/kernel/ ./internal/core/ ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/
 
 # Focused engine benchmarks (chain construction, ApproxRank, the
 # sequential and parallel power iterations, RankMany fan-out) parsed to

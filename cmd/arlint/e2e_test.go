@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -46,13 +47,15 @@ func runIn(t *testing.T, bin, dir string, args ...string) (string, string, int) 
 
 // diagLine is the documented diagnostic format:
 // file:line:col: checker: message
-var diagLine = regexp.MustCompile(`^[^:]+\.go:\d+:\d+: (floatcmp|gocapture|normreturn|tolerances|panicfree|errflow|lockbalance|maprange|hotalloc): .+$`)
+var diagLine = regexp.MustCompile(`^[^:]+\.go:\d+:\d+: (floatcmp|gocapture|normreturn|tolerances|panicfree|errflow|lockbalance|maprange|hotalloc|wgbalance|chanleak|ctxflow|hotpure|racecheck|lockorder): .+$`)
 
 // allCheckers mirrors analysis.All; the e2e tests assert the driver
 // exposes exactly this suite.
 var allCheckers = []string{
 	"floatcmp", "gocapture", "normreturn", "tolerances", "panicfree",
 	"errflow", "lockbalance", "maprange", "hotalloc",
+	"wgbalance", "chanleak", "ctxflow", "hotpure",
+	"racecheck", "lockorder",
 }
 
 func TestDirtyModule(t *testing.T) {
@@ -172,6 +175,103 @@ func TestStaleBaselineReport(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "stale baseline entry") || !strings.Contains(stderr, "gone.go") {
 		t.Errorf("stderr does not report the stale entry: %q", stderr)
+	}
+}
+
+// TestConcurrencyCheckers drives racecheck and lockorder end to end
+// over a module with a seeded data race and an ABBA lock cycle, and
+// checks the -checkers selection keeps every other checker quiet.
+func TestConcurrencyCheckers(t *testing.T) {
+	bin := buildArlint(t)
+	stdout, stderr, code := runIn(t, bin, filepath.Join("testdata", "racemod"), "-checkers=racecheck,lockorder")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, ": racecheck: ") {
+		t.Errorf("no racecheck finding for the unguarded counter:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, ": lockorder: ") {
+		t.Errorf("no lockorder finding for the ABBA cycle:\n%s", stdout)
+	}
+	for _, line := range strings.Split(strings.TrimRight(stdout, "\n"), "\n") {
+		if !strings.Contains(line, ": racecheck: ") && !strings.Contains(line, ": lockorder: ") {
+			t.Errorf("-checkers=racecheck,lockorder leaked another checker's finding: %q", line)
+		}
+	}
+}
+
+// TestPruneBaseline exercises -prune-baseline: stale entries are
+// removed, matched entries survive, and a second prune is a no-op on
+// identical bytes (idempotence).
+func TestPruneBaseline(t *testing.T) {
+	bin := buildArlint(t)
+	dir := filepath.Join("testdata", "dirtymod")
+	tmp := t.TempDir()
+
+	// Record the module's real findings, then graft a stale entry on.
+	clean := filepath.Join(tmp, "clean.json")
+	if _, stderr, code := runIn(t, bin, dir, "-write-baseline="+clean); code != 0 {
+		t.Fatalf("-write-baseline exit = %d\n%s", code, stderr)
+	}
+	cleanBytes, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Version  int                 `json:"version"`
+		Findings []map[string]string `json:"findings"`
+	}
+	if err := json.Unmarshal(cleanBytes, &file); err != nil {
+		t.Fatal(err)
+	}
+	file.Findings = append(file.Findings, map[string]string{
+		"file": "gone.go", "checker": "floatcmp", "message": "long fixed",
+	})
+	mixedBytes, err := json.Marshal(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := filepath.Join(tmp, "mixed.json")
+	if err := os.WriteFile(mixed, mixedBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First prune: the stale entry goes, the matched entries stay, and
+	// the rewritten file round-trips to -write-baseline's exact bytes.
+	_, stderr, code := runIn(t, bin, dir, "-baseline="+mixed, "-prune-baseline")
+	if code != 0 {
+		t.Fatalf("prune run exit = %d (the real findings should all be suppressed)\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "pruned 1 stale baseline entry") {
+		t.Errorf("stderr does not report the prune: %q", stderr)
+	}
+	pruned, err := os.ReadFile(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pruned, cleanBytes) {
+		t.Errorf("pruned baseline differs from the freshly-written one:\n%s\nwant:\n%s", pruned, cleanBytes)
+	}
+
+	// Second prune: nothing stale, nothing rewritten.
+	_, stderr, code = runIn(t, bin, dir, "-baseline="+mixed, "-prune-baseline")
+	if code != 0 {
+		t.Fatalf("second prune run exit = %d\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "pruned") {
+		t.Errorf("second prune still pruned something: %q", stderr)
+	}
+	again, err := os.ReadFile(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, pruned) {
+		t.Errorf("second prune changed the file: prune is not idempotent")
+	}
+
+	// -prune-baseline without -baseline is a usage error.
+	if _, stderr, code := runIn(t, bin, dir, "-prune-baseline"); code != 2 || !strings.Contains(stderr, "-baseline") {
+		t.Errorf("-prune-baseline alone: exit %d stderr %q, want 2 with a usage error", code, stderr)
 	}
 }
 

@@ -22,6 +22,9 @@
 //	-baseline FILE        suppress the findings recorded in FILE; stale
 //	                      entries (matching nothing) are reported to
 //	                      stderr, non-fatally, so they can be pruned
+//	-prune-baseline       with -baseline: rewrite FILE with the stale
+//	                      entries removed (idempotent — a clean baseline
+//	                      is left untouched)
 //	-write-baseline FILE  record the current findings in FILE and exit 0
 //	-fix                  apply suggested fixes, then re-analyze and
 //	                      report what remains
@@ -56,6 +59,7 @@ func main() {
 		disable       = flag.String("disable", "", "comma-separated checker names to skip")
 		format        = flag.String("format", "text", "output format: text, json or sarif")
 		baselinePath  = flag.String("baseline", "", "suppress findings recorded in this baseline file")
+		pruneBaseline = flag.Bool("prune-baseline", false, "with -baseline: rewrite the baseline file with stale entries removed")
 		writeBaseline = flag.String("write-baseline", "", "record current findings to this file and exit")
 		fix           = flag.Bool("fix", false, "apply suggested fixes, then report remaining findings")
 		callgraph     = flag.String("callgraph", "", "debug output: 'dot' prints the call graph with summaries and exits")
@@ -99,7 +103,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "arlint: unknown format %q (want text, json or sarif)\n", *format)
 		os.Exit(2)
 	}
-	os.Exit(run(flag.Args(), suite, *format, *baselinePath, *writeBaseline, *fix))
+	if *pruneBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "arlint: -prune-baseline requires -baseline FILE")
+		os.Exit(2)
+	}
+	os.Exit(run(flag.Args(), suite, *format, *baselinePath, *writeBaseline, *fix, *pruneBaseline))
 }
 
 // selectCheckers resolves -checkers/-disable into the suite to run.
@@ -152,7 +160,7 @@ func selectCheckers(only, disable string) ([]*analysis.Analyzer, error) {
 	return suite, nil
 }
 
-func run(patterns []string, suite []*analysis.Analyzer, format, baselinePath, writeBaseline string, fix bool) int {
+func run(patterns []string, suite []*analysis.Analyzer, format, baselinePath, writeBaseline string, fix, pruneBaseline bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arlint:", err)
@@ -201,15 +209,27 @@ func run(patterns []string, suite []*analysis.Analyzer, format, baselinePath, wr
 			fmt.Fprintln(os.Stderr, "arlint:", err)
 			return 2
 		}
-		var stale []string
-		diags, stale = base.Filter(diags, root)
+		filtered, stale := base.Filter(diags, root)
 		for _, s := range stale {
 			fmt.Fprintf(os.Stderr, "arlint: stale baseline entry (matches no finding): %s\n", s)
 		}
 		if len(stale) > 0 {
-			fmt.Fprintf(os.Stderr, "arlint: %d stale baseline entr%s in %s; re-run -write-baseline to prune\n",
-				len(stale), map[bool]string{true: "y", false: "ies"}[len(stale) == 1], baselinePath)
+			if pruneBaseline {
+				// Prune against the unfiltered findings: entries that
+				// matched must survive the rewrite.
+				removed, err := analysis.PruneBaseline(baselinePath, diags, root)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "arlint:", err)
+					return 2
+				}
+				fmt.Fprintf(os.Stderr, "arlint: pruned %d stale baseline entr%s from %s\n",
+					removed, map[bool]string{true: "y", false: "ies"}[removed == 1], baselinePath)
+			} else {
+				fmt.Fprintf(os.Stderr, "arlint: %d stale baseline entr%s in %s; re-run with -prune-baseline to remove\n",
+					len(stale), map[bool]string{true: "y", false: "ies"}[len(stale) == 1], baselinePath)
+			}
 		}
+		diags = filtered
 	}
 
 	switch format {

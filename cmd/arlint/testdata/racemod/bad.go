@@ -1,0 +1,37 @@
+// Package racemod is an e2e fixture for the concurrency checkers: an
+// unguarded write-write race on a package-level counter, and an ABBA
+// lock-order cycle between two mutexes.
+package racemod
+
+import "sync"
+
+var (
+	counter int
+	muA     sync.Mutex
+	muB     sync.Mutex
+)
+
+func race() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		counter++
+	}()
+	counter++
+	wg.Wait()
+}
+
+func lockAB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -1,0 +1,3 @@
+module racemod
+
+go 1.22

@@ -1,0 +1,444 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The access scanner walks one CFG node and reports every shared-memory
+// read and write it performs, tagged with the lockset held at the node.
+// It looks through summarized calls: a callee's exported accesses are
+// rebased onto the arguments at the call site (locParam i onto the
+// expression bound to parameter i, locRecv onto the method receiver),
+// so a write hidden two helpers deep still surfaces at the spawn that
+// makes it concurrent.
+
+// pointerLikeType reports whether values of t share underlying storage
+// when copied — the aliasing question behind rebasing literal
+// parameters and call arguments.
+func pointerLikeType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// accessSink receives one resolved access. locks is the sorted lockset
+// held at the access (already merged with any callee-internal locks for
+// translated accesses).
+type accessSink func(res resolved, write, concurrent bool, locks []heldLock, pos token.Pos)
+
+// accessScanner scans CFG nodes of one frame.
+type accessScanner struct {
+	info     *types.Info
+	sums     *Summaries
+	r        *locResolver
+	funcName string
+	pkgPath  string
+	sink     accessSink
+}
+
+// scanNode dispatches on the statement / expression forms a CFG block
+// node can take (cfg.go): whole simple statements, the head of a range
+// statement (key/value/X only — the body has its own blocks), and bare
+// condition expressions. Defer bodies are skipped (their unlock
+// semantics are the lock flow's business; their other effects at exit
+// are a documented gap), and goroutine bodies are the spawn layer's.
+func (s *accessScanner) scanNode(node ast.Node, held lockSet) {
+	locks := locksOf(held)
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			s.scanExpr(rhs, locks)
+		}
+		for _, lhs := range n.Lhs {
+			s.scanWrite(lhs, locks)
+		}
+	case *ast.IncDecStmt:
+		s.scanExpr(n.X, locks)
+		s.scanWrite(n.X, locks)
+	case *ast.SendStmt:
+		s.scanExpr(n.Chan, locks)
+		s.scanExpr(n.Value, locks)
+	case *ast.RangeStmt:
+		s.scanExpr(n.X, locks)
+		if n.Key != nil {
+			s.scanWrite(n.Key, locks)
+		}
+		if n.Value != nil {
+			s.scanWrite(n.Value, locks)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.scanExpr(v, locks)
+					}
+					for _, name := range vs.Names {
+						s.scanWrite(name, locks)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			s.scanExpr(e, locks)
+		}
+	case *ast.DeferStmt:
+		// skipped: runs at exit; unlocks handled by the lock flow
+	case *ast.GoStmt:
+		// The parent evaluates the call's function and arguments; the
+		// body's accesses belong to the spawned thread.
+		for _, a := range n.Call.Args {
+			s.scanExpr(a, locks)
+		}
+	case *ast.ExprStmt:
+		s.scanExpr(n.X, locks)
+	case *ast.LabeledStmt:
+		s.scanNode(n.Stmt, held)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		if e, ok := node.(ast.Expr); ok {
+			s.scanExpr(e, locks)
+		}
+	}
+}
+
+// scanWrite records a write through an lvalue. The blank identifier and
+// unresolvable targets record nothing; index expressions inside the
+// lvalue are reads.
+func (s *accessScanner) scanWrite(lhs ast.Expr, locks []heldLock) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	s.scanInnerReads(lhs, locks)
+	if res := s.r.resolve(lhs); res.ok {
+		s.sink(res, true, false, locks, lhs.Pos())
+	}
+}
+
+// scanInnerReads emits the reads embedded in an lvalue: every index
+// expression, and the base of a map/slice store is left alone (writing
+// s[i] does not conflict with reading the header s).
+func (s *accessScanner) scanInnerReads(lhs ast.Expr, locks []heldLock) {
+	for {
+		lhs = ast.Unparen(lhs)
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			s.scanExpr(e.Index, locks)
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// scanExpr records the reads of one expression tree.
+func (s *accessScanner) scanExpr(e ast.Expr, locks []heldLock) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if res := s.r.resolve(e); res.ok {
+			s.sink(res, false, false, locks, e.Pos())
+			s.scanInnerReads(e, locks)
+			return
+		}
+		// Unrooted: fall back to the children.
+		switch e := e.(type) {
+		case *ast.SelectorExpr:
+			s.scanExpr(e.X, locks)
+		case *ast.IndexExpr:
+			s.scanExpr(e.X, locks)
+			s.scanExpr(e.Index, locks)
+		case *ast.StarExpr:
+			s.scanExpr(e.X, locks)
+		}
+	case *ast.ParenExpr:
+		s.scanExpr(e.X, locks)
+	case *ast.UnaryExpr:
+		// &x is a read of x for pairing purposes: handing out the
+		// address lets someone else write it, which the callee
+		// translation covers when a summary exists.
+		s.scanExpr(e.X, locks)
+	case *ast.BinaryExpr:
+		s.scanExpr(e.X, locks)
+		s.scanExpr(e.Y, locks)
+	case *ast.CallExpr:
+		s.scanCall(e, locks)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			s.scanExpr(elt, locks)
+		}
+	case *ast.KeyValueExpr:
+		s.scanExpr(e.Key, locks)
+		s.scanExpr(e.Value, locks)
+	case *ast.SliceExpr:
+		s.scanExpr(e.X, locks)
+		s.scanExpr(e.Low, locks)
+		s.scanExpr(e.High, locks)
+		s.scanExpr(e.Max, locks)
+	case *ast.TypeAssertExpr:
+		s.scanExpr(e.X, locks)
+	case *ast.FuncLit:
+		// A closure's body runs at another time; spawns are handled by
+		// the goroutine layer, other literals are invisible (documented
+		// incompleteness for func values).
+	}
+}
+
+// scanCall handles one call: builtin write/read semantics, sync
+// primitive receivers (lock/WaitGroup traffic is not memory access),
+// argument reads, and the rebasing of the callee summary's accesses.
+func (s *accessScanner) scanCall(call *ast.CallExpr, locks []heldLock) {
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			s.scanExpr(a, locks)
+		}
+		return
+	}
+	fun := ast.Unparen(call.Fun)
+	if _, isLit := fun.(*ast.FuncLit); isLit {
+		for _, a := range call.Args {
+			s.scanExpr(a, locks)
+		}
+		return // IIFE interior is a documented gap
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, builtin := s.info.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "append", "delete", "clear":
+				if len(call.Args) > 0 {
+					s.builtinElemWrite(call.Args[0], locks)
+					for _, a := range call.Args[1:] {
+						s.scanExpr(a, locks)
+					}
+				}
+			case "copy":
+				if len(call.Args) == 2 {
+					s.builtinElemWrite(call.Args[0], locks)
+					s.builtinElemRead(call.Args[1], locks)
+				}
+			case "len", "cap":
+				// Pure header inspection: no element access, and the
+				// header read itself cannot race with element writes.
+				return
+			default:
+				// close/len/cap/panic/…: reads only. close-as-read
+				// matters: the parent's close(work) must not pair as a
+				// write against a worker's range over work.
+				for _, a := range call.Args {
+					s.scanExpr(a, locks)
+				}
+			}
+			return
+		}
+	}
+	if op, _ := classifyLockCall(s.info, call); op != opNone {
+		return // lock traffic is the lock flow's domain
+	}
+	if _, _, ok := wgMethodCall(s.info, call, "Add"); ok {
+		return
+	}
+	if _, _, ok := wgMethodCall(s.info, call, "Done"); ok {
+		return
+	}
+	if _, _, ok := wgMethodCall(s.info, call, "Wait"); ok {
+		return
+	}
+	// Receiver and func-value reads.
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if _, isVar := s.info.Uses[f].(*types.Var); isVar {
+			s.scanExpr(f, locks) // calling through a func value reads it
+		}
+	case *ast.SelectorExpr:
+		s.scanExpr(f.X, locks)
+	}
+	for _, a := range call.Args {
+		s.scanExpr(a, locks)
+	}
+	// Callee translation: rebase the summary's exported accesses onto
+	// this call's arguments and receiver.
+	cs := s.sums.CalleeSummaryDevirt(s.info, call)
+	if cs == nil || len(cs.Accesses) == 0 {
+		return
+	}
+	var recvExpr ast.Expr
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		recvExpr = sel.X
+	}
+	for _, acc := range cs.Accesses {
+		for _, res := range s.rebase(cs, acc.Loc, call, recvExpr) {
+			merged := s.translateLocks(cs, acc.Locks, call, recvExpr)
+			merged = append(merged, locks...)
+			s.sink(res, acc.Write, acc.Concurrent, merged, call.Pos())
+		}
+	}
+}
+
+// builtinElemWrite records a write to the elements of the builtin's
+// destination argument: the colliding map step "{}" for map targets
+// (delete, clear), the unknown slot "[*]" otherwise.
+func (s *accessScanner) builtinElemWrite(arg ast.Expr, locks []heldLock) {
+	if res := s.r.resolve(arg); res.ok {
+		comp := s.elemComponent(arg)
+		res.loc.Path += comp
+		res.loc.Name += comp
+		res.crossed = true
+		s.sink(res, true, false, locks, arg.Pos())
+		return
+	}
+	s.scanExpr(arg, locks)
+}
+
+func (s *accessScanner) builtinElemRead(arg ast.Expr, locks []heldLock) {
+	if res := s.r.resolve(arg); res.ok {
+		comp := s.elemComponent(arg)
+		res.loc.Path += comp
+		res.loc.Name += comp
+		res.crossed = true
+		s.sink(res, false, false, locks, arg.Pos())
+		return
+	}
+	s.scanExpr(arg, locks)
+}
+
+func (s *accessScanner) elemComponent(arg ast.Expr) string {
+	if t := s.info.TypeOf(arg); t != nil {
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			return "{}"
+		}
+	}
+	return "[*]"
+}
+
+// rebase maps one callee-relative location onto the caller's frame at a
+// call site. A locParam location maps through every argument bound to
+// that parameter (the variadic fold can bind several); locRecv maps
+// through the receiver; globals pass through unchanged. Unresolvable
+// bindings drop the access (the argument was an expression the caller
+// itself cannot name — a fresh composite, a call result).
+func (s *accessScanner) rebase(cs *Summary, loc AbsLoc, call *ast.CallExpr, recvExpr ast.Expr) []resolved {
+	switch loc.Kind {
+	case locGlobal, locOpaque:
+		return []resolved{{loc: loc, crossed: true, ok: true}}
+	case locRecv:
+		if recvExpr == nil {
+			return nil
+		}
+		if res, ok := s.bindArg(recvExpr, loc.Path); ok {
+			res.loc.Path += loc.Path
+			res.loc.Name += loc.Path
+			return []resolved{res}
+		}
+		return nil
+	case locParam:
+		var out []resolved
+		for ai, arg := range call.Args {
+			if cs.ParamIndex(ai) != loc.Param {
+				continue
+			}
+			if res, ok := s.bindArg(arg, loc.Path); ok {
+				res.loc.Path += loc.Path
+				res.loc.Name += loc.Path
+				out = append(out, res)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// bindArg resolves one call argument (or method receiver) and computes
+// whether the callee's access, rebased through that binding, lands in
+// memory beyond the caller root's own inline storage. Three cases:
+//
+//   - &x, or an addressable value used as a pointer-method receiver:
+//     the callee's pointer aims AT the caller's variable, so the access
+//     stays inline unless the callee path itself crosses an interior
+//     pointer — `cfg.normalize()` writing the copy's fields is private
+//     to the frame that owns cfg, and is not exported further up.
+//   - a pointer-typed expression: the pointee is already somewhere
+//     else — crossed.
+//   - a slice/map/chan/interface value: the header is a private copy
+//     but any nonempty callee path reaches the shared backing store —
+//     crossed.
+func (s *accessScanner) bindArg(arg ast.Expr, calleePath string) (resolved, bool) {
+	a := ast.Unparen(arg)
+	if ue, ok := a.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		res := s.r.resolve(ue.X)
+		if !res.ok {
+			return resolved{}, false
+		}
+		res.crossed = res.crossed || pathInterior(calleePath)
+		return res, true
+	}
+	res := s.r.resolve(a)
+	if !res.ok {
+		return resolved{}, false
+	}
+	t := s.info.TypeOf(a)
+	switch {
+	case t == nil:
+		res.crossed = true
+	case isPointerType(t):
+		res.crossed = true
+	case pointerLikeType(t) && calleePath != "":
+		res.crossed = true
+	default:
+		res.crossed = res.crossed || pathInterior(calleePath)
+	}
+	return res, true
+}
+
+func isPointerType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// pathInterior reports whether a callee-relative access path crosses a
+// pointer boundary beyond the binding itself: any indexing (slice or
+// map), or a deref past the leading one. Field selections stay inside
+// the bound storage.
+func pathInterior(path string) bool {
+	p := strings.TrimPrefix(path, "/*")
+	return strings.Contains(p, "[") || strings.Contains(p, "{") || strings.Contains(p, "/*")
+}
+
+// translateLocks rebases a callee lockset onto the call site. Locks the
+// caller cannot name (callee locals, unresolvable param bindings) keep
+// their callee-relative identity: they still distinguish "guarded by
+// something" from "guarded by nothing", which is what disjointness
+// needs.
+func (s *accessScanner) translateLocks(cs *Summary, locks []heldLock, call *ast.CallExpr, recvExpr ast.Expr) []heldLock {
+	if len(locks) == 0 {
+		return nil
+	}
+	out := make([]heldLock, 0, len(locks))
+	for _, l := range locks {
+		switch l.Loc.Kind {
+		case locParam, locRecv:
+			if rs := s.rebase(cs, l.Loc, call, recvExpr); len(rs) > 0 {
+				for _, r := range rs {
+					out = append(out, heldLock{Loc: r.loc, Class: l.Class, Name: r.loc.Name, Pos: l.Pos})
+				}
+				continue
+			}
+			out = append(out, l)
+		default:
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -38,6 +38,19 @@
 //   - ctxflow:   a ctx-accepting function forwards its ctx to every
 //     ctx-accepting callee and spawns no cancellation-blind goroutines
 //
+// The fifth generation is the concurrency-safety layer: a lockset
+// dataflow (gen at Lock, kill at Unlock, intersection at joins, defer
+// Unlock held to exit) runs over every function's CFG, and the
+// summaries export each function's shared-state accesses — package
+// vars, pointer-crossing parameter/receiver paths, goroutine-captured
+// locals — tagged with the lockset held (lockset.go, lockfacts.go):
+//
+//   - racecheck: accesses to the same location from concurrently-live
+//     goroutines must share a lock or be joined (wg.Wait, completion
+//     channel) before the conflicting access
+//   - lockorder: the module-wide lock-acquisition-order graph must be
+//     acyclic — no double-lock, no ABBA
+//
 // A finding can be suppressed with a sentinel comment on the offending
 // line or the line above:
 //
@@ -112,6 +125,7 @@ var All = []*Analyzer{
 	FloatCmp, GoCapture, NormReturn, Tolerances, PanicFree,
 	ErrFlow, LockBalance, MapRange, HotAlloc,
 	WgBalance, ChanLeak, CtxFlow, HotPure,
+	RaceCheck, LockOrder,
 }
 
 // Pass carries one analyzed package to one checker, together with the

@@ -43,6 +43,13 @@ func WriteBaseline(path string, diags []Diagnostic, root string) error {
 			Message: d.Message,
 		})
 	}
+	return writeBaselineEntries(path, entries)
+}
+
+// writeBaselineEntries sorts entries and writes them in the on-disk
+// format, so a baseline round-trips to the same bytes regardless of the
+// order its entries were produced in.
+func writeBaselineEntries(path string, entries []baselineEntry) error {
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := entries[i], entries[j]
 		if a.File != b.File {
@@ -58,6 +65,39 @@ func WriteBaseline(path string, diags []Diagnostic, root string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PruneBaseline rewrites the baseline at path with its stale entries —
+// those matching none of diags, by the same multiset match Filter uses
+// — removed, and returns how many were dropped. diags must be the
+// UNfiltered findings (pruning against already-filtered diagnostics
+// would drop every entry that did its job). The file is left untouched
+// when nothing is stale, so pruning is idempotent: a second run over
+// the same findings removes zero entries.
+func PruneBaseline(path string, diags []Diagnostic, root string) (removed int, err error) {
+	b, err := LoadBaseline(path)
+	if err != nil {
+		return 0, err
+	}
+	matched := make(map[baselineEntry]int, len(b.counts))
+	for _, d := range diags {
+		key := baselineEntry{File: relPath(root, d.Pos.Filename), Checker: d.Checker, Message: d.Message}
+		if matched[key] < b.counts[key] {
+			matched[key]++
+		}
+	}
+	entries := make([]baselineEntry, 0, len(b.counts))
+	for k, n := range b.counts {
+		keep := matched[k]
+		removed += n - keep
+		for ; keep > 0; keep-- {
+			entries = append(entries, k)
+		}
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	return removed, writeBaselineEntries(path, entries)
 }
 
 // LoadBaseline reads a baseline written by WriteBaseline.

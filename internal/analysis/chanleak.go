@@ -138,8 +138,89 @@ func runChanLeak(pass *Pass) {
 	for _, file := range pass.Pkg.Files {
 		for _, fn := range functionsOf(file) {
 			checkChanLeakFunc(pass, fn)
+			checkTimerLeak(pass, fn)
 		}
 	}
+}
+
+// checkTimerLeak is the timerleak sub-check: `case <-time.After(d)`
+// inside a loop allocates a fresh timer every iteration, and each timer
+// is only released when it fires — when another case usually wins first
+// (the whole point of the select), the timers pile up for their full
+// duration. A blocking `<-time.After(d)` outside a select is fine: the
+// receive waits the timer out.
+func checkTimerLeak(pass *Pass, fn funcBody) {
+	info := pass.Pkg.Info
+	var loops []ast.Stmt
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != fn.lit {
+			return false // nested literals get their own funcBody pass
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			var body *ast.BlockStmt
+			switch l := l.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			}
+			if body != nil && body.Pos() <= pos && pos <= body.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != fn.lit {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || !inLoop(sel.Pos()) {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := timePkgFunc(info, call); name == "After" || name == "Tick" {
+					pass.Reportf(call.Pos(),
+						"time.%s in a select inside a loop allocates a new timer every iteration and releases it only when it fires; hoist a time.NewTimer/time.NewTicker before the loop with defer Stop() and reuse it in the case", name)
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// timePkgFunc returns the name of the time-package function call names,
+// or "" when call is not a direct time.X(...) call.
+func timePkgFunc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	return fn.Name()
 }
 
 func checkChanLeakFunc(pass *Pass, fn funcBody) {

@@ -1,0 +1,468 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file computes the concurrency facts of one summary: the shared
+// accesses (with locksets) the function performs — sequentially, and on
+// the goroutines it spawns — plus the lock-acquisition sites and
+// ordering edges lockorder cycles over. It runs inside the bottom-up
+// SCC fixpoint of ComputeSummaries, so callee facts are already (at
+// least partially) available and only ever grow; the caps below bound
+// the lattice height so the fixpoint terminates.
+
+const (
+	maxSummaryAccesses = 96
+	maxSummaryEdges    = 64
+	maxSummarySites    = 32
+)
+
+// concFacts accumulates one summary's concurrency facts with dedup.
+type concFacts struct {
+	accKeys  map[string]bool
+	acc      []SharedAccess
+	edgeKeys map[string]bool
+	edges    []LockEdge
+	siteKeys map[string]bool
+	sites    []LockSite
+}
+
+func newConcFacts() *concFacts {
+	return &concFacts{
+		accKeys:  make(map[string]bool),
+		edgeKeys: make(map[string]bool),
+		siteKeys: make(map[string]bool),
+	}
+}
+
+func (c *concFacts) addAccess(a SharedAccess) {
+	if len(c.acc) >= maxSummaryAccesses {
+		return
+	}
+	k := a.dedupKey()
+	if c.accKeys[k] {
+		return
+	}
+	c.accKeys[k] = true
+	c.acc = append(c.acc, a)
+}
+
+func (c *concFacts) addEdge(e LockEdge) {
+	if len(c.edges) >= maxSummaryEdges || e.FromClass == e.ToClass && e.FromClass == "" {
+		return
+	}
+	k := e.FromClass + "\x00" + e.ToClass
+	if c.edgeKeys[k] {
+		return
+	}
+	c.edgeKeys[k] = true
+	c.edges = append(c.edges, e)
+}
+
+func (c *concFacts) addSite(st LockSite) {
+	if len(c.sites) >= maxSummarySites {
+		return
+	}
+	if c.siteKeys[st.Class] {
+		return
+	}
+	c.siteKeys[st.Class] = true
+	c.sites = append(c.sites, st)
+}
+
+// applyNodeLocks is lockTransferNode plus fact collection: each
+// acquisition records a site and an ordering edge from every lock
+// already held, and each summarized call imports the callee's edges and
+// held→callee-acquired edges. col may be nil (pure transfer).
+func applyNodeLocks(sums *Summaries, info *types.Info, r *locResolver, node ast.Node, held lockSet, funcName, pkgPath string, col *concFacts) lockSet {
+	if _, isDefer := node.(*ast.DeferStmt); isDefer {
+		return held
+	}
+	out := held
+	cloned := false
+	clone := func() {
+		if !cloned {
+			c := make(lockSet, len(out)+1)
+			for k, v := range out {
+				c[k] = v
+			}
+			out = c
+			cloned = true
+		}
+	}
+	for _, call := range callsIn(node) {
+		op, _ := classifyLockCall(info, call)
+		switch op {
+		case opLock, opRLock:
+			sel := call.Fun.(*ast.SelectorExpr)
+			res := resolveLock(info, r, sel.X, pkgPath)
+			class, name := lockClass(info, r, res, funcName, pkgPath)
+			if col != nil {
+				col.addSite(LockSite{Class: class, Name: name, Pos: call.Pos()})
+				for _, h := range out {
+					col.addEdge(LockEdge{FromClass: h.Class, FromName: h.Name, ToClass: class, ToName: name, Pos: call.Pos()})
+				}
+			}
+			clone()
+			out[res.loc.key()] = heldLock{Loc: res.loc, Class: class, Name: name, Pos: call.Pos()}
+		case opUnlock, opRUnlock:
+			sel := call.Fun.(*ast.SelectorExpr)
+			res := resolveLock(info, r, sel.X, pkgPath)
+			if _, ok := out[res.loc.key()]; ok {
+				clone()
+				delete(out, res.loc.key())
+			}
+		default:
+			if col == nil {
+				continue
+			}
+			cs := sums.CalleeSummaryDevirt(info, call)
+			if cs == nil {
+				continue
+			}
+			for _, e := range cs.LockEdges {
+				col.addEdge(e)
+			}
+			for _, st := range cs.AcquiredLocks {
+				for _, h := range out {
+					col.addEdge(LockEdge{FromClass: h.Class, FromName: h.Name, ToClass: st.Class, ToName: st.Name, Pos: call.Pos()})
+				}
+				col.addSite(st)
+			}
+		}
+	}
+	return out
+}
+
+// summarizeAccesses rebuilds s.Accesses / s.AcquiredLocks / s.LockEdges
+// from n's body and the current callee summaries. The exported access
+// roots are globals and crossed parameter/receiver paths — the memory a
+// caller can also reach; frame-local storage is racecheck's business
+// when it analyzes the frame directly.
+func summarizeAccesses(sums *Summaries, n *CGNode, s *Summary) {
+	info := n.Pkg.Info
+	pkgPath := n.Pkg.Path
+	funcName := n.Func.Name()
+	r := summaryResolver(n)
+	col := newConcFacts()
+
+	keep := func(res resolved) bool {
+		switch res.loc.Kind {
+		case locGlobal:
+			return true
+		case locParam, locRecv:
+			return res.crossed
+		}
+		return false
+	}
+	waited := waitedWaitGroups(info, n.Decl.Body)
+
+	sink := func(concurrent bool) accessSink {
+		return func(res resolved, write, cc bool, locks []heldLock, pos token.Pos) {
+			if !keep(res) {
+				return
+			}
+			col.addAccess(SharedAccess{Loc: res.loc, Write: write, Concurrent: concurrent || cc, Locks: locks, Pos: pos})
+		}
+	}
+	scanFrameFacts(sums, info, r, n.Decl.Body, funcName, pkgPath, col, sink, waited)
+
+	// Non-goroutine function literals run as func values on some
+	// thread; their accesses are unattributable (no summary for a func
+	// value), but their lock acquisitions still order — the fail
+	// closure of core.rankManyInto locks mu on the workers' behalf.
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		lit, ok := m.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		collectLitLockFacts(sums, info, r, lit, funcName, pkgPath, col)
+		return false
+	})
+
+	s.Accesses = col.acc
+	s.AcquiredLocks = col.sites
+	s.LockEdges = col.edges
+}
+
+// summaryResolver builds the summary-mode resolver of one node.
+func summaryResolver(n *CGNode) *locResolver {
+	sig := n.Func.Type().(*types.Signature)
+	paramOf := make(map[types.Object]int, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramOf[sig.Params().At(i)] = i
+	}
+	var recvObj types.Object
+	if rv := sig.Recv(); rv != nil {
+		recvObj = rv
+	}
+	return &locResolver{info: n.Pkg.Info, summary: true, paramOf: paramOf, recvObj: recvObj}
+}
+
+// waitedWaitGroups collects the WaitGroup objects the body calls Wait
+// on anywhere — the join points that turn a spawn's accesses back into
+// sequential ones.
+func waitedWaitGroups(info *types.Info, body ast.Node) map[types.Object]bool {
+	waited := make(map[types.Object]bool)
+	ast.Inspect(body, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if obj, _, ok := wgMethodCall(info, call, "Wait"); ok {
+				waited[obj] = true
+			}
+		}
+		return true
+	})
+	return waited
+}
+
+// scanFrameFacts walks body's CFG with the lockset flow and feeds every
+// node's accesses, lock facts and spawns into col / sink. sink(false)
+// receives the frame's own accesses, sink(true) those of spawned
+// goroutines.
+func scanFrameFacts(sums *Summaries, info *types.Info, r *locResolver, body *ast.BlockStmt, funcName, pkgPath string, col *concFacts, sink func(concurrent bool) accessSink, waited map[types.Object]bool) {
+	g := BuildCFG(body)
+	flow := solveLockFlow(info, r, g, funcName, pkgPath)
+	scanner := &accessScanner{info: info, sums: sums, r: r, funcName: funcName, pkgPath: pkgPath, sink: sink(false)}
+	for _, b := range g.Blocks {
+		if !flow.Reached[b.Index] {
+			continue
+		}
+		held := flow.In[b.Index]
+		for _, node := range b.Nodes {
+			if gs, ok := node.(*ast.GoStmt); ok {
+				scanner.scanNode(gs, held) // argument evaluation is the parent's
+				summarizeSpawn(sums, info, r, gs, funcName, pkgPath, col, sink, waited)
+				continue
+			}
+			scanner.scanNode(node, held)
+			held = applyNodeLocks(sums, info, r, node, held, funcName, pkgPath, col)
+		}
+	}
+}
+
+// summarizeSpawn records what one go statement's goroutine does. A
+// spawn is joined (non-concurrent) when its body guarantees Done on a
+// WaitGroup the frame Waits on — ParallelSweep's partition goroutines
+// are sequential again by the time the function returns.
+func summarizeSpawn(sums *Summaries, info *types.Info, r *locResolver, gs *ast.GoStmt, funcName, pkgPath string, col *concFacts, sink func(concurrent bool) accessSink, waited map[types.Object]bool) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		concurrent := true
+		for wg := range waited {
+			if goroutineGuaranteesDone(info, sums, lit, wg) {
+				concurrent = false
+				break
+			}
+		}
+		collectThreadAccesses(sums, info, r, lit, gs.Call, funcName, pkgPath, col, sink(concurrent))
+		return
+	}
+	// go helper(args...): the callee summary IS the thread's behavior.
+	cs := sums.CalleeSummaryDevirt(info, gs.Call)
+	if cs == nil {
+		return
+	}
+	concurrent := true
+	for ai, arg := range gs.Call.Args {
+		if pi := cs.ParamIndex(ai); pi >= 0 && pi < len(cs.DonesParams) && cs.DonesParams[pi] {
+			for wg := range waited {
+				if usesObjectExpr(info, arg, wg) {
+					concurrent = false
+				}
+			}
+		}
+	}
+	translateSpawnSummary(sums, info, r, cs, gs.Call, funcName, pkgPath, col, sink(concurrent))
+}
+
+// translateSpawnSummary rebases a spawned callee's accesses and lock
+// facts onto the spawn site, with an empty entry lockset (the spawner's
+// locks do not protect the goroutine).
+func translateSpawnSummary(sums *Summaries, info *types.Info, r *locResolver, cs *Summary, call *ast.CallExpr, funcName, pkgPath string, col *concFacts, sink accessSink) {
+	sc := &accessScanner{info: info, sums: sums, r: r, funcName: funcName, pkgPath: pkgPath, sink: sink}
+	var recvExpr ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recvExpr = sel.X
+	}
+	for _, acc := range cs.Accesses {
+		for _, res := range sc.rebase(cs, acc.Loc, call, recvExpr) {
+			locks := sc.translateLocks(cs, acc.Locks, call, recvExpr)
+			sink(res, acc.Write, true, locks, call.Pos())
+		}
+	}
+	if col != nil {
+		for _, e := range cs.LockEdges {
+			col.addEdge(e)
+		}
+		for _, st := range cs.AcquiredLocks {
+			col.addSite(st)
+		}
+	}
+}
+
+// collectThreadAccesses scans a goroutine literal's body as its own
+// thread: a fresh lockset flow from the empty set, locals declared
+// inside the literal thread-private, and the literal's pointer-like
+// value parameters aliased to the spawn-site arguments (a slice passed
+// to `go func(part []float64)` still names the caller's backing array,
+// while a plain `w int` is a private copy).
+func collectThreadAccesses(sums *Summaries, info *types.Info, outer *locResolver, lit *ast.FuncLit, call *ast.CallExpr, funcName, pkgPath string, col *concFacts, sink accessSink) {
+	inner := &locResolver{
+		info:    info,
+		summary: outer.summary,
+		paramOf: outer.paramOf,
+		recvObj: outer.recvObj,
+		privLo:  lit.Pos(),
+		privHi:  lit.End(),
+		alias:   spawnAliases(info, outer, lit, call),
+	}
+	innerSink := func(res resolved, write, cc bool, locks []heldLock, pos token.Pos) {
+		if inner.privateTo(res) {
+			return
+		}
+		if res.viaAlias && !res.crossed {
+			return // the goroutine's own copy of an aliased header
+		}
+		sink(res, write, cc, locks, pos)
+	}
+	scanner := &accessScanner{info: info, sums: sums, r: inner, funcName: funcName, pkgPath: pkgPath, sink: innerSink}
+	g := BuildCFG(lit.Body)
+	flow := solveLockFlow(info, inner, g, funcName, pkgPath)
+	for _, b := range g.Blocks {
+		if !flow.Reached[b.Index] {
+			continue
+		}
+		held := flow.In[b.Index]
+		for _, node := range b.Nodes {
+			if gs, ok := node.(*ast.GoStmt); ok {
+				scanner.scanNode(gs, held)
+				if nested, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+					collectThreadAccesses(sums, info, inner, nested, gs.Call, funcName, pkgPath, col, sink)
+				} else if cs := sums.CalleeSummaryDevirt(info, gs.Call); cs != nil {
+					translateSpawnSummary(sums, info, inner, cs, gs.Call, funcName, pkgPath, col, innerSink)
+				}
+				continue
+			}
+			scanner.scanNode(node, held)
+			held = applyNodeLocks(sums, info, inner, node, held, funcName, pkgPath, col)
+		}
+	}
+}
+
+// spawnAliases maps the literal's pointer-like value parameters to the
+// locations of the spawn-site arguments they alias.
+func spawnAliases(info *types.Info, outer *locResolver, lit *ast.FuncLit, call *ast.CallExpr) map[types.Object]AbsLoc {
+	if lit.Type == nil || lit.Type.Params == nil {
+		return nil
+	}
+	var params []types.Object
+	for _, f := range lit.Type.Params.List {
+		if len(f.Names) == 0 {
+			params = append(params, nil)
+			continue
+		}
+		for _, name := range f.Names {
+			params = append(params, info.Defs[name])
+		}
+	}
+	var alias map[types.Object]AbsLoc
+	for i, p := range params {
+		if p == nil || i >= len(call.Args) {
+			continue
+		}
+		if p.Type() == nil || !pointerLikeType(p.Type()) {
+			continue
+		}
+		if res := outer.resolve(call.Args[i]); res.ok {
+			if alias == nil {
+				alias = make(map[types.Object]AbsLoc)
+			}
+			alias[p] = res.loc
+		}
+	}
+	return alias
+}
+
+// collectLitLockFacts records the lock sites and ordering edges of a
+// non-goroutine function literal (a callback, a closure stored in a
+// variable) with a fresh lockset flow. Its memory accesses stay
+// unattributed — a func value has no summary — but a double-lock or an
+// ABBA half hiding in a closure still reaches the lock-order graph.
+func collectLitLockFacts(sums *Summaries, info *types.Info, outer *locResolver, lit *ast.FuncLit, funcName, pkgPath string, col *concFacts) {
+	inner := &locResolver{info: info, summary: outer.summary, paramOf: outer.paramOf, recvObj: outer.recvObj}
+	g := BuildCFG(lit.Body)
+	flow := solveLockFlow(info, inner, g, funcName, pkgPath)
+	for _, b := range g.Blocks {
+		if !flow.Reached[b.Index] {
+			continue
+		}
+		held := flow.In[b.Index]
+		for _, node := range b.Nodes {
+			held = applyNodeLocks(sums, info, inner, node, held, funcName, pkgPath, col)
+		}
+	}
+}
+
+// unionAccesses / unionSites / unionEdges are the joins used by
+// joinSummaries at devirtualized call sites.
+func unionAccesses(a, b []SharedAccess) []SharedAccess {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]bool, len(a))
+	for _, x := range a {
+		seen[x.dedupKey()] = true
+	}
+	for _, x := range b {
+		if len(a) >= maxSummaryAccesses {
+			break
+		}
+		if k := x.dedupKey(); !seen[k] {
+			seen[k] = true
+			a = append(a, x)
+		}
+	}
+	return a
+}
+
+func unionSites(a, b []LockSite) []LockSite {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]bool, len(a))
+	for _, x := range a {
+		seen[x.Class] = true
+	}
+	for _, x := range b {
+		if len(a) >= maxSummarySites {
+			break
+		}
+		if !seen[x.Class] {
+			seen[x.Class] = true
+			a = append(a, x)
+		}
+	}
+	return a
+}
+
+func unionEdges(a, b []LockEdge) []LockEdge {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]bool, len(a))
+	for _, x := range a {
+		seen[x.FromClass+"\x00"+x.ToClass] = true
+	}
+	for _, x := range b {
+		if len(a) >= maxSummaryEdges {
+			break
+		}
+		if k := x.FromClass + "\x00" + x.ToClass; !seen[k] {
+			seen[k] = true
+			a = append(a, x)
+		}
+	}
+	return a
+}

@@ -1,0 +1,583 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the substrate of the concurrency checkers (racecheck,
+// lockorder): abstract shared-memory locations, a lockset dataflow over
+// the CFG engine, and an access scanner that computes which locations a
+// function reads and writes under which locks — per function, bottom-up
+// through the call graph so helper-hidden accesses surface at the call
+// site.
+//
+// The model, in one paragraph: an AbsLoc names a storage root (a
+// package-level var, a parameter, the receiver, or a local) plus an
+// access path of field selections, indexings and derefs; the lockset
+// flow computes, per CFG point, the set of locks certainly held (gen at
+// Lock/RLock, kill at Unlock/RUnlock, intersection at joins, and a
+// `defer mu.Unlock()` never kills — the lock is held to function exit);
+// the access scanner tags every read and write of a non-thread-private
+// location with the lockset held at that program point. racecheck then
+// pairs the accesses of concurrently-live goroutines and reports pairs
+// with at least one write, overlapping paths, and disjoint locksets.
+
+// locKind classifies the root of an abstract location.
+type locKind uint8
+
+const (
+	// locGlobal: a package-level variable — shared by everyone.
+	locGlobal locKind = iota
+	// locParam: memory reachable from parameter i of the summarized
+	// function; rebased onto the argument at each call site.
+	locParam
+	// locRecv: memory reachable from the method receiver.
+	locRecv
+	// locLocal: a function-local variable (meaningful only within one
+	// frame, where goroutines capture it).
+	locLocal
+	// locOpaque: an expression the resolver could not root (used for
+	// lock identity only, keyed by source text).
+	locOpaque
+)
+
+// AbsLoc is one abstract shared-memory location: a root plus an access
+// path. Paths are rendered root→leaf with ".f" for field selection,
+// "[*]" for indexing at an unknown index, "[k]" for indexing at a
+// constant literal, and "/*" for an explicit deref.
+type AbsLoc struct {
+	Kind  locKind
+	Obj   types.Object // root var for locGlobal / locLocal
+	Param int          // parameter index for locParam
+	Path  string
+	Name  string // display form for diagnostics
+}
+
+// key returns the identity the conflict and lockset maps use. Local
+// roots key by declaration position, which is unique across the
+// module's shared FileSet.
+func (l AbsLoc) key() string {
+	switch l.Kind {
+	case locGlobal:
+		pkg := ""
+		if l.Obj != nil && l.Obj.Pkg() != nil {
+			pkg = l.Obj.Pkg().Path()
+		}
+		return "g:" + pkg + "." + objName(l.Obj) + l.Path
+	case locParam:
+		return "p" + strconv.Itoa(l.Param) + l.Path
+	case locRecv:
+		return "r" + l.Path
+	case locLocal:
+		return "l:" + strconv.Itoa(int(objPos(l.Obj))) + ":" + objName(l.Obj) + l.Path
+	default:
+		return "x:" + l.Name
+	}
+}
+
+// rootKey is key() with the access path cleared — racecheck groups
+// accesses by storage root before running path-overlap conflict
+// detection on the pairs within one group.
+func (l AbsLoc) rootKey() string {
+	l.Path = ""
+	return l.key()
+}
+
+func objName(o types.Object) string {
+	if o == nil {
+		return "?"
+	}
+	return o.Name()
+}
+
+func objPos(o types.Object) token.Pos {
+	if o == nil {
+		return token.NoPos
+	}
+	return o.Pos()
+}
+
+// heldLock is one lock in a lockset: its location identity, its
+// lockdep-style class (see lockClass) and a display name.
+type heldLock struct {
+	Loc   AbsLoc
+	Class string
+	Name  string
+	Pos   token.Pos
+}
+
+// lockSet maps AbsLoc keys to the lock held under that key. RLock and
+// Lock share a key: for race suppression a read lock held by both sides
+// does NOT actually exclude two writers, but write-under-RLock is a
+// distinct bug class the checker documents as out of scope.
+type lockSet map[string]heldLock
+
+// SharedAccess is one read or write of a shared location, tagged with
+// the lockset held at the access. Concurrent marks accesses performed
+// by a goroutine the function spawns (unjoined before return), which a
+// caller must treat as racing with its own code.
+type SharedAccess struct {
+	Loc        AbsLoc
+	Write      bool
+	Concurrent bool
+	Locks      []heldLock
+	Pos        token.Pos
+}
+
+// locksKey renders a lockset's identity (sorted lock keys) for dedup.
+func locksKey(locks []heldLock) string {
+	keys := make([]string, len(locks))
+	for i, l := range locks {
+		keys[i] = l.Loc.key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+func (a SharedAccess) dedupKey() string {
+	rw := "R"
+	if a.Write {
+		rw = "W"
+	}
+	cc := ""
+	if a.Concurrent {
+		cc = "c"
+	}
+	return a.Loc.key() + "\x00" + rw + cc + "\x00" + locksKey(a.Locks)
+}
+
+// locksOf flattens a lockSet into a sorted slice.
+func locksOf(held lockSet) []heldLock {
+	if len(held) == 0 {
+		return nil
+	}
+	out := make([]heldLock, 0, len(held))
+	for _, l := range held {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Loc.key() < out[j].Loc.key() })
+	return out
+}
+
+// disjointLocks reports whether two lock slices share no lock identity.
+func disjointLocks(a, b []heldLock) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return true
+	}
+	set := make(map[string]bool, len(a))
+	for _, l := range a {
+		set[l.Loc.key()] = true
+	}
+	for _, l := range b {
+		if set[l.Loc.key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// LockSite is one lock acquisition attributed to a function (its own
+// body or a summarized callee), identified by class.
+type LockSite struct {
+	Class string
+	Name  string
+	Pos   token.Pos
+}
+
+// LockEdge records "FromClass was held when ToClass was acquired" — one
+// edge of the module-wide lock-order graph lockorder cycles over.
+type LockEdge struct {
+	FromClass, FromName string
+	ToClass, ToName     string
+	Pos                 token.Pos
+}
+
+// conflict reports whether two accesses to the same root can touch the
+// same memory with at least one write. Paths are compared component by
+// component:
+//
+//   - matching field selections / derefs continue the walk; different
+//     fields are disjoint storage
+//   - two unknown indexings "[*]" at the same depth are assumed
+//     DISJOINT — the worker-indexed slot pattern (partDeltas[w] per
+//     goroutine) writes provably different elements, and flagging it
+//     would bury the checker in false positives; DESIGN.md records the
+//     unsoundness
+//   - "[*]" against a constant index overlaps; two distinct constants
+//     are disjoint (array/slice semantics)
+//   - map steps "{}" always collide: Go's runtime forbids concurrent
+//     map access no matter which keys are involved
+//
+// When one path is a proper prefix of the other, the SHALLOW side must
+// be the write (writing s.f clobbers s.f.g, but reading the header s
+// while a goroutine writes s[w] is the benign parallel-sweep shape).
+func conflict(a, b SharedAccess) bool {
+	if !a.Write && !b.Write {
+		return false
+	}
+	pa, pb := splitPath(a.Loc.Path), splitPath(b.Loc.Path)
+	n := len(pa)
+	if len(pb) < n {
+		n = len(pb)
+	}
+	for i := 0; i < n; i++ {
+		ca, cb := pa[i], pb[i]
+		switch {
+		case ca == cb:
+			if ca == "[*]" {
+				return false // worker-indexed slots assumed disjoint
+			}
+		case strings.HasPrefix(ca, "[") && strings.HasPrefix(cb, "["):
+			if ca != "[*]" && cb != "[*]" {
+				return false // distinct constant indices
+			}
+		default:
+			return false // different fields — disjoint storage
+		}
+	}
+	if len(pa) == len(pb) {
+		return true
+	}
+	if len(pa) < len(pb) {
+		return a.Write
+	}
+	return b.Write
+}
+
+// splitPath parses a rendered access path back into its components.
+// Components start with '.', '[', '{' or the deref marker "/*".
+func splitPath(path string) []string {
+	if path == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 1; i < len(path); i++ {
+		switch path[i] {
+		case '.', '[', '{':
+			out = append(out, path[start:i])
+			start = i
+		case '/':
+			if i+1 < len(path) && path[i+1] == '*' {
+				out = append(out, path[start:i])
+				start = i
+			}
+		}
+	}
+	return append(out, path[start:])
+}
+
+// resolved is the outcome of rooting one expression.
+type resolved struct {
+	loc      AbsLoc
+	crossed  bool // the path crossed a pointer/slice/map boundary
+	viaAlias bool // the root came from the goroutine-param alias map
+	ok       bool
+}
+
+// locResolver roots expressions into abstract locations. In summary
+// mode (building a function's exported access set) parameters and the
+// receiver become locParam/locRecv so call sites can rebase them; in
+// frame mode (racecheck analyzing one function body) every root stays
+// concrete. privLo/privHi bound a goroutine literal: objects declared
+// inside it are thread-private. alias rebases a goroutine literal's
+// pointer-like value parameters onto the spawn-site arguments.
+type locResolver struct {
+	info    *types.Info
+	summary bool
+	paramOf map[types.Object]int
+	recvObj types.Object
+	privLo  token.Pos
+	privHi  token.Pos
+	alias   map[types.Object]AbsLoc
+}
+
+// pathOfIndex renders one index component: a constant literal keeps its
+// value (different constants provably touch different elements only
+// when equal constants collide, so equal paths still conflict), any
+// other index is "[*]".
+func pathOfIndex(e ast.Expr) string {
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok {
+		return "[" + lit.Value + "]"
+	}
+	return "[*]"
+}
+
+// resolve walks expr down to its root identifier, accumulating the
+// access path and whether the walk crossed out of the root's own
+// storage (same rules as purity.go's writeRoot).
+func (r *locResolver) resolve(expr ast.Expr) resolved {
+	var rev []string // path components leaf→root
+	crossed := false
+	for {
+		expr = ast.Unparen(expr)
+		switch e := expr.(type) {
+		case *ast.Ident:
+			res, via := r.rootOf(e)
+			if !res.ok {
+				return resolved{}
+			}
+			for i := len(rev) - 1; i >= 0; i-- {
+				res.loc.Path += rev[i]
+				res.loc.Name += rev[i]
+			}
+			res.crossed = crossed
+			res.viaAlias = via
+			return res
+		case *ast.SelectorExpr:
+			// A package-qualified global (pkg.Var) roots at the var.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := r.info.Uses[id].(*types.PkgName); isPkg {
+					expr = e.Sel
+					continue
+				}
+			}
+			if sel, ok := r.info.Selections[e]; ok && sel.Kind() != types.FieldVal {
+				return resolved{} // method value — not a storage path
+			}
+			if t := r.info.TypeOf(e.X); t != nil {
+				if _, ptr := t.Underlying().(*types.Pointer); ptr {
+					crossed = true
+				}
+			}
+			rev = append(rev, "."+e.Sel.Name)
+			expr = e.X
+		case *ast.IndexExpr:
+			comp := pathOfIndex(e.Index)
+			if t := r.info.TypeOf(e.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					// Map steps collide on any key (the runtime forbids
+					// concurrent access per map, not per entry).
+					comp = "{}"
+					crossed = true
+				case *types.Array:
+					// indexing an array value stays in its storage
+				default:
+					crossed = true
+				}
+			} else {
+				crossed = true
+			}
+			rev = append(rev, comp)
+			expr = e.X
+		case *ast.StarExpr:
+			crossed = true
+			rev = append(rev, "/*")
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				expr = e.X
+				continue
+			}
+			return resolved{}
+		default:
+			return resolved{}
+		}
+	}
+}
+
+// rootOf maps a root identifier to its AbsLoc.
+func (r *locResolver) rootOf(id *ast.Ident) (resolved, bool) {
+	obj := r.info.Uses[id]
+	if obj == nil {
+		obj = r.info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return resolved{}, false
+	}
+	if r.alias != nil {
+		if loc, ok := r.alias[v]; ok {
+			return resolved{loc: loc, ok: true}, true
+		}
+	}
+	if isPackageLevelVar(v) {
+		name := v.Name()
+		if v.Pkg() != nil {
+			name = v.Pkg().Name() + "." + name
+		}
+		return resolved{loc: AbsLoc{Kind: locGlobal, Obj: v, Name: name}, ok: true}, false
+	}
+	if r.summary {
+		if i, isP := r.paramOf[v]; isP {
+			return resolved{loc: AbsLoc{Kind: locParam, Param: i, Name: v.Name()}, ok: true}, false
+		}
+		if r.recvObj != nil && v == r.recvObj {
+			return resolved{loc: AbsLoc{Kind: locRecv, Name: v.Name()}, ok: true}, false
+		}
+	}
+	return resolved{loc: AbsLoc{Kind: locLocal, Obj: v, Name: v.Name()}, ok: true}, false
+}
+
+// privateTo reports whether the resolved root is declared inside the
+// resolver's private (goroutine-literal) range — thread-confined
+// storage no other goroutine can reach, unless the root arrived
+// through a pointer-like alias.
+func (r *locResolver) privateTo(res resolved) bool {
+	if r.privLo == token.NoPos || res.viaAlias {
+		return false
+	}
+	if res.loc.Kind != locLocal || res.loc.Obj == nil {
+		return false
+	}
+	p := res.loc.Obj.Pos()
+	return p >= r.privLo && p <= r.privHi
+}
+
+// lockClass computes the lockdep-style class of a lock location: all
+// instances of "the mu field of type T" share a class, so an ABBA cycle
+// between two instances of the same pairing is still detected. Globals
+// class by qualified name; param/recv/typed-path locks by the root's
+// named type; a plain local mutex by its declaring function.
+func lockClass(info *types.Info, r *locResolver, res resolved, funcName, pkgPath string) (class, name string) {
+	loc := res.loc
+	name = loc.Name
+	switch loc.Kind {
+	case locGlobal:
+		pkg := pkgPath
+		if loc.Obj != nil && loc.Obj.Pkg() != nil {
+			pkg = loc.Obj.Pkg().Path()
+		}
+		return pkg + "." + objName(loc.Obj) + loc.Path, name
+	case locParam, locRecv, locLocal:
+		var t types.Type
+		if loc.Obj != nil {
+			t = loc.Obj.Type()
+		} else if loc.Kind == locRecv && r != nil && r.recvObj != nil {
+			t = r.recvObj.Type()
+		}
+		if loc.Path != "" && t != nil {
+			if tn := namedRootType(t); tn != "" {
+				return tn + loc.Path, name
+			}
+		}
+		if loc.Kind == locLocal && loc.Path == "" {
+			return pkgPath + "." + funcName + "." + objName(loc.Obj), name
+		}
+		if t != nil {
+			if tn := namedRootType(t); tn != "" {
+				return tn + loc.Path, name
+			}
+		}
+	}
+	return "expr:" + name, name
+}
+
+// namedRootType renders the qualified name of t's named type, looking
+// through one pointer.
+func namedRootType(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// resolveLock roots a lock receiver expression; unresolvable receivers
+// get an opaque location keyed by source text so `m.mu.Lock()` through
+// an unrooted chain still has a stable identity.
+func resolveLock(info *types.Info, r *locResolver, expr ast.Expr, pkgPath string) resolved {
+	if res := r.resolve(expr); res.ok {
+		return res
+	}
+	name := types.ExprString(expr)
+	return resolved{loc: AbsLoc{Kind: locOpaque, Name: "x:" + pkgPath + ":" + name}, ok: true}
+}
+
+// lockTransferNode applies one CFG node's lock operations to held,
+// returning a (possibly fresh) set. DeferStmt nodes are skipped
+// entirely: `defer mu.Unlock()` releases at return, so the lock stays
+// held for every access after the Lock — the defer-scoped-unlock rule.
+func lockTransferNode(info *types.Info, r *locResolver, node ast.Node, held lockSet, funcName, pkgPath string) lockSet {
+	if _, isDefer := node.(*ast.DeferStmt); isDefer {
+		return held
+	}
+	out := held
+	cloned := false
+	clone := func() {
+		if !cloned {
+			c := make(lockSet, len(out)+1)
+			for k, v := range out {
+				c[k] = v
+			}
+			out = c
+			cloned = true
+		}
+	}
+	for _, call := range callsIn(node) {
+		op, _ := classifyLockCall(info, call)
+		if op == opNone {
+			continue
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		res := resolveLock(info, r, sel.X, pkgPath)
+		key := res.loc.key()
+		switch op {
+		case opLock, opRLock:
+			class, name := lockClass(info, r, res, funcName, pkgPath)
+			clone()
+			out[key] = heldLock{Loc: res.loc, Class: class, Name: name, Pos: call.Pos()}
+		case opUnlock, opRUnlock:
+			if _, ok := out[key]; ok {
+				clone()
+				delete(out, key)
+			}
+		}
+	}
+	return out
+}
+
+// solveLockFlow runs the lockset dataflow over g: gen at Lock/RLock,
+// kill at Unlock/RUnlock, intersection at joins (a lock is in the set
+// only when held on EVERY incoming path), empty set at entry.
+func solveLockFlow(info *types.Info, r *locResolver, g *CFG, funcName, pkgPath string) *FlowResult[lockSet] {
+	return Solve(g, FlowProblem[lockSet]{
+		Entry: lockSet{},
+		Transfer: func(b *Block, in lockSet) lockSet {
+			out := in
+			for _, node := range b.Nodes {
+				out = lockTransferNode(info, r, node, out, funcName, pkgPath)
+			}
+			return out
+		},
+		Join: func(a, b lockSet) lockSet {
+			if len(a) == 0 || len(b) == 0 {
+				return lockSet{}
+			}
+			out := make(lockSet, len(a))
+			for k, v := range a {
+				if w, ok := b[k]; ok {
+					if w.Pos < v.Pos {
+						v = w
+					}
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Equal: func(a, b lockSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+	})
+}

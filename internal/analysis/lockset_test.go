@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// lockAccessOf finds the summary access on the package-level variable
+// named root, preferring writes (the anchor racecheck reports at).
+func lockAccessOf(t *testing.T, s *Summary, root string) SharedAccess {
+	t.Helper()
+	var found *SharedAccess
+	for i := range s.Accesses {
+		a := &s.Accesses[i]
+		if a.Loc.Obj == nil || a.Loc.Obj.Name() != root {
+			continue
+		}
+		if found == nil || (a.Write && !found.Write) {
+			found = a
+		}
+	}
+	if found == nil {
+		t.Fatalf("no access on %s in summary (have %d accesses)", root, len(s.Accesses))
+	}
+	return *found
+}
+
+// TestLocksetFlow pins the lockset dataflow on its three defining
+// behaviors: intersection at CFG merges (a lock taken on one arm only
+// guards nothing after the join), defer-scoped unlock (the lock stays
+// held to function exit), and explicit unlock killing the lock for the
+// code below it.
+func TestLocksetFlow(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"lk/lk.go": `package lk
+
+import "sync"
+
+var (
+	mu sync.Mutex
+	g  int
+	h  int
+)
+
+// merged locks on one arm only: the intersection join at the merge
+// point drops mu, so the write to g is unguarded.
+func merged(cond bool) {
+	if cond {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	g++
+}
+
+// bothArms locks on every path into the merge: mu survives the join.
+func bothArms(cond bool) {
+	if cond {
+		mu.Lock()
+	} else {
+		mu.Lock()
+	}
+	g++
+	mu.Unlock()
+}
+
+// deferGuard holds mu to exit: a deferred unlock runs after the last
+// statement, so it must never kill the lock mid-body.
+func deferGuard() {
+	mu.Lock()
+	defer mu.Unlock()
+	g++
+}
+
+// window unlocks explicitly between the two writes: g is guarded, h is
+// not.
+func window() {
+	mu.Lock()
+	g++
+	mu.Unlock()
+	h++
+}
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["lk"]})
+	sums := ComputeSummaries(cg)
+	get := func(name string) *Summary {
+		s := sums.Of(nodeByName(t, cg, "lk."+name).Func)
+		if s == nil {
+			t.Fatalf("no summary for lk.%s", name)
+		}
+		return s
+	}
+
+	if a := lockAccessOf(t, get("merged"), "g"); len(a.Locks) != 0 {
+		t.Errorf("merged: g written with lockset %v, want empty (one-armed lock must not survive the merge)", a.Locks)
+	}
+	if a := lockAccessOf(t, get("bothArms"), "g"); len(a.Locks) != 1 || !strings.HasSuffix(a.Locks[0].Name, "mu") {
+		t.Errorf("bothArms: g written with lockset %v, want {mu} (both arms lock)", a.Locks)
+	}
+	if a := lockAccessOf(t, get("deferGuard"), "g"); len(a.Locks) != 1 {
+		t.Errorf("deferGuard: g written with lockset %v, want {mu} (deferred unlock is scoped to exit)", a.Locks)
+	}
+	if a := lockAccessOf(t, get("window"), "g"); len(a.Locks) != 1 {
+		t.Errorf("window: g written with lockset %v, want {mu}", a.Locks)
+	}
+	if a := lockAccessOf(t, get("window"), "h"); len(a.Locks) != 0 {
+		t.Errorf("window: h written with lockset %v, want empty (mu.Unlock kills the lock)", a.Locks)
+	}
+}
+
+// TestLockOrderFindings drives the module-wide lock-order analysis:
+// an ABBA pair of functions yields a cycle finding, a helper that
+// re-locks its caller's mutex yields a double-lock finding, and
+// consistently-ordered code yields nothing.
+func TestLockOrderFindings(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"ord/ord.go": `package ord
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func ab() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func ba() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+type box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *box) get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+// relock calls get while already holding b.mu: a self-edge in the
+// order graph, i.e. a guaranteed self-deadlock.
+func (b *box) relock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.get()
+}
+`,
+		"clean/clean.go": `package clean
+
+import "sync"
+
+var (
+	first  sync.Mutex
+	second sync.Mutex
+)
+
+func one() {
+	first.Lock()
+	second.Lock()
+	second.Unlock()
+	first.Unlock()
+}
+
+func two() {
+	first.Lock()
+	second.Lock()
+	second.Unlock()
+	first.Unlock()
+}
+`,
+	})
+
+	dirty := ComputeSummaries(BuildCallGraph([]*Package{pkgs["ord"]}))
+	var cycles, doubles int
+	for _, f := range dirty.lockOrderFindings() {
+		switch {
+		case strings.Contains(f.message, "lock order cycle"):
+			cycles++
+		case strings.Contains(f.message, "not reentrant"):
+			doubles++
+		default:
+			t.Errorf("unclassified lockorder finding: %s", f.message)
+		}
+	}
+	if cycles != 1 {
+		t.Errorf("ord: %d cycle findings, want 1 (the muA/muB ABBA pair)", cycles)
+	}
+	if doubles != 1 {
+		t.Errorf("ord: %d double-lock findings, want 1 (relock re-entering b.mu via get)", doubles)
+	}
+
+	cleanSums := ComputeSummaries(BuildCallGraph([]*Package{pkgs["clean"]}))
+	if fs := cleanSums.lockOrderFindings(); len(fs) != 0 {
+		t.Errorf("clean: %d findings on consistently-ordered locks, want 0: %+v", len(fs), fs)
+	}
+}
+
+// TestClassSCCs pins the cycle detector itself: a two-node cycle is
+// one SCC, an acyclic chain yields none of size ≥ 2.
+func TestClassSCCs(t *testing.T) {
+	cyclic := classSCCs([]string{"a", "b", "c"}, map[string][]string{
+		"a": {"b"}, "b": {"a"}, "c": {"a"},
+	})
+	var big [][]string
+	for _, scc := range cyclic {
+		if len(scc) >= 2 {
+			big = append(big, scc)
+		}
+	}
+	if len(big) != 1 || len(big[0]) != 2 {
+		t.Errorf("cyclic: SCCs ≥2 = %v, want exactly {a,b}", big)
+	}
+
+	acyclic := classSCCs([]string{"a", "b", "c"}, map[string][]string{
+		"a": {"b"}, "b": {"c"},
+	})
+	for _, scc := range acyclic {
+		if len(scc) >= 2 {
+			t.Errorf("acyclic chain produced a cycle SCC: %v", scc)
+		}
+	}
+}
+
+// TestAccessFixpointRecursion runs the access-set propagation on a
+// mutually-recursive SCC: the bottom-up fixpoint must converge (the
+// test completing at all is the termination check), both functions must
+// see both globals through each other, and the dedup must keep the
+// access lists from growing across passes.
+func TestAccessFixpointRecursion(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"rec/rec.go": `package rec
+
+var (
+	g int
+	h int
+)
+
+func ping(n int) {
+	if n <= 0 {
+		return
+	}
+	g++
+	pong(n - 1)
+}
+
+func pong(n int) {
+	if n <= 0 {
+		return
+	}
+	h++
+	ping(n - 1)
+}
+`,
+	})
+	cg := BuildCallGraph([]*Package{pkgs["rec"]})
+	sums := ComputeSummaries(cg)
+	for _, fn := range []string{"ping", "pong"} {
+		s := sums.Of(nodeByName(t, cg, "rec."+fn).Func)
+		if s == nil {
+			t.Fatalf("no summary for rec.%s", fn)
+		}
+		lockAccessOf(t, s, "g")
+		lockAccessOf(t, s, "h")
+		seen := make(map[string]bool, len(s.Accesses))
+		for _, a := range s.Accesses {
+			k := a.dedupKey()
+			if seen[k] {
+				t.Errorf("rec.%s: duplicate access %s in summary — union is not deduping", fn, k)
+			}
+			seen[k] = true
+		}
+		if len(s.Accesses) > maxSummaryAccesses {
+			t.Errorf("rec.%s: %d accesses exceeds the cap %d", fn, len(s.Accesses), maxSummaryAccesses)
+		}
+	}
+}

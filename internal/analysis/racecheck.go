@@ -1,0 +1,557 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RaceCheck flags pairs of accesses to the same shared location that can
+// run concurrently — a goroutine against its spawner, or two sibling
+// goroutines — with at least one write and no lock in common.
+//
+// The frame analysis runs per function body that spawns (directly or
+// through a summarized callee): a lockset dataflow (lockset.go) gives
+// the locks certainly held at every node, a live-spawn dataflow tracks
+// which goroutines may be running at every node (gen at the go
+// statement, kill at a wg.Wait that joins the spawn or a channel
+// receive the spawn's completion signals), and a replay pairs each
+// access against the accesses of every live spawn. Happens-before
+// suppression is exactly those two kill edges: Done-guaranteed
+// WaitGroup joins and recv-after-send/close on a signaling channel.
+//
+// Known exemptions (see DESIGN.md): two accesses indexed at unknown,
+// distinct-by-construction positions ("[*]" vs "[*]", the
+// worker-indexed slot pattern) are assumed disjoint, and loop variables
+// are per-iteration storage under Go ≥ 1.22 so parent-side loop-var
+// writes never pair (the gocapture checker owns pre-1.22 capture bugs).
+var RaceCheck = &Analyzer{
+	Name: "racecheck",
+	Doc:  "shared-state accesses from concurrently-live goroutines must share a lock or be joined first",
+	Run:  runRaceCheck,
+}
+
+func runRaceCheck(pass *Pass) {
+	if pass.Summaries == nil {
+		return // no interprocedural substrate — nothing sound to say
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, fb := range functionsOf(file) {
+			checkRaceFrame(pass, fb)
+		}
+	}
+}
+
+// raceSpawn is one source of concurrent execution in a frame.
+type raceSpawn struct {
+	id       int
+	pos      token.Pos
+	desc     string         // "goroutine" or "call"
+	accesses []SharedAccess // everything the spawned thread may touch
+	wgDone   types.Object   // WaitGroup joined by a parent Wait, if proven
+	signal   types.Object   // channel the body sends on / closes at exit
+	multi    bool           // spawned in a loop: races with its own siblings
+}
+
+// nodeAccesses are one CFG node's accesses split by who performs them:
+// seq on the frame's own thread, conc on a goroutine a summarized callee
+// leaves running (a pseudo-spawn).
+type nodeAccesses struct {
+	seq  []SharedAccess
+	conc []SharedAccess
+}
+
+// liveSpawns maps live spawn ids to their spawn position.
+type liveSpawns map[int]token.Pos
+
+func checkRaceFrame(pass *Pass, fb funcBody) {
+	info := pass.Pkg.Info
+	sums := pass.Summaries
+	g := BuildCFG(fb.body)
+
+	hasGo := false
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			if _, ok := node.(*ast.GoStmt); ok {
+				hasGo = true
+			}
+		}
+	}
+	spawny := hasGo
+	if !spawny {
+		// A callee may leave goroutines running (pseudo-spawns).
+		ast.Inspect(fb.body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok && m != ast.Node(fb.lit) {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				if cs := sums.CalleeSummaryDevirt(info, call); cs != nil {
+					for _, acc := range cs.Accesses {
+						if acc.Concurrent {
+							spawny = true
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if !spawny {
+		return
+	}
+
+	r := &locResolver{info: info}
+	loopVars := frameLoopVars(info, fb)
+	waited := waitedWaitGroups(info, fb.body)
+	lockFlow := solveLockFlow(info, r, g, fb.name, pass.Pkg.Path)
+
+	// Pre-pass: per-node accesses and the spawn table, in block order so
+	// spawn ids are deterministic.
+	spawnAt := make(map[ast.Node]*raceSpawn)
+	perNode := make(map[ast.Node]*nodeAccesses)
+	var spawns []*raceSpawn
+	for _, b := range g.Blocks {
+		if !lockFlow.Reached[b.Index] {
+			continue
+		}
+		held := lockFlow.In[b.Index]
+		for _, node := range b.Nodes {
+			na := &nodeAccesses{}
+			sink := func(res resolved, write, cc bool, locks []heldLock, pos token.Pos) {
+				acc := SharedAccess{Loc: res.loc, Write: write, Concurrent: cc, Locks: locks, Pos: pos}
+				if cc {
+					na.conc = append(na.conc, acc)
+				} else {
+					na.seq = append(na.seq, acc)
+				}
+			}
+			scanner := &accessScanner{info: info, sums: sums, r: r, funcName: fb.name, pkgPath: pass.Pkg.Path, sink: sink}
+			scanner.scanNode(node, held)
+			perNode[node] = na
+
+			if gs, ok := node.(*ast.GoStmt); ok {
+				sp := buildSpawn(pass, r, fb, gs, waited, loopVars)
+				sp.id = len(spawns)
+				spawnAt[node] = sp
+				spawns = append(spawns, sp)
+			} else if len(na.conc) > 0 {
+				// Pseudo-spawn: the callee's unjoined goroutines.
+				sp := &raceSpawn{id: len(spawns), pos: node.Pos(), desc: "call", accesses: na.conc}
+				spawnAt[node] = sp
+				spawns = append(spawns, sp)
+			}
+			held = lockTransferNode(info, r, node, held, fb.name, pass.Pkg.Path)
+		}
+	}
+	if len(spawns) == 0 {
+		return
+	}
+
+	liveFlow := Solve(g, FlowProblem[liveSpawns]{
+		Entry: liveSpawns{},
+		Transfer: func(b *Block, in liveSpawns) liveSpawns {
+			out := in
+			for _, node := range b.Nodes {
+				out = liveTransferNode(info, node, out, spawnAt, spawns)
+			}
+			return out
+		},
+		Join: func(a, b liveSpawns) liveSpawns {
+			if len(a) == 0 {
+				return b
+			}
+			if len(b) == 0 {
+				return a
+			}
+			out := make(liveSpawns, len(a)+len(b))
+			for id, p := range a {
+				out[id] = p
+			}
+			for id, p := range b {
+				if q, ok := out[id]; !ok || p < q {
+					out[id] = p
+				}
+			}
+			return out
+		},
+		Equal: func(a, b liveSpawns) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for id := range a {
+				if _, ok := b[id]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+	})
+
+	// Replay: pair every node's accesses against every live spawn's.
+	rep := &raceReporter{pass: pass, seen: make(map[string]bool), loopVars: loopVars}
+	for _, b := range g.Blocks {
+		if !liveFlow.Reached[b.Index] {
+			continue
+		}
+		live := liveFlow.In[b.Index]
+		for _, node := range b.Nodes {
+			na := perNode[node]
+			sp := spawnAt[node]
+			ids := sortedIDs(live)
+			if sp != nil && sp.desc == "goroutine" {
+				for _, id := range ids {
+					if id == sp.id {
+						continue
+					}
+					rep.pair(sp.accesses, spawns[id].accesses, sp, spawns[id])
+				}
+				if sp.multi {
+					rep.pair(sp.accesses, sp.accesses, sp, sp)
+				}
+			}
+			if na != nil {
+				for _, id := range ids {
+					if sp != nil && id == sp.id {
+						continue // a node's own pseudo-spawn is ordered with its evaluation
+					}
+					rep.pair(na.seq, spawns[id].accesses, nil, spawns[id])
+				}
+			}
+			live = liveTransferNode(info, node, live, spawnAt, spawns)
+		}
+	}
+}
+
+// buildSpawn computes what one go statement's thread does and how the
+// parent can join it.
+func buildSpawn(pass *Pass, outer *locResolver, fb funcBody, gs *ast.GoStmt, waited map[types.Object]bool, loopVars map[types.Object]bool) *raceSpawn {
+	info := pass.Pkg.Info
+	sums := pass.Summaries
+	sp := &raceSpawn{pos: gs.Pos(), desc: "goroutine", multi: inFrameLoop(fb, gs)}
+	collect := func(res resolved, write, cc bool, locks []heldLock, pos token.Pos) {
+		sp.accesses = append(sp.accesses, SharedAccess{Loc: res.loc, Write: write, Concurrent: true, Locks: locks, Pos: pos})
+	}
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		collectThreadAccesses(sums, info, outer, lit, gs.Call, fb.name, pass.Pkg.Path, nil, collect)
+		for wg := range waited {
+			if goroutineGuaranteesDone(info, sums, lit, wg) {
+				sp.wgDone = wg
+				break
+			}
+		}
+		sp.signal = spawnSignalChan(info, lit)
+		return sp
+	}
+	cs := sums.CalleeSummaryDevirt(info, gs.Call)
+	if cs == nil {
+		return sp
+	}
+	translateSpawnSummary(sums, info, outer, cs, gs.Call, fb.name, pass.Pkg.Path, nil, collect)
+	for ai, arg := range gs.Call.Args {
+		if pi := cs.ParamIndex(ai); pi >= 0 && pi < len(cs.DonesParams) && cs.DonesParams[pi] {
+			for wg := range waited {
+				if usesObjectExpr(info, arg, wg) {
+					sp.wgDone = wg
+				}
+			}
+		}
+	}
+	return sp
+}
+
+// spawnSignalChan finds the channel a goroutine body signals its
+// completion on: a `defer close(ch)` anywhere, or a trailing `close(ch)`
+// / `ch <- v` as the body's last statement. A parent-side receive on
+// that channel then happens-after everything the body did.
+func spawnSignalChan(info *types.Info, lit *ast.FuncLit) types.Object {
+	chanOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return nil
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+			return nil
+		}
+		return obj
+	}
+	closeArg := func(call *ast.CallExpr) types.Object {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "close" || len(call.Args) != 1 {
+			return nil
+		}
+		if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+			return nil
+		}
+		return chanOf(call.Args[0])
+	}
+	for _, stmt := range lit.Body.List {
+		if ds, ok := stmt.(*ast.DeferStmt); ok {
+			if obj := closeArg(ds.Call); obj != nil {
+				return obj
+			}
+		}
+	}
+	if len(lit.Body.List) == 0 {
+		return nil
+	}
+	switch last := lit.Body.List[len(lit.Body.List)-1].(type) {
+	case *ast.SendStmt:
+		return chanOf(last.Chan)
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			return closeArg(call)
+		}
+	}
+	return nil
+}
+
+// liveTransferNode applies one node's spawn/join effects to the live
+// set: gen at a spawn, kill at a wg.Wait joining the spawn's WaitGroup,
+// kill at a receive from a single-instance spawn's signal channel.
+func liveTransferNode(info *types.Info, node ast.Node, live liveSpawns, spawnAt map[ast.Node]*raceSpawn, spawns []*raceSpawn) liveSpawns {
+	out := live
+	cloned := false
+	clone := func() {
+		if !cloned {
+			c := make(liveSpawns, len(out)+1)
+			for k, v := range out {
+				c[k] = v
+			}
+			out = c
+			cloned = true
+		}
+	}
+	for _, call := range callsIn(node) {
+		obj, _, ok := wgMethodCall(info, call, "Wait")
+		if !ok {
+			continue
+		}
+		for id := range out {
+			if spawns[id].wgDone != nil && spawns[id].wgDone == obj {
+				clone()
+				delete(out, id)
+			}
+		}
+	}
+	if ch := recvChanOf(info, node); ch != nil {
+		for id := range out {
+			if !spawns[id].multi && spawns[id].signal != nil && spawns[id].signal == ch {
+				clone()
+				delete(out, id)
+			}
+		}
+	}
+	if sp := spawnAt[node]; sp != nil {
+		clone()
+		out[sp.id] = sp.pos
+	}
+	return out
+}
+
+// recvChanOf matches a CFG node that performs a blocking receive from a
+// plain-identifier channel: `<-ch` as a statement, the sole RHS of an
+// assignment, or a bare expression node (a select communication clause's
+// comm appears as the first node of its clause block, so the kill is
+// correctly scoped to the path where that case fired).
+func recvChanOf(info *types.Info, node ast.Node) types.Object {
+	var e ast.Expr
+	switch n := node.(type) {
+	case *ast.ExprStmt:
+		e = n.X
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 {
+			e = n.Rhs[0]
+		}
+	default:
+		if x, ok := node.(ast.Expr); ok {
+			e = x
+		}
+	}
+	if e == nil {
+		return nil
+	}
+	ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.ARROW {
+		return nil
+	}
+	id, ok := ast.Unparen(ue.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// frameLoopVars collects the loop variables declared by for/range
+// statements of this frame (nested literals excluded). Under Go ≥ 1.22
+// each iteration gets its own instance, so a parent-side loop-var write
+// cannot race with a goroutine's captured copy.
+func frameLoopVars(info *types.Info, fb funcBody) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	def := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fb.body, func(m ast.Node) bool {
+		switch n := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if as, ok := n.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, lhs := range as.Lhs {
+					def(lhs)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if n.Key != nil {
+					def(n.Key)
+				}
+				if n.Value != nil {
+					def(n.Value)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// inFrameLoop reports whether pos sits inside a for/range body belonging
+// to this frame (not inside a nested literal) — a spawn there runs once
+// per iteration, so its instances race with each other.
+func inFrameLoop(fb funcBody, gs *ast.GoStmt) bool {
+	in := false
+	ast.Inspect(fb.body, func(m ast.Node) bool {
+		if in {
+			return false
+		}
+		switch n := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Body.Pos() <= gs.Pos() && gs.End() <= n.Body.End() {
+				in = true
+			}
+		case *ast.RangeStmt:
+			if n.Body.Pos() <= gs.Pos() && gs.End() <= n.Body.End() {
+				in = true
+			}
+		}
+		return true
+	})
+	return in
+}
+
+// raceReporter pairs access sets and reports conflicting pairs once.
+type raceReporter struct {
+	pass     *Pass
+	seen     map[string]bool
+	loopVars map[types.Object]bool
+}
+
+// pair reports every racing combination between two access sets. spA is
+// nil when as are the frame's own (sequential) accesses.
+func (rep *raceReporter) pair(as, bs []SharedAccess, spA, spB *raceSpawn) {
+	for _, a := range as {
+		if rep.loopVars[a.Loc.Obj] {
+			continue
+		}
+		for _, b := range bs {
+			if rep.loopVars[b.Loc.Obj] {
+				continue
+			}
+			if a.Loc.rootKey() != b.Loc.rootKey() {
+				continue
+			}
+			if !conflict(a, b) {
+				continue
+			}
+			if !disjointLocks(a.Locks, b.Locks) {
+				continue
+			}
+			rep.report(a, b, spA, spB)
+		}
+	}
+}
+
+func (rep *raceReporter) report(a, b SharedAccess, spA, spB *raceSpawn) {
+	// Anchor the diagnostic at a write.
+	if !a.Write {
+		a, b = b, a
+		spA, spB = spB, spA
+	}
+	k1, k2 := accessKeyAt(a), accessKeyAt(b)
+	if k2 < k1 {
+		k1, k2 = k2, k1
+	}
+	if key := k1 + "\x00" + k2; rep.seen[key] {
+		return
+	} else {
+		rep.seen[key] = true
+	}
+	fset := rep.pass.Pkg.Fset
+	who := func(sp *raceSpawn) string {
+		if sp == nil {
+			return "this function"
+		}
+		return sp.desc + " spawned at line " + itoaLine(fset, sp.pos)
+	}
+	other := accessVerb(b) + " of " + b.Loc.Name + " by " + who(spB)
+	if spA != nil && spB != nil && spA.id == spB.id {
+		other = "the same access in a sibling instance (spawned in a loop)"
+	}
+	rep.pass.Reportf(a.Pos,
+		"write to %s by %s races with %s (locksets %s vs %s): guard both sides with one mutex, or join the goroutine (wg.Wait / receive its completion signal) before the conflicting access",
+		a.Loc.Name, who(spA), other, lockSetName(a.Locks), lockSetName(b.Locks))
+}
+
+func accessKeyAt(a SharedAccess) string {
+	return a.Loc.key() + "@" + strconv.Itoa(int(a.Pos))
+}
+
+func accessVerb(a SharedAccess) string {
+	if a.Write {
+		return "write"
+	}
+	return "read"
+}
+
+// lockSetName renders a lockset for diagnostics: "{mu, c.mu}" or "{}".
+func lockSetName(locks []heldLock) string {
+	if len(locks) == 0 {
+		return "{}"
+	}
+	names := make([]string, len(locks))
+	for i, l := range locks {
+		names[i] = l.Name
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+func itoaLine(fset *token.FileSet, pos token.Pos) string {
+	return strconv.Itoa(fset.Position(pos).Line)
+}
+
+func sortedIDs(live liveSpawns) []int {
+	if len(live) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -18,6 +18,7 @@ func TestSuiteComplete(t *testing.T) {
 		"floatcmp", "gocapture", "normreturn", "tolerances", "panicfree",
 		"errflow", "lockbalance", "maprange", "hotalloc",
 		"wgbalance", "chanleak", "ctxflow", "hotpure",
+		"racecheck", "lockorder",
 	}
 	if len(All) != len(want) {
 		t.Fatalf("len(All) = %d, want %d", len(All), len(want))

@@ -103,6 +103,19 @@ type Summary struct {
 	WritesParams  []bool
 	WritesRecv    bool
 	WritesEscaped bool
+
+	// Accesses are the shared-location reads and writes the function
+	// (and its callees) may perform — rooted at package-level vars and
+	// at pointer-crossing parameter/receiver paths — each tagged with
+	// the lockset held and whether it runs on an unjoined goroutine
+	// (lockset.go / lockfacts.go). Consumed by racecheck.
+	Accesses []SharedAccess
+	// AcquiredLocks lists the lock classes the function (or a callee,
+	// or a closure in it) may acquire; LockEdges are the held→acquired
+	// ordering edges observed. Consumed by lockorder's module-wide
+	// acquisition-order graph.
+	AcquiredLocks []LockSite
+	LockEdges     []LockEdge
 }
 
 // ParamIndex maps a call-argument position to the parameter slot it
@@ -130,6 +143,11 @@ type Summaries struct {
 	Graph *CallGraph
 
 	byFunc map[*types.Func]*Summary
+
+	// lockorder's module-wide findings, computed once per Run
+	// (lockorder.go) and reported by the pass owning each file.
+	lockChecked  bool
+	lockFindings []lockOrderFinding
 }
 
 // Of returns fn's summary, or nil when fn is not an analyzed declared
@@ -197,6 +215,9 @@ func joinSummaries(s *Summaries, cands []*CGNode) *Summary {
 			cp.DrainsParams = append([]bool(nil), cs.DrainsParams...)
 			cp.DonesParams = append([]bool(nil), cs.DonesParams...)
 			cp.WritesParams = append([]bool(nil), cs.WritesParams...)
+			cp.Accesses = append([]SharedAccess(nil), cs.Accesses...)
+			cp.AcquiredLocks = append([]LockSite(nil), cs.AcquiredLocks...)
+			cp.LockEdges = append([]LockEdge(nil), cs.LockEdges...)
 			out = &cp
 			continue
 		}
@@ -225,6 +246,9 @@ func joinSummaries(s *Summaries, cands []*CGNode) *Summary {
 			out.Purity = cs.Purity
 			out.PurityCause = cs.PurityCause
 		}
+		out.Accesses = unionAccesses(out.Accesses, cs.Accesses)
+		out.AcquiredLocks = unionSites(out.AcquiredLocks, cs.AcquiredLocks)
+		out.LockEdges = unionEdges(out.LockEdges, cs.LockEdges)
 	}
 	return out
 }
@@ -305,6 +329,7 @@ func summarizeNode(sums *Summaries, n *CGNode) bool {
 	summarizeConcurrency(sums, n, s)
 	summarizeLocks(n, s)
 	summarizePurity(sums, n, s)
+	summarizeAccesses(sums, n, s)
 
 	// Context forwarding: every context-accepting call receives the
 	// function's own (or a derived) context.
@@ -330,6 +355,12 @@ func summarizeNode(sums *Summaries, n *CGNode) bool {
 		old.AcquiresLock != s.AcquiresLock || old.ReleasesLock != s.ReleasesLock ||
 		old.Purity != s.Purity || old.WritesRecv != s.WritesRecv ||
 		old.WritesEscaped != s.WritesEscaped {
+		return true
+	}
+	// The concurrency-fact slices are rebuilt from scratch each pass and
+	// dedup-capped, so length comparison is an exact ascension test.
+	if len(old.Accesses) != len(s.Accesses) || len(old.AcquiredLocks) != len(s.AcquiredLocks) ||
+		len(old.LockEdges) != len(s.LockEdges) {
 		return true
 	}
 	return !boolsEqual(oldTaint, s.TaintedResults) || !boolsEqual(oldDones, s.DonesParams) ||

@@ -1,0 +1,30 @@
+// Package fixture triggers the chanleak timerleak sub-check: a
+// time.After (or time.Tick) case inside a loop's select allocates a
+// timer per iteration that outlives the iteration.
+package fixture
+
+import "time"
+
+func poll(work <-chan int, quit <-chan struct{}) int {
+	total := 0
+	for {
+		select {
+		case w := <-work:
+			total += w
+		case <-time.After(time.Second):
+			return total
+		case <-quit:
+			return total
+		}
+	}
+}
+
+func drain(events <-chan string) {
+	for range events {
+		select {
+		case <-time.Tick(time.Minute):
+			return
+		default:
+		}
+	}
+}

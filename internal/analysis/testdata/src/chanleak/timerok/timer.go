@@ -1,0 +1,41 @@
+// Package fixture stays clean under the timerleak sub-check: the timer
+// is hoisted out of the loop and reused, and a blocking time.After
+// outside a select waits its timer out.
+package fixture
+
+import "time"
+
+func poll(work <-chan int, quit <-chan struct{}) int {
+	total := 0
+	timeout := time.NewTimer(time.Second)
+	defer timeout.Stop()
+	for {
+		select {
+		case w := <-work:
+			total += w
+			if !timeout.Stop() {
+				<-timeout.C
+			}
+			timeout.Reset(time.Second)
+		case <-timeout.C:
+			return total
+		case <-quit:
+			return total
+		}
+	}
+}
+
+func throttle(n int) {
+	for i := 0; i < n; i++ {
+		<-time.After(time.Millisecond) // blocking receive: timer fires and is collected
+	}
+}
+
+func oneShot(quit <-chan struct{}) bool {
+	select { // not in a loop: a single timer is fine
+	case <-time.After(time.Second):
+		return false
+	case <-quit:
+		return true
+	}
+}

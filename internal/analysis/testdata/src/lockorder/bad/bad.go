@@ -1,0 +1,46 @@
+// Package fixture triggers the lockorder checker: an ABBA cycle between
+// two mutexes, and a double-lock through a helper.
+package fixture
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// transferAB acquires A then B.
+func transferAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+// transferBA acquires B then A — the opposite order: with transferAB
+// running concurrently this deadlocks.
+func transferBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock()
+	defer muA.Unlock()
+}
+
+type account struct {
+	mu      sync.Mutex
+	balance int
+}
+
+// audit locks the account and then calls a helper that locks it again:
+// sync.Mutex is not reentrant, so this self-cycle deadlocks.
+func (a *account) audit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.read()
+}
+
+func (a *account) read() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance
+}

@@ -1,0 +1,45 @@
+// Package fixture stays clean under lockorder: every path acquires the
+// two mutexes in the same global order, and helpers that need a lock
+// are called before it is taken.
+package fixture
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// transfer and refund both acquire A before B: the order graph has the
+// single edge A→B and no cycle.
+func transfer() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+func refund() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+type account struct {
+	mu      sync.Mutex
+	balance int
+}
+
+// audit reads under its own lock and calls the lock-free helper:
+// no self-edge.
+func (a *account) audit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.readLocked()
+}
+
+// readLocked documents its precondition instead of re-locking.
+func (a *account) readLocked() int {
+	return a.balance
+}

@@ -1,0 +1,84 @@
+// Package fixture triggers the racecheck checker: shared-state accesses
+// reachable from concurrently-live goroutines with disjoint locksets.
+package fixture
+
+import "sync"
+
+// counterRace increments a captured counter from the parent while the
+// goroutine that also increments it is still live — the completion
+// signal is received only after the parent's write.
+func counterRace() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n++
+		done <- struct{}{}
+	}()
+	n++
+	<-done
+	return n
+}
+
+// mutexOneSide guards the goroutine's write with mu but not the
+// parent's: the locksets {mu} and {} are disjoint, so mu excludes
+// nothing.
+func mutexOneSide() int {
+	var mu sync.Mutex
+	x := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		x = 1
+		mu.Unlock()
+	}()
+	x = 2
+	wg.Wait()
+	return x
+}
+
+// mapSiblings writes the same map from two unjoined sibling goroutines:
+// the runtime forbids concurrent map writes no matter which keys each
+// side touches.
+func mapSiblings(m map[int]int, wg *sync.WaitGroup) {
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		m[0] = 1
+	}()
+	go func() {
+		defer wg.Done()
+		m[1] = 2
+	}()
+}
+
+// readDuringWrite reads an element the spawned sweep may be writing:
+// the join (<-done) comes only after the read.
+func readDuringWrite(buf []float64) float64 {
+	done := make(chan struct{})
+	go func() {
+		for i := range buf {
+			buf[i] = float64(i)
+		}
+		close(done)
+	}()
+	sum := buf[0]
+	<-done
+	return sum
+}
+
+// loopedSpawn spawns one unsynchronized writer per iteration: every
+// instance writes the same captured total, racing with its siblings.
+func loopedSpawn(parts [][]float64, wg *sync.WaitGroup) {
+	total := 0.0
+	for _, part := range parts {
+		wg.Add(1)
+		go func(p []float64) {
+			defer wg.Done()
+			for _, v := range p {
+				total += v
+			}
+		}(part)
+	}
+}

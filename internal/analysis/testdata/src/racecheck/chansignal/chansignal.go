@@ -1,0 +1,39 @@
+// Package fixture exercises channel-based happens-before edges: a
+// receive from the goroutine's completion channel orders everything the
+// body did before the parent's subsequent accesses — but only a receive
+// that the live-spawn flow actually passes kills the spawn, so the
+// variant that reads before receiving is flagged.
+package fixture
+
+// ordered is clean: the parent receives the result value itself, which
+// both transfers the data and joins the producer.
+func ordered(buf []int) int {
+	out := make(chan int)
+	go func() {
+		s := 0
+		for i := range buf {
+			buf[i] = i
+			s += i
+		}
+		out <- s
+	}()
+	total := <-out
+	total += buf[0]
+	return total
+}
+
+// unordered reads buf[0] before the receive: the producer may still be
+// writing it.
+func unordered(buf []int) int {
+	out := make(chan int)
+	go func() {
+		s := 0
+		for i := range buf {
+			buf[i] = i
+			s += i
+		}
+		out <- s
+	}()
+	early := buf[0]
+	return early + <-out
+}

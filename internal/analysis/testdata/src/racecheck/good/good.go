@@ -1,0 +1,86 @@
+// Package fixture stays clean under racecheck: every concurrent access
+// pair shares a lock or is ordered by a join before the conflict.
+package fixture
+
+import "sync"
+
+// mutexBothSides holds the same mutex around both writes: the locksets
+// intersect, so the pair is excluded.
+func mutexBothSides() int {
+	var mu sync.Mutex
+	x := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		x = 1
+		mu.Unlock()
+	}()
+	mu.Lock()
+	x = 2
+	mu.Unlock()
+	wg.Wait()
+	return x
+}
+
+// joinBeforeRead reads only after wg.Wait has joined the writer: the
+// spawn is dead at the read.
+func joinBeforeRead(buf []float64) float64 {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range buf {
+			buf[i] = float64(i)
+		}
+	}()
+	wg.Wait()
+	return buf[0]
+}
+
+// signalBeforeRead orders the read after the goroutine's close(done):
+// receive-after-close is a happens-before edge.
+func signalBeforeRead() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 41
+		close(done)
+	}()
+	<-done
+	n++
+	return n
+}
+
+// privateState keeps every written variable thread-private: locals
+// declared inside the goroutine, and a value parameter copied at spawn.
+func privateState(parts int, wg *sync.WaitGroup) {
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := 0
+			for i := 0; i < w; i++ {
+				acc += i
+			}
+			_ = acc
+		}(w)
+	}
+}
+
+// deferUnlockGuard holds mu to function exit via defer in both the
+// goroutine and the parent helper path: defer-scoped unlocks keep the
+// lock in the set.
+func deferUnlockGuard(shared *int, wg *sync.WaitGroup, mu *sync.Mutex) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		defer mu.Unlock()
+		*shared++
+	}()
+	mu.Lock()
+	defer mu.Unlock()
+	*shared = 7
+}

@@ -1,0 +1,53 @@
+// Package fixture mirrors the repo's edge-partitioned parallel pull
+// sweep: every goroutine writes a disjoint output range selected by its
+// worker index, per-part deltas land in worker-indexed slots, and the
+// parent reads results only after the join. racecheck must stay silent.
+package fixture
+
+import "sync"
+
+type csr struct {
+	rowPtr []int32
+	cols   []int32
+	vals   []float64
+}
+
+// sweepRange writes out[lo:hi) from cur — the per-worker kernel.
+func (c *csr) sweepRange(out, cur []float64, lo, hi int) float64 {
+	delta := 0.0
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for e := c.rowPtr[i]; e < c.rowPtr[i+1]; e++ {
+			sum += cur[c.cols[e]] * c.vals[e]
+		}
+		d := sum - out[i]
+		if d < 0 {
+			d = -d
+		}
+		out[i] = sum
+		delta += d
+	}
+	return delta
+}
+
+// parallelSweep fans the rows out over disjoint [bounds[w], bounds[w+1])
+// ranges: sibling writes to next land at worker-distinct indices, the
+// per-part deltas use the worker-indexed slot pattern, and the parent
+// sums them only after wg.Wait.
+func (c *csr) parallelSweep(next, cur []float64, bounds []int, partDeltas []float64) float64 {
+	parts := len(bounds) - 1
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			partDeltas[w] = c.sweepRange(next, cur, bounds[w], bounds[w+1])
+		}(w)
+	}
+	wg.Wait()
+	delta := 0.0
+	for _, d := range partDeltas[:parts] {
+		delta += d
+	}
+	return delta
+}

@@ -1,0 +1,31 @@
+// Package fixture is the repo's worker-pool shape: workers drain a
+// shared channel and store into worker-owned result slots, the parent
+// dispatches, closes, and joins before reading. racecheck must stay
+// silent: channel operations are not memory accesses, and results[i]
+// writes are index-disjoint (each i is dispatched once).
+package fixture
+
+import "sync"
+
+func process(i int) int { return i * i }
+
+func pool(n, workers int) []int {
+	results := make([]int, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = process(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,41 @@
+// Package fixture triggers the wgbalance worker-pool lifecycle check:
+// the spawn loop and the drain loop of one pool run under different
+// bounds, so the completion counts diverge.
+package fixture
+
+import "sync"
+
+// mismatchedDrain spawns `workers` goroutines, each sending exactly one
+// completion, but drains `n` of them: n > workers blocks the drain
+// forever, n < workers leaks goroutines stuck on their send.
+func mismatchedDrain(n, workers int) int {
+	results := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			results <- 1
+		}()
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-results
+	}
+	return total
+}
+
+func submit(int) {}
+
+// mismatchedDone Add(1)s once per submitted task but Done()s once per
+// received ack under a different bound: the counter never reaches zero
+// (Wait blocks) or goes negative (panic).
+func mismatchedDone(n, tasks int, acks <-chan struct{}) {
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		submit(i)
+	}
+	for i := 0; i < n; i++ {
+		<-acks
+		wg.Done()
+	}
+	wg.Wait()
+}

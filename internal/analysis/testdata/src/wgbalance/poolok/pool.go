@@ -1,0 +1,46 @@
+// Package fixture stays clean under the wgbalance worker-pool
+// lifecycle check: the spawn and drain loops share one bound, and
+// per-job senders (send inside the worker's inner loop) are exempt
+// because their completion count is not the spawn count.
+package fixture
+
+// matchedBounds spawns and drains under the same bound expression.
+func matchedBounds(workers int) int {
+	results := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			results <- 1
+		}()
+	}
+	total := 0
+	for i := 0; i < workers; i++ {
+		total += <-results
+	}
+	return total
+}
+
+// perJobSenders is the rankMany shape: each worker sends once per job
+// drained from a shared channel, so the drain loop is rightly bound by
+// the job count, not the worker count.
+func perJobSenders(jobs []int, workers int) int {
+	work := make(chan int)
+	results := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range work {
+				results <- j * 2
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			work <- j
+		}
+		close(work)
+	}()
+	total := 0
+	for i := 0; i < len(jobs); i++ {
+		total += <-results
+	}
+	return total
+}

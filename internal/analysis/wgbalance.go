@@ -23,6 +23,14 @@ import (
 //     return before Done) — defer is the sanctioned form
 //   - Done hidden in a helper: `go worker(&wg)` is accepted when
 //     worker's summary proves Done on all paths of worker
+//   - worker-pool lifecycle bounds: a counted spawn loop (`for i := 0;
+//     i < workers; i++` starting one goroutine per iteration that sends
+//     exactly once on a completion channel, or Add(1)s a WaitGroup) must
+//     share its bound with the counted loop that drains those
+//     completions; differing bounds block the drain forever or leak the
+//     surplus goroutines. Workers that send per-job (the send sits in an
+//     inner loop) are exempt — their completion count is not the spawn
+//     count.
 //
 // Not checked:
 //   - Add/Done counts (Add(2) with one Done call per goroutine run is
@@ -52,8 +60,197 @@ func runWgBalance(pass *Pass) {
 				continue
 			}
 			checkWgBalanceFunc(pass, fn)
+			checkPoolLifecycle(pass, fn)
 		}
 	}
+}
+
+// poolLoop is one counted `for i := start; i < bound; i++` loop with the
+// pool traffic it carries once per iteration: completion channels its
+// goroutines send one value on, channels it receives one value from, and
+// WaitGroups it Add(1)s or Done()s. Anything under a nested loop or a
+// non-goroutine literal is excluded — those run an unknown number of
+// times per iteration, so they carry no per-iteration count.
+type poolLoop struct {
+	stmt    *ast.ForStmt
+	bound   ast.Expr
+	spawns  map[types.Object]string // chan → name: one goroutine/iteration, one send each
+	drains  map[types.Object]string // chan → name: one receive/iteration
+	wgAdds  map[types.Object]string // wg → name: one Add(1)/iteration
+	wgDones map[types.Object]string // wg → name: one Done()/iteration
+}
+
+// checkPoolLifecycle pairs each counted spawn loop with the counted
+// drain loop consuming its completions and reports when the two loops
+// render different bound expressions: the pool then produces and
+// consumes different counts, so the drain blocks forever (bound too
+// large) or goroutines leak blocked on their completion send (bound too
+// small). Bounds are compared as rendered expressions — `workers` vs
+// `workers` matches, `workers` vs `len(jobs)` does not — which misses
+// aliased equal values but never flags a shared spelling.
+func checkPoolLifecycle(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var loops []*poolLoop
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if fs, ok := n.(*ast.ForStmt); ok {
+			if bound, ok := countedBound(fs); ok {
+				loops = append(loops, classifyPoolLoop(info, fs, bound))
+			}
+		}
+		return true
+	})
+	for _, s := range loops {
+		for _, d := range loops {
+			if s == d {
+				continue
+			}
+			sb, db := types.ExprString(s.bound), types.ExprString(d.bound)
+			if sb == db {
+				continue
+			}
+			spawnLine := pass.Pkg.Fset.Position(s.stmt.Pos()).Line
+			if name, ok := sharedPoolObj(s.spawns, d.drains); ok {
+				pass.Reportf(d.stmt.Pos(),
+					"pool drain loop runs %s times but the spawn loop on line %d starts %s goroutines, each sending once on %s; the bounds must match or the difference blocks the drain forever / leaks goroutines",
+					db, spawnLine, sb, name)
+				continue
+			}
+			if name, ok := sharedPoolObj(s.wgAdds, d.wgDones); ok {
+				pass.Reportf(d.stmt.Pos(),
+					"this loop calls %s.Done() %s times but the loop on line %d calls %s.Add(1) %s times; the mismatched counts leave Wait blocked forever or panic the WaitGroup",
+					name, db, spawnLine, name, sb)
+			}
+		}
+	}
+}
+
+// sharedPoolObj returns the name of an object present in both maps,
+// picking the lexically-smallest name so diagnostics are deterministic.
+func sharedPoolObj(a, b map[types.Object]string) (string, bool) {
+	best := ""
+	for obj, name := range a {
+		if _, ok := b[obj]; ok && (best == "" || name < best) {
+			best = name
+		}
+	}
+	return best, best != ""
+}
+
+// countedBound matches the canonical counted loop
+// `for i := <expr>; i < bound; i++` (single init variable, strict
+// less-than, increment-by-one post) and returns its bound expression.
+// Anything looser — <=, a decrement, a mutated index — has no obvious
+// iteration count and is left alone.
+func countedBound(fs *ast.ForStmt) (ast.Expr, bool) {
+	init, ok := fs.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 {
+		return nil, false
+	}
+	iv, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	cond, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return nil, false
+	}
+	cx, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || cx.Name != iv.Name {
+		return nil, false
+	}
+	post, ok := fs.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return nil, false
+	}
+	px, ok := ast.Unparen(post.X).(*ast.Ident)
+	if !ok || px.Name != iv.Name {
+		return nil, false
+	}
+	return cond.Y, true
+}
+
+// classifyPoolLoop collects the per-iteration pool traffic of one
+// counted loop. Nested loops and plain function literals are cut off
+// (their multiplicity is unknown); goroutine literals are entered once
+// to look for top-level completion sends.
+func classifyPoolLoop(info *types.Info, fs *ast.ForStmt, bound ast.Expr) *poolLoop {
+	p := &poolLoop{
+		stmt: fs, bound: bound,
+		spawns:  make(map[types.Object]string),
+		drains:  make(map[types.Object]string),
+		wgAdds:  make(map[types.Object]string),
+		wgDones: make(map[types.Object]string),
+	}
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// One goroutine per iteration; count its sends only at
+				// the body's own loop-free level — a send inside the
+				// worker's job loop fires per job, not per spawn.
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+						return false
+					case *ast.SendStmt:
+						if obj, name, ok := chanIdent(info, m.Chan); ok {
+							p.spawns[obj] = name
+						}
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj, name, ok := chanIdent(info, n.X); ok {
+					p.drains[obj] = name
+				}
+			}
+		case *ast.CallExpr:
+			if obj, name, ok := wgMethodCall(info, n, "Add"); ok && isIntLitOne(n.Args) {
+				p.wgAdds[obj] = name
+			}
+			if obj, name, ok := wgMethodCall(info, n, "Done"); ok {
+				p.wgDones[obj] = name
+			}
+		}
+		return true
+	})
+	return p
+}
+
+// chanIdent resolves a plain identifier of channel type to its object.
+func chanIdent(info *types.Info, e ast.Expr) (types.Object, string, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return nil, "", false
+	}
+	if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+		return nil, "", false
+	}
+	return obj, id.Name, true
+}
+
+// isIntLitOne reports whether args is exactly the literal 1.
+func isIntLitOne(args []ast.Expr) bool {
+	if len(args) != 1 {
+		return false
+	}
+	lit, ok := ast.Unparen(args[0]).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "1"
 }
 
 // wgUse aggregates everything one function does with one WaitGroup
@@ -270,7 +467,7 @@ func classifyWgSpawn(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt,
 				lit:        lit,
 				mentions:   true,
 				mayDone:    bodyMayCallDone(pass, lit.Body, obj),
-				guaranteed: goroutineGuaranteesDone(pass, lit, obj),
+				guaranteed: goroutineGuaranteesDone(pass.Pkg.Info, pass.Summaries, lit, obj),
 			})
 		}
 	}
@@ -285,8 +482,7 @@ func classifyWgSpawn(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt,
 // that skip a conditional defer get no credit, so
 // `if c { defer wg.Done(); return }; work()` leaves the fall-through
 // path unproven.
-func goroutineGuaranteesDone(pass *Pass, lit *ast.FuncLit, obj types.Object) bool {
-	info := pass.Pkg.Info
+func goroutineGuaranteesDone(info *types.Info, sums *Summaries, lit *ast.FuncLit, obj types.Object) bool {
 	g := BuildCFG(lit.Body)
 
 	isDone := func(node ast.Node) bool {
@@ -300,7 +496,7 @@ func goroutineGuaranteesDone(pass *Pass, lit *ast.FuncLit, obj types.Object) boo
 				found = true
 				return false
 			}
-			if cs := pass.Summaries.CalleeSummaryDevirt(info, call); cs != nil {
+			if cs := sums.CalleeSummaryDevirt(info, call); cs != nil {
 				for ai, arg := range call.Args {
 					if pi := cs.ParamIndex(ai); pi >= 0 && cs.DonesParams[pi] && usesObject(info, arg, obj, nil) {
 						found = true
