@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 300ms
 
-.PHONY: all build lint lint-sarif fix-smoke vet test race bench bench-diff fuzz-smoke
+.PHONY: all build lint cost-report lint-sarif fix-smoke vet test race bench bench-diff fuzz-smoke
 
 all: build lint vet test
 
@@ -11,6 +11,10 @@ build:
 
 lint:
 	$(GO) run ./cmd/arlint ./...
+
+# Top functions under the static cost model, with heaviest call paths.
+cost-report:
+	$(GO) run ./cmd/arlint -report=cost -top=20 ./...
 
 # SARIF log for code-scanning upload; the file is written even when
 # there are findings, so CI can upload before failing.
@@ -41,11 +45,12 @@ race:
 	$(GO) test -race ./internal/kernel/ ./internal/core/ ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/
 
 # Focused engine benchmarks (chain construction, ApproxRank, the
-# sequential and parallel power iterations, RankMany fan-out) parsed to
-# a machine-readable artifact. BENCHTIME trades precision for speed.
+# sequential and parallel power iterations, RankMany fan-out, and the
+# kernel's pooled-vs-respawn sweep pair) parsed to a machine-readable
+# artifact. BENCHTIME trades precision for speed.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' \
-		./internal/core/ ./internal/pagerank/ | $(GO) run ./cmd/benchjson > BENCH_core.json
+		./internal/core/ ./internal/pagerank/ ./internal/kernel/ | $(GO) run ./cmd/benchjson > BENCH_core.json
 	@echo "wrote BENCH_core.json"
 
 # Gate the current tree's benchmarks against a baseline artifact:

@@ -1,0 +1,34 @@
+// Package churnmod seeds one spawnloop finding (goroutine churn inside
+// a convergence loop) and one falseshare finding (adjacent per-worker
+// delta slots) for the driver end-to-end tests.
+package churnmod
+
+import "sync"
+
+// Iterate respawns its worker set on every convergence iteration and
+// hands each worker an unpadded slot of one delta array.
+func Iterate(next, cur []float64, parts int, tol float64) {
+	partDeltas := make([]float64, parts)
+	delta := tol + 1
+	for delta > tol {
+		var wg sync.WaitGroup
+		for w := 0; w < parts; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				d := 0.0
+				for v := w; v < len(next); v += parts {
+					next[v] = 0.85 * cur[v]
+					d += next[v] - cur[v]
+				}
+				partDeltas[w] = d
+			}(w)
+		}
+		wg.Wait()
+		delta = 0
+		for _, d := range partDeltas {
+			delta += d
+		}
+		next, cur = cur, next
+	}
+}

@@ -1,0 +1,3 @@
+module churnmod
+
+go 1.22

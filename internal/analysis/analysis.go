@@ -51,6 +51,20 @@
 //   - lockorder: the module-wide lock-acquisition-order graph must be
 //     acyclic — no double-lock, no ABBA
 //
+// The sixth generation is the performance layer: a static cost model
+// (cost.go) assigns every function a point in a cost lattice —
+// loop-nesting depth with trip classes, plus weighted allocation,
+// dynamic-dispatch and goroutine-spawn sites — propagated bottom-up
+// through the devirtualized call graph. It powers the driver's
+// -report=cost mode, annotates the -callgraph=dot labels, and feeds
+// two parallel-performance checkers:
+//
+//   - spawnloop:  no goroutine spawn + WaitGroup join per iteration of
+//     a high-trip loop — hoist the workers into a persistent
+//     round-barriered pool
+//   - falseshare: sibling goroutines must not write adjacent elements
+//     of one backing array — pad per-worker slots to a cache line
+//
 // A finding can be suppressed with a sentinel comment on the offending
 // line or the line above:
 //
@@ -126,6 +140,7 @@ var All = []*Analyzer{
 	ErrFlow, LockBalance, MapRange, HotAlloc,
 	WgBalance, ChanLeak, CtxFlow, HotPure,
 	RaceCheck, LockOrder,
+	SpawnLoop, FalseShare,
 }
 
 // Pass carries one analyzed package to one checker, together with the

@@ -506,6 +506,15 @@ func (s *Summary) bits() string {
 	if s.SpawnsGoroutine {
 		out = append(out, "spawn")
 	}
+	if s.WaitsOnWG {
+		out = append(out, "waits")
+	}
+	if s.SpawnChurn {
+		out = append(out, "spawn-churn")
+	}
+	if cl := s.Cost.label(); cl != "" {
+		out = append(out, cl)
+	}
 	for i, d := range s.DonesParams {
 		if d {
 			out = append(out, fmt.Sprintf("done(p%d)", i))

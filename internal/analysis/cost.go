@@ -1,0 +1,432 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file is the static cost model: every summarized function gets a
+// Cost — an abstract, order-of-magnitude account of the work one call
+// performs — computed bottom-up over the call graph's SCCs alongside
+// the other summary facts. The model is deliberately coarse: it does
+// not predict runtimes, it ranks. Its unit is "one straight-line
+// statement executed once"; loops multiply, callees are inlined at
+// their call-site depth, and everything saturates at small caps so the
+// within-SCC fixpoint converges in a handful of passes.
+//
+// Loop trip classes (classifyLoop):
+//
+//	tripConst     bound is a small compile-time constant (≤ costSmallTrip):
+//	              the four-accumulator unrolls, padding strides. Treated
+//	              as straight-line — no depth, no trip factor.
+//	tripData      bounded by the size of ranged-over data: one work
+//	              dimension per level (per-node, per-edge …).
+//	tripUnbounded condition-driven: `for {}`, `for delta > tol`,
+//	              three-clause loops with non-constant bounds, channel
+//	              ranges. The convergence loops of the ranking engines
+//	              land here. Known imprecision: a non-constant bound
+//	              like `w < parts` is also classified unbounded — the
+//	              model cannot tell a worker count from an iteration
+//	              count, and overapproximating keeps spawnloop sound.
+//
+// Depth is the maximum nesting of tripData/tripUnbounded loops reached
+// per call (callees included at their call-site depth), capped at
+// costDepthCap. For this repository's graph code the depths read as
+// work classes: depth 1 ≈ per-node, depth 2 ≈ per-edge (a node loop
+// around an in-row loop), depth 3+ ≈ iteration × edge work.
+//
+// The three site weights count expensive operations, each charged
+// costTripFactor^depth for the loop nesting around the site:
+//
+//	AllocW  make / new / growing append
+//	DynW    dynamic dispatch (interface methods, func values)
+//	SpawnW  goroutine creation
+//
+// Recursion: a call into the node's own SCC charges the callee's
+// current weights saturated to costWeightCap — a cycle means the model
+// cannot bound the repetition, so any nonzero weight inside one is
+// treated as unbounded. Depth still composes normally (the cap bounds
+// the climb), so a weight-free recursive helper stays cheap.
+//
+// Soundness direction: the model only overapproximates within its
+// vocabulary (unknown bounds are unbounded, any candidate's cost is
+// every candidate's cost) but it does NOT see through out-of-module
+// calls — a stdlib call is charged zero. It ranks module code, it does
+// not audit the universe.
+
+const (
+	// costTripFactor is the abstract iteration count charged to one
+	// level of data-bound or unbounded looping. A power of two so the
+	// per-depth multiplier is a shift.
+	costTripFactor = 16
+	// costDepthCap bounds the loop-nesting depth (and with it the trip
+	// multiplier at 16^4); deeper nesting adds no further cost.
+	costDepthCap = 4
+	// costWeightCap saturates the site weights; together with the depth
+	// cap it bounds the lattice height, so SCC fixpoints terminate.
+	costWeightCap = 1 << 20
+	// costSmallTrip is the largest constant loop bound still treated as
+	// straight-line code.
+	costSmallTrip = 8
+)
+
+// Cost is one function's point in the cost lattice. The zero value is
+// bottom: a straight-line function doing nothing expensive.
+type Cost struct {
+	// Depth is the maximum tripData/tripUnbounded loop nesting executed
+	// by one call, callees inlined, capped at costDepthCap.
+	Depth int
+	// HighTrip reports that the call reaches a tripUnbounded loop — the
+	// convergence-loop marker spawnloop and the cost report key on.
+	HighTrip bool
+	// AllocW, DynW and SpawnW weight the allocation, dynamic-dispatch
+	// and goroutine-spawn sites by the loop nesting around them,
+	// saturating at costWeightCap.
+	AllocW int
+	DynW   int
+	SpawnW int
+}
+
+// join is the lattice join: field-wise max/or. Used for devirtualized
+// candidates (the call may run any of them) and for the monotone
+// ascension of a node's own cost across fixpoint passes.
+func (c Cost) join(o Cost) Cost {
+	return Cost{
+		Depth:    max(c.Depth, o.Depth),
+		HighTrip: c.HighTrip || o.HighTrip,
+		AllocW:   max(c.AllocW, o.AllocW),
+		DynW:     max(c.DynW, o.DynW),
+		SpawnW:   max(c.SpawnW, o.SpawnW),
+	}
+}
+
+// WorkClass names the depth as the repository's work vocabulary.
+func (c Cost) WorkClass() string {
+	switch c.Depth {
+	case 0:
+		return "flat"
+	case 1:
+		return "per-node"
+	case 2:
+		return "per-edge"
+	default:
+		return fmt.Sprintf("nested^%d", c.Depth)
+	}
+}
+
+// Score folds the cost into one ranking key: the loop work term
+// dominates (one extra depth level outweighs any site weight), an
+// unbounded loop counts as one more level, and the site weights break
+// ties with spawns weighted heaviest (a spawn is costlier than an
+// allocation, which is costlier than a dispatch).
+func (c Cost) Score() int64 {
+	d := c.Depth
+	if c.HighTrip {
+		d++
+	}
+	work := int64(1) << (4 * min(d, costDepthCap+1)) // costTripFactor^d
+	return work*int64(costWeightCap) + int64(c.AllocW)*4 + int64(c.DynW) + int64(c.SpawnW)*16
+}
+
+// label renders the cost for the dot node labels: empty for bottom,
+// otherwise the work class with "!" marking an unbounded loop, e.g.
+// "cost:per-edge!".
+func (c Cost) label() string {
+	if c == (Cost{}) {
+		return ""
+	}
+	out := "cost:" + c.WorkClass()
+	if c.HighTrip {
+		out += "!"
+	}
+	return out
+}
+
+// tripClass classifies one loop's trip count; see the file comment.
+type tripClass int
+
+const (
+	tripConst tripClass = iota
+	tripData
+	tripUnbounded
+)
+
+// classifyLoop assigns loop its trip class.
+func classifyLoop(info *types.Info, loop ast.Stmt) tripClass {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		if l.Cond == nil {
+			return tripUnbounded // for {}
+		}
+		if bound, ok := constCondBound(info, l.Cond); ok {
+			if bound <= costSmallTrip {
+				return tripConst
+			}
+			return tripData // constant but large: bounded work, one dimension
+		}
+		return tripUnbounded
+	case *ast.RangeStmt:
+		t := info.TypeOf(l.X)
+		if t == nil {
+			return tripData
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Chan:
+			return tripUnbounded // trips until someone closes
+		case *types.Array:
+			if u.Len() <= costSmallTrip {
+				return tripConst
+			}
+		case *types.Basic:
+			// Go 1.22 integer range: `for range n`.
+			if tv, ok := info.Types[l.X]; ok && tv.Value != nil {
+				if bound, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok && bound <= costSmallTrip {
+					return tripConst
+				}
+			}
+		}
+		return tripData
+	}
+	return tripData
+}
+
+// constCondBound extracts the constant bound of a comparison loop
+// condition (`i < 4`, `4 > i`, `i <= n` with constant n …), reporting
+// ok only when one operand is a compile-time integer constant.
+func constCondBound(info *types.Info, cond ast.Expr) (int64, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return 0, false
+	}
+	switch be.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return 0, false
+	}
+	for _, side := range [2]ast.Expr{be.X, be.Y} {
+		if tv, ok := info.Types[side]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// costSatAdd adds saturating at costWeightCap.
+func costSatAdd(a, b int) int {
+	if s := a + b; s < costWeightCap {
+		return s
+	}
+	return costWeightCap
+}
+
+// costAtDepth charges units sites at the given loop depth:
+// units × costTripFactor^depth, saturating.
+func costAtDepth(units, depth int) int {
+	w := int64(units) << (4 * min(depth, costDepthCap))
+	if w >= costWeightCap {
+		return costWeightCap
+	}
+	return int(w)
+}
+
+// summarizeCost recomputes n's cost from its body and the current
+// callee summaries and joins it into s.Cost (join, not assign: the
+// within-SCC passes must only ascend).
+func summarizeCost(sums *Summaries, n *CGNode, s *Summary) {
+	info := n.Pkg.Info
+	var c Cost
+
+	// chargeCallee inlines a callee's cost at the call-site depth.
+	// sameSCC applies the recursion rule: nonzero weights saturate.
+	chargeCallee := func(cs Cost, depth int, sameSCC bool) {
+		c.Depth = max(c.Depth, min(depth+cs.Depth, costDepthCap))
+		c.HighTrip = c.HighTrip || cs.HighTrip
+		charge := func(dst *int, w int) {
+			if w == 0 {
+				return
+			}
+			if sameSCC {
+				*dst = costWeightCap
+				return
+			}
+			*dst = costSatAdd(*dst, costAtDepth(w, depth))
+		}
+		charge(&c.AllocW, cs.AllocW)
+		charge(&c.DynW, cs.DynW)
+		charge(&c.SpawnW, cs.SpawnW)
+	}
+
+	var walk func(node ast.Node, depth int)
+	walk = func(node ast.Node, depth int) {
+		if node == nil {
+			return
+		}
+		ast.Inspect(node, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				d2 := depth
+				if classifyLoop(info, m) != tripConst {
+					d2 = min(depth+1, costDepthCap)
+					c.Depth = max(c.Depth, d2)
+					if classifyLoop(info, m) == tripUnbounded {
+						c.HighTrip = true
+					}
+				}
+				if m.Init != nil {
+					walk(m.Init, depth)
+				}
+				// Cond and Post run once per iteration.
+				walk(m.Cond, d2)
+				if m.Post != nil {
+					walk(m.Post, d2)
+				}
+				walk(m.Body, d2)
+				return false
+			case *ast.RangeStmt:
+				d2 := depth
+				switch classifyLoop(info, m) {
+				case tripData:
+					d2 = min(depth+1, costDepthCap)
+					c.Depth = max(c.Depth, d2)
+				case tripUnbounded:
+					d2 = min(depth+1, costDepthCap)
+					c.Depth = max(c.Depth, d2)
+					c.HighTrip = true
+				}
+				walk(m.X, depth)
+				walk(m.Body, d2)
+				return false
+			case *ast.FuncLit:
+				// A literal's body runs on the declaring function's
+				// behalf (worker bodies, sort closures) — charged at the
+				// syntactic depth, like the other summary facts.
+				walk(m.Body, depth)
+				return false
+			case *ast.GoStmt:
+				c.SpawnW = costSatAdd(c.SpawnW, costAtDepth(1, depth))
+				return true // the spawned call's own cost is charged below
+			case *ast.CallExpr:
+				fun := ast.Unparen(m.Fun)
+				if id, ok := fun.(*ast.Ident); ok {
+					if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+						switch id.Name {
+						case "make", "new", "append":
+							c.AllocW = costSatAdd(c.AllocW, costAtDepth(1, depth))
+						}
+						return true
+					}
+				}
+				if tv, ok := info.Types[m.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				if _, isLit := fun.(*ast.FuncLit); isLit {
+					return true // immediately-invoked literal: body charged via FuncLit
+				}
+				if callee := StaticCallee(info, m); callee != nil {
+					if target := sums.Graph.NodeOf(callee); target != nil {
+						chargeCallee(sums.byFunc[target.Func].Cost, depth, target.SCC == n.SCC)
+					}
+					return true // out-of-module static call: charged zero
+				}
+				// Dynamic dispatch: charge the site, then the join of the
+				// known implementations (devirtualization).
+				c.DynW = costSatAdd(c.DynW, costAtDepth(1, depth))
+				for _, cand := range sums.Graph.CandidatesOf(info, m) {
+					chargeCallee(sums.byFunc[cand.Func].Cost, depth, cand.SCC == n.SCC)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(n.Decl.Body, 0)
+
+	s.Cost = s.Cost.join(c)
+}
+
+// costEntry pairs a node with its final cost for the report.
+type costEntry struct {
+	node *CGNode
+	cost Cost
+}
+
+// WriteCostReport renders the driver's -report=cost mode: the topN
+// most expensive functions by Score, each with its work class, site
+// weights, and its heaviest call path — the greedy chain of
+// highest-scoring callees (static first, then devirtualized
+// candidates), which is where a profile would send you first.
+func (cg *CallGraph) WriteCostReport(w io.Writer, sums *Summaries, topN int) error {
+	entries := make([]costEntry, 0, len(cg.Nodes))
+	for _, n := range cg.Nodes {
+		entries = append(entries, costEntry{node: n, cost: sums.byFunc[n.Func].Cost})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		si, sj := entries[i].cost.Score(), entries[j].cost.Score()
+		if si != sj {
+			return si > sj
+		}
+		return entries[i].node.String() < entries[j].node.String()
+	})
+	if topN > len(entries) {
+		topN = len(entries)
+	}
+	if _, err := fmt.Fprintf(w, "cost report: top %d of %d functions by modeled cost\n", topN, len(entries)); err != nil {
+		return err
+	}
+	for i := 0; i < topN; i++ {
+		e := entries[i]
+		flags := e.cost.WorkClass()
+		if e.cost.HighTrip {
+			flags += ", unbounded-loop"
+		}
+		fmt.Fprintf(w, "%3d. %-40s [%s]  alloc=%d dyn=%d spawn=%d\n",
+			i+1, e.node.String(), flags, e.cost.AllocW, e.cost.DynW, e.cost.SpawnW)
+		if path := cg.heaviestPath(sums, e.node); len(path) > 1 {
+			names := make([]string, len(path))
+			for j, p := range path {
+				names[j] = p.String()
+			}
+			fmt.Fprintf(w, "     path: %s\n", strings.Join(names, " -> "))
+		}
+	}
+	return nil
+}
+
+// heaviestPath follows the highest-Score callee from n until a leaf, a
+// cycle, or the depth limit — the call chain carrying the modeled cost.
+func (cg *CallGraph) heaviestPath(sums *Summaries, n *CGNode) []*CGNode {
+	const limit = 6
+	path := []*CGNode{n}
+	seen := map[*CGNode]bool{n: true}
+	cur := n
+	for len(path) < limit {
+		var best *CGNode
+		var bestScore int64
+		for _, edges := range [2][]*CGNode{cur.Calls, cur.Candidates} {
+			for _, callee := range edges {
+				if seen[callee] {
+					continue
+				}
+				if score := sums.byFunc[callee.Func].Cost.Score(); best == nil || score > bestScore ||
+					(score == bestScore && callee.String() < best.String()) {
+					best, bestScore = callee, score
+				}
+			}
+		}
+		if best == nil || sums.byFunc[best.Func].Cost == (Cost{}) {
+			break
+		}
+		seen[best] = true
+		path = append(path, best)
+		cur = best
+	}
+	return path
+}

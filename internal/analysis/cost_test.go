@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadCostSrc type-checks one in-memory file and returns its computed
+// summaries keyed by function name.
+func loadCostSrc(t *testing.T, src string) map[string]*Summary {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().LoadDir(dir, "fixture/cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph := BuildCallGraph([]*Package{pkg})
+	sums := ComputeSummaries(graph)
+	out := make(map[string]*Summary)
+	for _, n := range graph.Nodes {
+		out[n.Func.Name()] = sums.byFunc[n.Func]
+	}
+	return out
+}
+
+// TestCostDepthComposition: loop nesting composes through calls — a
+// per-node loop around a per-edge callee is depth 3, a small constant
+// unroll stays straight-line.
+func TestCostDepthComposition(t *testing.T) {
+	sums := loadCostSrc(t, `package p
+
+func perEdge(rows [][]float64, out []float64) {
+	for i, row := range rows {
+		s := 0.0
+		for _, x := range row {
+			s += x
+		}
+		out[i] = s
+	}
+}
+
+func perNodeOverEdges(rows [][]float64, out []float64, reps int) {
+	for r := 0; r < reps; r++ {
+		perEdge(rows, out)
+	}
+}
+
+func unrolled(out []float64) {
+	for k := 0; k < 4; k++ {
+		out[k] = 0
+	}
+}
+`)
+	if got := sums["perEdge"].Cost.Depth; got != 2 {
+		t.Errorf("perEdge depth = %d, want 2", got)
+	}
+	if sums["perEdge"].Cost.HighTrip {
+		t.Errorf("perEdge marked high-trip; its loops are data-bound ranges")
+	}
+	if got := sums["perNodeOverEdges"].Cost.Depth; got != 3 {
+		t.Errorf("perNodeOverEdges depth = %d, want 3 (callee inlined at call-site depth)", got)
+	}
+	if !sums["perNodeOverEdges"].Cost.HighTrip {
+		t.Errorf("perNodeOverEdges not marked high-trip; its bound is not a compile-time constant")
+	}
+	if got := sums["unrolled"].Cost; got != (Cost{}) {
+		t.Errorf("unrolled cost = %+v, want bottom (constant trip ≤ %d is straight-line)", got, costSmallTrip)
+	}
+}
+
+// TestCostWeights: allocation and spawn sites are charged by the loop
+// nesting around them.
+func TestCostWeights(t *testing.T) {
+	sums := loadCostSrc(t, `package p
+
+func allocFlat() []float64 { return make([]float64, 8) }
+
+func allocInLoop(n int) [][]float64 {
+	var out [][]float64
+	for i := 0; i < n; i++ {
+		out = append(out, make([]float64, 8))
+	}
+	return out
+}
+
+func spawnInLoop(n int) {
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}
+`)
+	if got := sums["allocFlat"].Cost.AllocW; got != 1 {
+		t.Errorf("allocFlat AllocW = %d, want 1", got)
+	}
+	// append + make, both at depth 1: 2 sites × costTripFactor.
+	if got := sums["allocInLoop"].Cost.AllocW; got != 2*costTripFactor {
+		t.Errorf("allocInLoop AllocW = %d, want %d", got, 2*costTripFactor)
+	}
+	if got := sums["spawnInLoop"].Cost.SpawnW; got != costTripFactor {
+		t.Errorf("spawnInLoop SpawnW = %d, want %d", got, costTripFactor)
+	}
+}
+
+// TestCostRecursiveSCC: the fixpoint over a recursive SCC terminates,
+// weight-free recursion stays cheap, and weight inside a cycle
+// saturates (the model cannot bound the repetition).
+func TestCostRecursiveSCC(t *testing.T) {
+	sums := loadCostSrc(t, `package p
+
+func pingPure(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pongPure(n - 1)
+}
+
+func pongPure(n int) int { return pingPure(n - 1) }
+
+func pingAlloc(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	return append(pongAlloc(n-1), n)
+}
+
+func pongAlloc(n int) []int { return pingAlloc(n - 1) }
+`)
+	if got := sums["pingPure"].Cost; got != (Cost{}) {
+		t.Errorf("pingPure cost = %+v, want bottom (no weights anywhere in the cycle)", got)
+	}
+	for _, name := range []string{"pingAlloc", "pongAlloc"} {
+		if got := sums[name].Cost.AllocW; got != costWeightCap {
+			t.Errorf("%s AllocW = %d, want saturation at %d (alloc inside a recursive cycle)", name, got, costWeightCap)
+		}
+	}
+}
+
+// TestCostDevirtJoin: an interface call charges the dispatch site and
+// joins the candidates' costs pessimistically.
+func TestCostDevirtJoin(t *testing.T) {
+	sums := loadCostSrc(t, `package p
+
+type ranker interface{ rank(n int) float64 }
+
+type cheap struct{}
+
+func (cheap) rank(n int) float64 { return float64(n) }
+
+type heavy struct{}
+
+func (heavy) rank(n int) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		buf := make([]float64, n)
+		s += buf[0]
+	}
+	return s
+}
+
+func dispatch(r ranker, n int) float64 { return r.rank(n) }
+`)
+	d := sums["dispatch"].Cost
+	if d.DynW != 1 {
+		t.Errorf("dispatch DynW = %d, want 1 (one dynamic site, no loop)", d.DynW)
+	}
+	if d.Depth != 1 {
+		t.Errorf("dispatch depth = %d, want 1 (heaviest candidate inlined)", d.Depth)
+	}
+	if d.AllocW != costTripFactor {
+		t.Errorf("dispatch AllocW = %d, want %d (heavy candidate's loop alloc)", d.AllocW, costTripFactor)
+	}
+}
+
+// TestCostReportAndChurn: the report ranks the convergence engine at
+// the top and prints its heaviest path; SpawnChurn marks the thin
+// spawn+join wrapper but not the pooled engine.
+func TestCostReportAndChurn(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+import "sync"
+
+func sweep(next, cur []float64) float64 {
+	d := 0.0
+	for i := range next {
+		next[i] = 0.85 * cur[i]
+		d += next[i] - cur[i]
+	}
+	return d
+}
+
+func churnySweep(next, cur []float64, parts int) {
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); sweep(next, cur) }()
+	}
+	wg.Wait()
+}
+
+func engine(next, cur []float64, iters int) {
+	for i := 0; i < iters; i++ {
+		sweep(next, cur)
+		next, cur = cur, next
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().LoadDir(dir, "fixture/costreport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph := BuildCallGraph([]*Package{pkg})
+	sums := ComputeSummaries(graph)
+
+	for name, want := range map[string]bool{"churnySweep": true, "engine": false, "sweep": false} {
+		var got bool
+		for _, n := range graph.Nodes {
+			if n.Func.Name() == name {
+				got = sums.byFunc[n.Func].SpawnChurn
+			}
+		}
+		if got != want {
+			t.Errorf("SpawnChurn(%s) = %v, want %v", name, got, want)
+		}
+	}
+
+	var b strings.Builder
+	if err := graph.WriteCostReport(&b, sums, 2); err != nil {
+		t.Fatal(err)
+	}
+	report := b.String()
+	if !strings.Contains(report, "top 2 of 3 functions") {
+		t.Errorf("report header wrong:\n%s", report)
+	}
+	// churnySweep and engine share the work term (unbounded loop over a
+	// per-node body); churnySweep's spawn weight breaks the tie.
+	first := strings.SplitN(report, "\n", 3)[1]
+	if !strings.Contains(first, "p.churnySweep") || !strings.Contains(first, "unbounded-loop") {
+		t.Errorf("top entry should be p.churnySweep with unbounded-loop, got: %s", first)
+	}
+	if !strings.Contains(report, "path: p.engine -> p.sweep") {
+		t.Errorf("missing heaviest path for engine:\n%s", report)
+	}
+}

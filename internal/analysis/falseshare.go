@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FalseShare flags the performance hole in a pattern gocapture
+// sanctions as *correct*: sibling goroutines spawned by one loop, each
+// writing its own element of a shared backing array (`partDeltas[w] =
+// …` from worker w). The writes are disjoint, so there is no race —
+// but adjacent scalar slots share a cache line, and every worker's
+// store invalidates the line in every other worker's cache: the slots
+// that exist to keep the workers independent serialize them through
+// the coherence protocol. The fix is either a cache-line-padded
+// stride (worker w owns slot w*pad with pad*elemsize ≥ 64 bytes, the
+// kernel.SweepPool deltas layout) or accumulating locally and
+// publishing once.
+//
+// The model, and its edges:
+//
+//   - a "worker slot" write is an element write X[i] inside a
+//     goroutine literal spawned in a loop, where i is exactly the
+//     per-iteration identity of the sibling: a captured loop variable
+//     (Go ≥ 1.22 per-iteration storage, same assumption racecheck
+//     makes) or a literal parameter bound to the loop variable at the
+//     go statement;
+//   - writes indexed by anything else — an interior loop variable
+//     walking the worker's own range (`next[v]` for v in [lo, hi)) —
+//     are clean: each worker touches many consecutive lines and only
+//     the two boundary lines can ever be shared;
+//   - a padded index `w*c` or `w<<k` is clean when the stride reaches
+//     a full cache line (64 bytes) for the element type, flagged
+//     otherwise;
+//   - a loop that joins its goroutines in the same iteration that
+//     spawned them (wg.Wait in the loop body, directly or via a
+//     callee's WaitsOnWG) runs them one at a time — no two siblings
+//     are concurrently live, nothing can false-share, skip.
+//
+// Known unsoundness, deliberate: spawns of named functions or method
+// values (`go sp.worker(w, ch)`) are not inspected — the worker index
+// flows through a parameter the intraprocedural pattern cannot see;
+// goroutines defined in one function literal and spawned in another
+// are likewise unseen; element sizes assume a 64-bit platform. The
+// checker exists to catch the shape the repository actually writes,
+// not to prove absence of false sharing.
+var FalseShare = &Analyzer{
+	Name: "falseshare",
+	Doc:  "sibling goroutines must not write adjacent elements of one array; pad worker slots to a cache line",
+	Run:  runFalseShare,
+}
+
+// falseShareLine is the cache-line size the padding advice targets.
+const falseShareLine = 64
+
+func runFalseShare(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, fb := range functionsOf(file) {
+			// Walk the frame tracking the per-iteration loop variables
+			// of the enclosing loops and the innermost loop body (for
+			// the join-per-iteration test). Nested literals are their
+			// own functionsOf entries and start a fresh frame.
+			var walk func(n ast.Node, vars map[types.Object]bool, loopBody *ast.BlockStmt)
+			walk = func(n ast.Node, vars map[types.Object]bool, loopBody *ast.BlockStmt) {
+				if n == nil {
+					return
+				}
+				ast.Inspect(n, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.FuncLit:
+						return false
+					case *ast.ForStmt:
+						nv := cloneVarSet(vars)
+						if m.Init != nil {
+							addDefinedVars(pass.Pkg.Info, m.Init, nv)
+							walk(m.Init, vars, loopBody)
+						}
+						walk(m.Cond, nv, m.Body)
+						if m.Post != nil {
+							walk(m.Post, nv, m.Body)
+						}
+						walk(m.Body, nv, m.Body)
+						return false
+					case *ast.RangeStmt:
+						nv := cloneVarSet(vars)
+						addDefinedVars(pass.Pkg.Info, m, nv)
+						walk(m.X, vars, loopBody)
+						walk(m.Body, nv, m.Body)
+						return false
+					case *ast.GoStmt:
+						if loopBody != nil {
+							checkGoFalseShare(pass, m, vars, loopBody)
+						}
+						return false
+					}
+					return true
+				})
+			}
+			walk(fb.body, map[types.Object]bool{}, nil)
+		}
+	}
+}
+
+func cloneVarSet(vars map[types.Object]bool) map[types.Object]bool {
+	nv := make(map[types.Object]bool, len(vars)+2)
+	for k := range vars {
+		nv[k] = true
+	}
+	return nv
+}
+
+// addDefinedVars records the objects a loop header defines: the `w` of
+// `for w := 0; …` (stmt is the init AssignStmt) or the key/value of a
+// range statement.
+func addDefinedVars(info *types.Info, stmt ast.Node, vars map[types.Object]bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range [2]ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// checkGoFalseShare examines one loop-spawned goroutine literal for
+// worker-slot writes into shared arrays.
+func checkGoFalseShare(pass *Pass, g *ast.GoStmt, loopVars map[types.Object]bool, loopBody *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return // named/method spawn: worker index invisible here
+	}
+	if loopJoinsPerIteration(pass, loopBody) {
+		return // spawn, join, next iteration: siblings never coexist
+	}
+
+	// The sibling-identity objects: captured per-iteration loop vars
+	// plus literal parameters bound to a loop var at the go statement.
+	sib := make(map[types.Object]bool, len(loopVars)+2)
+	for obj := range loopVars {
+		sib[obj] = true
+	}
+	for ai, arg := range g.Call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || !loopVars[info.Uses[id]] {
+			continue
+		}
+		if pobj := litParamAt(info, lit, ai); pobj != nil {
+			sib[pobj] = true
+		}
+	}
+	if len(sib) == 0 {
+		return
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWorkerSlotWrite(pass, lit, lhs, sib)
+			}
+		case *ast.IncDecStmt:
+			checkWorkerSlotWrite(pass, lit, n.X, sib)
+		}
+		return true
+	})
+}
+
+// loopJoinsPerIteration reports whether the loop body blocks on a
+// WaitGroup each iteration (directly or via a callee).
+func loopJoinsPerIteration(pass *Pass, body *ast.BlockStmt) bool {
+	info := pass.Pkg.Info
+	joins := false
+	visitNode(body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isWGWaitCall(info, call) {
+			joins = true
+			return false
+		}
+		if cs := pass.Summaries.CalleeSummaryDevirt(info, call); cs != nil && cs.WaitsOnWG {
+			joins = true
+			return false
+		}
+		return true
+	})
+	return joins
+}
+
+// litParamAt returns the object of the literal's parameter at argument
+// position ai, flattening grouped parameter names.
+func litParamAt(info *types.Info, lit *ast.FuncLit, ai int) types.Object {
+	i := 0
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if i == ai {
+				return info.Defs[name]
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// checkWorkerSlotWrite flags lhs when it is an element write X[i] with
+// i a sibling-identity index (optionally scaled by a constant stride)
+// into a shared array of basic elements, and the stride does not reach
+// a cache line.
+func checkWorkerSlotWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, sib map[types.Object]bool) {
+	info := pass.Pkg.Info
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+
+	// The base must be a slice/array of basic elements — the scalar
+	// "one slot per worker" layout — rooted outside the literal (a
+	// worker-local buffer cannot be shared with siblings).
+	baseT := info.TypeOf(ix.X)
+	if baseT == nil {
+		return
+	}
+	var elem types.Type
+	switch u := baseT.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return
+	}
+	if _, basic := elem.Underlying().(*types.Basic); !basic {
+		return
+	}
+	root := rootIdentObj(info, ix.X)
+	if root == nil || insideNode(root.Pos(), lit.Body) {
+		return
+	}
+
+	strideElems, sibIdx := workerStride(info, ix.Index, sib)
+	if sibIdx == nil {
+		return
+	}
+	elemSize := int64(8)
+	if sizes := types.SizesFor("gc", "amd64"); sizes != nil {
+		elemSize = sizes.Sizeof(elem)
+	}
+	if strideElems*elemSize >= falseShareLine {
+		return // padded: each sibling owns its own line
+	}
+	pad := falseShareLine / elemSize
+	if pad < 1 {
+		pad = 1
+	}
+	pass.Reportf(lhs.Pos(),
+		"sibling goroutines write adjacent elements of %s (stride %d B, indexed by %s): the per-worker slots share a cache line and every store invalidates the siblings'; pad the stride to a full line (index by %s*%d) or accumulate locally and publish once",
+		types.ExprString(ix.X), strideElems*elemSize, sibIdx.Name(), sibIdx.Name(), pad)
+}
+
+// workerStride decomposes an index expression into (stride, sibling
+// object): `w` is (1, w), `w*c` and `c*w` are (c, w), `w<<k` is
+// (2^k, w). Any other shape returns a nil object.
+func workerStride(info *types.Info, idx ast.Expr, sib map[types.Object]bool) (int64, types.Object) {
+	sibObj := func(e ast.Expr) types.Object {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && sib[obj] {
+				return obj
+			}
+		}
+		return nil
+	}
+	constVal := func(e ast.Expr) (int64, bool) {
+		if tv, ok := info.Types[e]; ok && tv.Value != nil {
+			return constant.Int64Val(constant.ToInt(tv.Value))
+		}
+		return 0, false
+	}
+	switch e := ast.Unparen(idx).(type) {
+	case *ast.Ident:
+		if obj := sibObj(e); obj != nil {
+			return 1, obj
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.MUL:
+			if obj := sibObj(e.X); obj != nil {
+				if c, ok := constVal(e.Y); ok && c > 0 {
+					return c, obj
+				}
+			}
+			if obj := sibObj(e.Y); obj != nil {
+				if c, ok := constVal(e.X); ok && c > 0 {
+					return c, obj
+				}
+			}
+		case token.SHL:
+			if obj := sibObj(e.X); obj != nil {
+				if c, ok := constVal(e.Y); ok && c >= 0 && c < 32 {
+					return 1 << c, obj
+				}
+			}
+		}
+	}
+	return 0, nil
+}
+
+// rootIdentObj returns the object of the leftmost identifier of e:
+// `buf` for buf, sp.deltas, state.buf[3].
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// insideNode reports whether pos lies within n's source range.
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos < n.End()
+}

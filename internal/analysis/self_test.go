@@ -19,6 +19,7 @@ func TestSuiteComplete(t *testing.T) {
 		"errflow", "lockbalance", "maprange", "hotalloc",
 		"wgbalance", "chanleak", "ctxflow", "hotpure",
 		"racecheck", "lockorder",
+		"spawnloop", "falseshare",
 	}
 	if len(All) != len(want) {
 		t.Fatalf("len(All) = %d, want %d", len(All), len(want))

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpawnLoop flags goroutine spawn/join churn inside high-trip loops:
+// a loop whose trip count is not a small compile-time constant
+// (classifyLoop, cost.go) and whose body both starts goroutines and
+// joins them — per iteration. The convergence loops of the ranking
+// engines run hundreds of such iterations; paying one goroutine
+// creation plus WaitGroup churn per worker per iteration is pure
+// overhead against a persistent pool spawned once before the loop and
+// driven with a round barrier (kernel.SweepPool is this repository's
+// shape for it: resident workers, one broadcast channel each, the
+// caller participating as worker 0).
+//
+// Per-iteration spawn evidence is positional, not just "the callee
+// transitively spawns" — otherwise every benchmark repetition loop
+// around a complete parallel computation would flag. Inside the loop
+// body it counts:
+//
+//   - a go statement;
+//   - a call to a callee whose summary says SpawnChurn: the callee
+//     performs an unamortized spawn+join unit per call (the pre-pool
+//     ParallelSweep shape), so calling it per iteration repeats the
+//     churn here;
+//   - a call to a callee that spawns and does NOT join
+//     (SpawnsGoroutine && !WaitsOnWG): a pool constructor — building
+//     the pool itself per iteration is the same churn one level up.
+//
+// Join evidence is a direct wg.Wait or a callee with WaitsOnWG. A
+// self-contained computation like pagerank.ComputeCtx has WaitsOnWG
+// but provides no spawn evidence (its SpawnChurn is false: the spawn
+// is amortized over its internal convergence loop), so repeating it
+// stays clean.
+//
+// The pooled pattern is clean by construction: the pool's round has
+// WaitsOnWG but not SpawnsGoroutine (the spawn happened in the
+// constructor, outside the loop), and a bare spawn loop followed by
+// one Wait after the loop joins nothing per iteration.
+var SpawnLoop = &Analyzer{
+	Name: "spawnloop",
+	Doc:  "no goroutine spawn + WaitGroup join per iteration of a high-trip loop; hoist the workers into a persistent pool",
+	Run:  runSpawnLoop,
+}
+
+func runSpawnLoop(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, fb := range functionsOf(file) {
+			// Nested literals are their own functionsOf entries; skip
+			// them here so each loop is examined exactly once, in the
+			// innermost function that executes it.
+			ast.Inspect(fb.body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					checkSpawnLoop(pass, loop, loop.Body)
+				case *ast.RangeStmt:
+					checkSpawnLoop(pass, loop, loop.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkSpawnLoop reports loop when its body both spawns and joins per
+// iteration and the loop is not a small constant unroll.
+func checkSpawnLoop(pass *Pass, loop ast.Stmt, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	if classifyLoop(info, loop) == tripConst {
+		return
+	}
+	spawnPos, spawnVia, spawned := spawnEvidenceIn(pass.Summaries, info, body)
+	if !spawned {
+		return
+	}
+	joinVia, joined := joinEvidenceIn(pass.Summaries, info, body)
+	if !joined {
+		return
+	}
+	pass.Reportf(spawnPos,
+		"goroutines are spawned (via %s) and joined (via %s) on every iteration of a high-trip loop; spawn a persistent round-barriered worker pool once before the loop and reuse it each iteration",
+		spawnVia, joinVia)
+}
+
+// spawnEvidenceIn scans region (skipping nested function literal
+// bodies) for per-execution goroutine creation: a direct go statement,
+// a call to a SpawnChurn callee, or a call to a spawn-without-join
+// callee (a pool constructor). Returns the first site.
+func spawnEvidenceIn(sums *Summaries, info *types.Info, region ast.Node) (token.Pos, string, bool) {
+	var pos token.Pos
+	via := ""
+	visitNode(region, func(m ast.Node) bool {
+		if via != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			pos, via = m.Pos(), "a go statement"
+			return false
+		case *ast.CallExpr:
+			cs := sums.CalleeSummaryDevirt(info, m)
+			if cs == nil {
+				return true
+			}
+			if cs.SpawnChurn || (cs.SpawnsGoroutine && !cs.WaitsOnWG) {
+				pos, via = m.Pos(), types.ExprString(m.Fun)
+				return false
+			}
+		}
+		return true
+	})
+	return pos, via, via != ""
+}
+
+// joinEvidenceIn scans region (skipping nested literal bodies) for a
+// WaitGroup join: a direct wg.Wait or a callee with WaitsOnWG.
+func joinEvidenceIn(sums *Summaries, info *types.Info, region ast.Node) (string, bool) {
+	via := ""
+	visitNode(region, func(m ast.Node) bool {
+		if via != "" {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isWGWaitCall(info, call) {
+			via = "wg.Wait"
+			return false
+		}
+		if cs := sums.CalleeSummaryDevirt(info, call); cs != nil && cs.WaitsOnWG {
+			via = types.ExprString(call.Fun)
+			return false
+		}
+		return true
+	})
+	return via, via != ""
+}
+
+// computeSpawnChurn fills the SpawnChurn summary fact, bottom-up over
+// the SCCs after the main fixpoint (SpawnsGoroutine, WaitsOnWG and
+// Cost are final). A function churns when it performs a spawn+join
+// unit per call with no amortizing structure:
+//
+//	(a) a high-trip loop in its own body that joins (directly or via a
+//	    WaitsOnWG callee) without spawning — a rounds loop driving
+//	    already-spawned workers: the pool shape;
+//	(b) a high-trip loop that sends on a channel without spawning — a
+//	    job-feeding loop distributing work to a resident pool;
+//	(c) no spawn of its own at all: every spawn it inherits comes from
+//	    a callee that is itself a non-churny self-contained
+//	    computation (SpawnChurn false, WaitsOnWG true) — a dispatcher
+//	    like pagerank.ComputeCtx.
+//
+// The fact has negative dependencies on callee facts, so unlike the
+// monotone summary lattice it is computed in one bottom-up pass, not
+// a fixpoint; recursion through spawn/join helpers (not a pattern
+// this repository has) would read a same-SCC callee's fact as its
+// zero value.
+func computeSpawnChurn(sums *Summaries) {
+	for _, scc := range sums.Graph.SCCs {
+		for _, n := range scc {
+			s := sums.byFunc[n.Func]
+			if s.SpawnsGoroutine && s.WaitsOnWG && !spawnAmortized(sums, n) {
+				s.SpawnChurn = true
+			}
+		}
+	}
+}
+
+// spawnAmortized reports whether n's spawn+join unit is amortized; see
+// computeSpawnChurn.
+func spawnAmortized(sums *Summaries, n *CGNode) bool {
+	info := n.Pkg.Info
+
+	// (a)/(b): a high-trip rounds or job-feeding loop with no spawn of
+	// its own, anywhere in the function (worker literals included — a
+	// resident worker's receive loop is amortizing structure too).
+	amortizing := false
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		if amortizing {
+			return false
+		}
+		var loop ast.Stmt
+		var body *ast.BlockStmt
+		switch l := m.(type) {
+		case *ast.ForStmt:
+			loop, body = l, l.Body
+		case *ast.RangeStmt:
+			loop, body = l, l.Body
+		default:
+			return true
+		}
+		if classifyLoop(info, loop) == tripConst {
+			return true
+		}
+		if _, _, spawned := spawnEvidenceIn(sums, info, body); spawned {
+			return true
+		}
+		if _, joined := joinEvidenceIn(sums, info, body); joined || chanSendIn(body) {
+			amortizing = true
+			return false
+		}
+		return true
+	})
+	if amortizing {
+		return true
+	}
+
+	// (c): a pure dispatcher — no go statement of its own, and every
+	// spawn-carrying callee is a joined, non-churny computation.
+	dispatches := true
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		if !dispatches {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			dispatches = false
+			return false
+		case *ast.CallExpr:
+			cs := sums.CalleeSummaryDevirt(info, m)
+			if cs != nil && cs.SpawnsGoroutine && (cs.SpawnChurn || !cs.WaitsOnWG) {
+				dispatches = false
+				return false
+			}
+		}
+		return true
+	})
+	return dispatches
+}
+
+// chanSendIn reports a channel send statement in region (nested
+// literal bodies skipped).
+func chanSendIn(region ast.Node) bool {
+	found := false
+	visitNode(region, func(m ast.Node) bool {
+		if _, ok := m.(*ast.SendStmt); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -116,6 +116,23 @@ type Summary struct {
 	// acquisition-order graph.
 	AcquiredLocks []LockSite
 	LockEdges     []LockEdge
+
+	// WaitsOnWG: the function (or a callee) blocks on a
+	// sync.WaitGroup's Wait — the join half of the spawn/join churn
+	// the spawnloop checker looks for inside high-trip loops.
+	WaitsOnWG bool
+	// SpawnChurn: one call performs an unamortized spawn+join unit —
+	// it starts goroutines and joins them with no rounds loop, job
+	// feed, or non-churny delegate in between (computeSpawnChurn,
+	// spawnloop.go). Calling such a function per iteration of a
+	// high-trip loop repeats the churn at the call site.
+	SpawnChurn bool
+
+	// Cost is the function's point in the static cost lattice
+	// (cost.go): loop-nesting depth with trip classes plus weighted
+	// allocation, dynamic-dispatch and goroutine-spawn sites, callees
+	// inlined at their call-site depth.
+	Cost Cost
 }
 
 // ParamIndex maps a call-argument position to the parameter slot it
@@ -237,6 +254,9 @@ func joinSummaries(s *Summaries, cands []*CGNode) *Summary {
 		orBools(out.WritesParams, cs.WritesParams)
 		andBools(out.DonesParams, cs.DonesParams)
 		out.SpawnsGoroutine = out.SpawnsGoroutine || cs.SpawnsGoroutine
+		out.WaitsOnWG = out.WaitsOnWG || cs.WaitsOnWG
+		out.SpawnChurn = out.SpawnChurn || cs.SpawnChurn
+		out.Cost = out.Cost.join(cs.Cost)
 		out.AcquiresLock = out.AcquiresLock || cs.AcquiresLock
 		out.ReleasesLock = out.ReleasesLock || cs.ReleasesLock
 		out.WritesRecv = out.WritesRecv || cs.WritesRecv
@@ -305,6 +325,9 @@ func ComputeSummaries(cg *CallGraph) *Summaries {
 			}
 		}
 	}
+	// SpawnChurn has negative dependencies on the facts above, so it
+	// runs as a single bottom-up post-pass over the converged lattice.
+	computeSpawnChurn(sums)
 	return sums
 }
 
@@ -330,6 +353,7 @@ func summarizeNode(sums *Summaries, n *CGNode) bool {
 	summarizeLocks(n, s)
 	summarizePurity(sums, n, s)
 	summarizeAccesses(sums, n, s)
+	summarizeCost(sums, n, s)
 
 	// Context forwarding: every context-accepting call receives the
 	// function's own (or a derived) context.
@@ -354,7 +378,8 @@ func summarizeNode(sums *Summaries, n *CGNode) bool {
 		old.SpawnsGoroutine != s.SpawnsGoroutine || old.ForwardsCtx != s.ForwardsCtx ||
 		old.AcquiresLock != s.AcquiresLock || old.ReleasesLock != s.ReleasesLock ||
 		old.Purity != s.Purity || old.WritesRecv != s.WritesRecv ||
-		old.WritesEscaped != s.WritesEscaped {
+		old.WritesEscaped != s.WritesEscaped ||
+		old.WaitsOnWG != s.WaitsOnWG || old.Cost != s.Cost {
 		return true
 	}
 	// The concurrency-fact slices are rebuilt from scratch each pass and
@@ -658,6 +683,10 @@ func summarizeConcurrency(sums *Summaries, n *CGNode, s *Summary) {
 				}
 				return true
 			}
+			if isWGWaitCall(info, m) {
+				s.WaitsOnWG = true
+				return true
+			}
 			// Forwarded effects: passing a parameter to a callee that
 			// sends/closes/drains its corresponding parameter (through
 			// the candidate join at interface call sites).
@@ -667,6 +696,9 @@ func summarizeConcurrency(sums *Summaries, n *CGNode, s *Summary) {
 			}
 			if cs.SpawnsGoroutine {
 				s.SpawnsGoroutine = true
+			}
+			if cs.WaitsOnWG {
+				s.WaitsOnWG = true
 			}
 			for ai, arg := range m.Args {
 				pi := cs.ParamIndex(ai)
@@ -921,6 +953,28 @@ func isContextType(t types.Type) bool {
 
 // isWaitGroupType reports whether t is sync.WaitGroup or
 // *sync.WaitGroup.
+// isWGWaitCall reports a call of sync.WaitGroup.Wait through any
+// receiver expression — unlike wgMethodCall it accepts field receivers
+// (`sp.wg.Wait()`), because the WaitsOnWG summary fact only records
+// that the function blocks on some WaitGroup, not which one.
+func isWGWaitCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	obj := types.Object(nil)
+	if s, ok := info.Selections[sel]; ok {
+		obj = s.Obj()
+	} else {
+		obj = info.Uses[sel.Sel]
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	return t != nil && isWaitGroupType(t)
+}
+
 func isWaitGroupType(t types.Type) bool {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()

@@ -1,0 +1,59 @@
+// Package fixture triggers the falseshare checker: sibling goroutines
+// writing adjacent per-worker slots of one backing array.
+package fixture
+
+import "sync"
+
+// adjacentSlots is the classic shape: worker w owns partDeltas[w], one
+// float64 per worker — eight workers in one cache line, every store
+// invalidating the siblings'.
+func adjacentSlots(cur []float64, parts int) float64 {
+	partDeltas := make([]float64, parts)
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := 0.0
+			for v := w; v < len(cur); v += parts {
+				d += cur[v]
+			}
+			partDeltas[w] = d
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, d := range partDeltas {
+		total += d
+	}
+	return total
+}
+
+// capturedLoopVar writes through the captured per-iteration loop
+// variable (Go 1.22 semantics) instead of a parameter; int32 slots
+// pack sixteen workers per line.
+func capturedLoopVar(done []int32, parts int) {
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done[w] = 1
+		}()
+	}
+	wg.Wait()
+}
+
+// underPadded strides by two floats — 16 bytes, still four workers to
+// a cache line.
+func underPadded(deltas []float64, parts int) {
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			deltas[w*2] = float64(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,82 @@
+// Package fixture stays clean under the falseshare checker: padded
+// strides, disjoint-range writes, sequential siblings, worker-local
+// buffers.
+package fixture
+
+import "sync"
+
+// paddedSlots gives each worker a full cache line: 8 float64 = 64 B.
+func paddedSlots(cur []float64, parts int) float64 {
+	deltas := make([]float64, parts*8)
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := 0.0
+			for v := w; v < len(cur); v += parts {
+				d += cur[v]
+			}
+			deltas[w*8] = d
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for w := 0; w < parts; w++ {
+		total += deltas[w*8]
+	}
+	return total
+}
+
+// rangeWrites is the disjoint-range shape the sweep kernels use: each
+// worker fills next[lo:hi) element by element — many consecutive lines
+// per worker, only the boundaries could ever be shared.
+func rangeWrites(next, cur []float64, parts int) {
+	var wg sync.WaitGroup
+	chunk := (len(next) + parts - 1) / parts
+	for w := 0; w < parts; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(next) {
+			hi = len(next)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				next[v] = 0.85 * cur[v]
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sequentialSiblings joins each goroutine in the iteration that
+// spawned it: no two are ever concurrently live, nothing can
+// false-share.
+func sequentialSiblings(slots []float64, parts int) {
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slots[w] = float64(w)
+		}(w)
+		wg.Wait()
+	}
+}
+
+// localBuffer accumulates into a worker-owned slice: nothing shared.
+func localBuffer(cur []float64, parts int) {
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, 4)
+			local[0] = float64(w)
+			_ = local
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,43 @@
+// Package fixture pins the sanctioned pool layout: resident workers
+// spawned once, each publishing its per-round result into a
+// cache-line-padded slot (the kernel.SweepPool deltas layout).
+package fixture
+
+import "sync"
+
+// runPool spawns resident workers that serve rounds from private
+// channels and write their partial results at a 64-byte stride.
+func runPool(cur []float64, parts, rounds int) float64 {
+	deltas := make([]float64, parts*8)
+	jobs := make([]chan []float64, parts)
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		ch := make(chan []float64, 1)
+		jobs[w] = ch
+		go func(w int, ch chan []float64) {
+			for vec := range ch {
+				d := 0.0
+				for v := w; v < len(vec); v += parts {
+					d += vec[v]
+				}
+				deltas[w*8] = d
+				wg.Done()
+			}
+		}(w, ch)
+	}
+	total := 0.0
+	for r := 0; r < rounds; r++ {
+		wg.Add(parts)
+		for _, ch := range jobs {
+			ch <- cur
+		}
+		wg.Wait()
+		for w := 0; w < parts; w++ {
+			total += deltas[w*8]
+		}
+	}
+	for _, ch := range jobs {
+		close(ch)
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+// Package fixture triggers the spawnloop checker: goroutine spawn +
+// WaitGroup join churn inside high-trip loops — the pre-pool shape of
+// the parallel sweep this repository used to have.
+package fixture
+
+import "sync"
+
+// iterateDirect pays one goroutine creation per worker per iteration
+// of the convergence loop: the spawn loop and the Wait both live in
+// the iteration body.
+func iterateDirect(next, cur []float64, parts int, tol float64) {
+	delta := tol + 1
+	for delta > tol {
+		var wg sync.WaitGroup
+		chunk := (len(next) + parts - 1) / parts
+		for w := 0; w < parts; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(next) {
+				hi = len(next)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for v := lo; v < hi; v++ {
+					next[v] = 0.85 * cur[v]
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		delta *= 0.5
+		next, cur = cur, next
+	}
+}
+
+// parallelSweep is the churny unit hiding the same pattern behind a
+// call: one spawn+join per invocation, no rounds structure of its own,
+// so its summary carries SpawnChurn.
+func parallelSweep(next, cur []float64, parts int) {
+	var wg sync.WaitGroup
+	chunk := (len(next) + parts - 1) / parts
+	for w := 0; w < parts; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(next) {
+			hi = len(next)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				next[v] = 0.85 * cur[v]
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// iterateViaHelper repeats the churn through the helper's summary: the
+// loop body neither spawns nor waits syntactically, but every call to
+// parallelSweep does both.
+func iterateViaHelper(next, cur []float64, parts, maxIter int) {
+	for iter := 0; iter < maxIter; iter++ {
+		parallelSweep(next, cur, parts)
+		next, cur = cur, next
+	}
+}

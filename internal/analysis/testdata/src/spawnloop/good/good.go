@@ -1,0 +1,67 @@
+// Package fixture stays clean under the spawnloop checker: goroutines
+// are spawned once and amortized, or the repeated work is a
+// self-contained computation.
+package fixture
+
+import "sync"
+
+// spawnOnceJoinOnce is the fan-out shape: the spawn loop joins nothing
+// per iteration, the single Wait after it joins everything once.
+func spawnOnceJoinOnce(out []float64, parts int) {
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := w; v < len(out); v += parts {
+				out[v] = float64(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// fullComputation spawns its workers before its convergence loop and
+// drives them with per-round job sends — the spawn is amortized over
+// the whole run, so the summary carries no SpawnChurn.
+func fullComputation(next, cur []float64, parts, maxIter int) float64 {
+	var wg sync.WaitGroup
+	jobs := make([]chan int, parts)
+	for w := 0; w < parts; w++ {
+		ch := make(chan int, 1)
+		jobs[w] = ch
+		go func(w int, ch chan int) {
+			for range ch {
+				for v := w; v < len(next); v += parts {
+					next[v] = 0.85 * cur[v]
+				}
+				wg.Done()
+			}
+		}(w, ch)
+	}
+	total := 0.0
+	for iter := 0; iter < maxIter; iter++ {
+		wg.Add(parts)
+		for _, ch := range jobs {
+			ch <- iter
+		}
+		wg.Wait()
+		total += next[0]
+		next, cur = cur, next
+	}
+	for _, ch := range jobs {
+		close(ch)
+	}
+	return total
+}
+
+// repeatComputation is the benchmark shape: repeating a self-contained
+// parallel computation is not per-iteration churn — the callee
+// amortizes its own spawns internally.
+func repeatComputation(next, cur []float64, parts, reps int) float64 {
+	total := 0.0
+	for r := 0; r < reps; r++ {
+		total += fullComputation(next, cur, parts, 50)
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+// Package fixture pins the sanctioned resolution of a spawnloop
+// finding: a persistent round-barriered pool (the kernel.SweepPool
+// shape) — workers spawned once in the constructor, a convergence
+// loop calling the round per iteration, one Close at the end.
+package fixture
+
+import "sync"
+
+type job struct {
+	next, cur []float64
+}
+
+type pool struct {
+	parts int
+	jobs  []chan job
+	wg    sync.WaitGroup
+}
+
+// newPool spawns the resident workers: SpawnsGoroutine without
+// WaitsOnWG — a constructor, not a churny unit.
+func newPool(parts int) *pool {
+	p := &pool{parts: parts, jobs: make([]chan job, parts)}
+	for w := 0; w < parts; w++ {
+		ch := make(chan job, 1)
+		p.jobs[w] = ch
+		go p.worker(w, ch)
+	}
+	return p
+}
+
+func (p *pool) worker(w int, jobs <-chan job) {
+	for j := range jobs {
+		for v := w; v < len(j.next); v += p.parts {
+			j.next[v] = 0.85 * j.cur[v]
+		}
+		p.wg.Done()
+	}
+}
+
+// round broadcasts one sweep and joins the barrier: WaitsOnWG without
+// SpawnsGoroutine, so calling it per iteration is clean.
+func (p *pool) round(next, cur []float64) {
+	p.wg.Add(p.parts)
+	for _, ch := range p.jobs {
+		ch <- job{next: next, cur: cur}
+	}
+	p.wg.Wait()
+}
+
+func (p *pool) close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}
+
+// iterate is the engine: the pool outlives the convergence loop, each
+// iteration pays only the round barrier.
+func iterate(next, cur []float64, parts int, tol float64) {
+	p := newPool(parts)
+	defer p.close()
+	delta := tol + 1
+	for delta > tol {
+		p.round(next, cur)
+		delta *= 0.5
+		next, cur = cur, next
+	}
+}

@@ -3,7 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
+	"runtime"
 	"time"
 
 	"repro/internal/kernel"
@@ -92,15 +92,26 @@ func (c *ExtendedChain) buildPull() *kernel.CSR {
 }
 
 // runParallel is the Parallelism > 1 branch of RunCtx: a pull-based
-// power iteration over the chain's cached pull CSR, with cfg.Parallelism
-// workers each owning a disjoint edge-count-balanced range of target
-// states. Workers read the immutable cur and write only their own slice
-// of next, so there is no reduction pass and the iterate is
-// bit-identical across worker counts; it differs from the sequential
-// push sweep only by floating-point reassociation of each state's
-// in-row. pvec doubles as the dangling redistribution vector — the
-// collapsed chain redistributes dangling mass along the personalization
-// vector by construction.
+// power iteration over the chain's cached pull CSR, with a persistent
+// kernel.SweepPool of workers each owning a disjoint
+// edge-count-balanced range of target states. The team is spawned once
+// before the convergence loop and reused every round (per-round
+// spawn/join was the arlint spawnloop finding), with its partial
+// deltas in cache-line-padded pool slots rather than adjacent elements
+// of a shared array (the falseshare finding). Workers read the
+// immutable cur and write only their own slice of next, so there is no
+// reduction pass and the iterate is bit-identical across worker
+// counts; it differs from the sequential push sweep only by
+// floating-point reassociation of each state's in-row. pvec doubles as
+// the dangling redistribution vector — the collapsed chain
+// redistributes dangling mass along the personalization vector by
+// construction.
+//
+// The requested Parallelism is capped at runtime.GOMAXPROCS(0); unlike
+// pagerank.computeParallel this branch keeps its pull iteration even
+// at one effective worker, because its contract (ctx polled at every
+// iteration's barrier, not every ctxCheckInterval) is part of RunCtx's
+// documented cancellation behavior.
 func (c *ExtendedChain) runParallel(ctx context.Context, cfg Config, pvec []float64, start time.Time) (*Result, error) {
 	csr := c.pullCSR()
 	n := c.n
@@ -112,13 +123,17 @@ func (c *ExtendedChain) runParallel(ctx context.Context, cfg Config, pvec []floa
 	defer kernel.PutVec(deltas)
 	copy(cur, pvec)
 
-	bounds := kernel.PartitionByEdges(csr.InOff, cfg.Parallelism)
-	partDeltas := make([]float64, len(bounds)-1)
+	parts := cfg.Parallelism
+	if maxProcs := runtime.GOMAXPROCS(0); parts > maxProcs {
+		parts = maxProcs
+	}
+	bounds := kernel.PartitionByEdges(csr.InOff, parts)
+	pool := kernel.NewSweepPool(len(bounds) - 1)
+	defer pool.Close()
 	eps := cfg.Epsilon
 	res := &Result{}
-	var wg sync.WaitGroup
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
-		delta := csr.ParallelSweep(ctx, &wg, next, cur, pvec, pvec, eps, csr.DanglingMass(cur), bounds, partDeltas)
+		delta := pool.Sweep(ctx, csr, next, cur, pvec, pvec, eps, csr.DanglingMass(cur), bounds)
 		// A cancellation that landed mid-iteration left next (and the
 		// partial deltas) stale; this check runs before either is trusted,
 		// so a cancelled iteration can never "converge".

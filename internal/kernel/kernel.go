@@ -29,11 +29,6 @@
 // by edges + nodes in its range.
 package kernel
 
-import (
-	"context"
-	"sync"
-)
-
 // Source is the view of a directed graph a snapshot is built from.
 // pagerank.DirectedGraph satisfies it structurally; *graph.Graph
 // satisfies both.
@@ -366,57 +361,6 @@ func (c *CSR) SweepRangeScaled(next, scaled, cur, p, d []float64, lo, hi int, ep
 //arlint:hot
 func (c *CSR) SweepScaled(next, scaled, cur, p, d []float64, eps, danglingMass float64) float64 {
 	return c.SweepRangeScaled(next, scaled, cur, p, d, 0, c.N, eps, danglingMass)
-}
-
-// ParallelSweep runs one pull iteration with one goroutine per part of
-// bounds (as produced by PartitionByEdges), writing partial deltas into
-// partDeltas (len ≥ parts) and returning their sum accumulated in part
-// order — bit-deterministic for a fixed bounds. Workers early-out when
-// ctx is already cancelled, leaving next and partDeltas stale; callers
-// MUST check ctx.Err() after the sweep before trusting either (the same
-// post-barrier contract the engines' convergence loops already follow).
-func (c *CSR) ParallelSweep(ctx context.Context, wg *sync.WaitGroup, next, cur, p, d []float64, eps, danglingMass float64, bounds []int, partDeltas []float64) float64 {
-	parts := len(bounds) - 1
-	for w := 0; w < parts; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if ctx.Err() != nil {
-				return // cancelled: skip the range scan, the barrier still holds
-			}
-			partDeltas[w] = c.SweepRange(next, cur, p, d, bounds[w], bounds[w+1], eps, danglingMass)
-		}(w)
-	}
-	wg.Wait()
-	delta := 0.0
-	for _, pd := range partDeltas[:parts] {
-		delta += pd
-	}
-	return delta
-}
-
-// ParallelSweepScaled is ParallelSweep on the scaled path of a uniform
-// snapshot: the caller runs ScaleInto first (scaled is read-only during
-// the sweep), then each worker gather-adds over its target range. Same
-// determinism and cancellation contract as ParallelSweep.
-func (c *CSR) ParallelSweepScaled(ctx context.Context, wg *sync.WaitGroup, next, scaled, cur, p, d []float64, eps, danglingMass float64, bounds []int, partDeltas []float64) float64 {
-	parts := len(bounds) - 1
-	for w := 0; w < parts; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if ctx.Err() != nil {
-				return // cancelled: skip the range scan, the barrier still holds
-			}
-			partDeltas[w] = c.SweepRangeScaled(next, scaled, cur, p, d, bounds[w], bounds[w+1], eps, danglingMass)
-		}(w)
-	}
-	wg.Wait()
-	delta := 0.0
-	for _, pd := range partDeltas[:parts] {
-		delta += pd
-	}
-	return delta
 }
 
 // PartitionByEdges splits targets [0, n) into parts contiguous ranges of

@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"math/rand"
-	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -45,7 +44,7 @@ func pushReference(g *graph.Graph, cur, p, d []float64, eps float64) []float64 {
 	return next
 }
 
-func randomGraph(t *testing.T, rng *rand.Rand, n int, weighted bool) *graph.Graph {
+func randomGraph(t testing.TB, rng *rand.Rand, n int, weighted bool) *graph.Graph {
 	t.Helper()
 	b := graph.NewBuilder(n)
 	for u := 0; u < n; u++ {
@@ -127,11 +126,11 @@ func TestSweepDelta(t *testing.T) {
 	}
 }
 
-// TestParallelSweepBitIdentical: the iterate produced by ParallelSweep
+// TestSweepPoolBitIdentical: the iterate produced by a SweepPool round
 // is bit-identical to the sequential Sweep for every worker count —
 // each target's in-row is accumulated whole, in CSR order, no matter
 // how targets are partitioned.
-func TestParallelSweepBitIdentical(t *testing.T) {
+func TestSweepPoolBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g := randomGraph(t, rng, 300, true)
 	n := g.NumNodes()
@@ -144,25 +143,63 @@ func TestParallelSweepBitIdentical(t *testing.T) {
 	p := uniformVec(n)
 	dm := c.DanglingMass(cur)
 	ref := make([]float64, n)
-	c.Sweep(ref, cur, p, p, 0.85, dm)
-	var wg sync.WaitGroup
+	refDelta := c.Sweep(ref, cur, p, p, 0.85, dm)
 	for _, workers := range []int{1, 2, 3, 8} {
 		bounds := PartitionByEdges(c.InOff, workers)
+		pool := NewSweepPool(len(bounds) - 1)
 		next := make([]float64, n)
-		partDeltas := make([]float64, len(bounds)-1)
-		c.ParallelSweep(context.Background(), &wg, next, cur, p, p, 0.85, dm, bounds, partDeltas)
+		delta := pool.Sweep(context.Background(), c, next, cur, p, p, 0.85, dm, bounds)
+		pool.Close()
 		for v := range next {
 			if next[v] != ref[v] {
 				t.Fatalf("workers=%d: next[%d] = %v differs from sequential %v", workers, v, next[v], ref[v])
 			}
 		}
+		if workers == 1 && delta != refDelta {
+			t.Fatalf("single-part delta %v differs from sequential %v", delta, refDelta)
+		}
 	}
 }
 
-// TestParallelSweepCancelled: a cancelled context leaves the sweep
-// without scanning; the caller-side contract is that next is then
-// untrusted, which the engines enforce with a post-barrier ctx check.
-func TestParallelSweepCancelled(t *testing.T) {
+// TestSweepPoolReusedRounds: the point of the pool is running MANY
+// rounds over the same resident workers. Drive a short power iteration
+// through a pool and check every iterate against the sequential sweep
+// — bit-identical at each round, with the same cur/next swap.
+func TestSweepPoolReusedRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := randomGraph(t, rng, 250, true)
+	n := g.NumNodes()
+	c := Snapshot(g)
+	defer c.Release()
+	p := uniformVec(n)
+	bounds := PartitionByEdges(c.InOff, 4)
+	pool := NewSweepPool(len(bounds) - 1)
+	defer pool.Close()
+	if pool.Parts() != len(bounds)-1 {
+		t.Fatalf("pool has %d parts, want %d", pool.Parts(), len(bounds)-1)
+	}
+	cur, next := append([]float64(nil), p...), make([]float64, n)
+	seqCur, seqNext := append([]float64(nil), p...), make([]float64, n)
+	for round := 0; round < 12; round++ {
+		dm := c.DanglingMass(cur)
+		got := pool.Sweep(context.Background(), c, next, cur, p, p, 0.85, dm, bounds)
+		want := c.Sweep(seqNext, seqCur, p, p, 0.85, c.DanglingMass(seqCur))
+		for v := range next {
+			if next[v] != seqNext[v] {
+				t.Fatalf("round %d: next[%d] = %v differs from sequential %v", round, v, next[v], seqNext[v])
+			}
+		}
+		_ = got
+		_ = want
+		cur, next = next, cur
+		seqCur, seqNext = seqNext, seqCur
+	}
+}
+
+// TestSweepPoolCancelled: a cancelled context leaves the round without
+// scanning; the caller-side contract is that next is then untrusted,
+// which the engines enforce with a post-barrier ctx check.
+func TestSweepPoolCancelled(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	g := randomGraph(t, rng, 50, false)
 	c := Snapshot(g)
@@ -172,10 +209,10 @@ func TestParallelSweepCancelled(t *testing.T) {
 	next := make([]float64, n)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	var wg sync.WaitGroup
 	bounds := PartitionByEdges(c.InOff, 4)
-	partDeltas := make([]float64, len(bounds)-1)
-	c.ParallelSweep(ctx, &wg, next, cur, cur, cur, 0.85, 0, bounds, partDeltas)
+	pool := NewSweepPool(len(bounds) - 1)
+	defer pool.Close()
+	pool.Sweep(ctx, c, next, cur, cur, cur, 0.85, 0, bounds)
 	for _, x := range next {
 		if x != 0 {
 			t.Fatal("cancelled sweep wrote into next")
@@ -323,15 +360,15 @@ func TestScaledSweepBitIdentical(t *testing.T) {
 			t.Fatalf("next[%d] = %v not bit-identical to %v", v, next[v], ref[v])
 		}
 	}
-	// The parallel scaled sweep preserves the same identity.
-	var wg sync.WaitGroup
+	// The pooled scaled sweep preserves the same identity.
 	bounds := PartitionByEdges(c.InOff, 3)
-	partDeltas := make([]float64, len(bounds)-1)
+	pool := NewSweepPool(len(bounds) - 1)
+	defer pool.Close()
 	par := make([]float64, n)
-	c.ParallelSweepScaled(context.Background(), &wg, par, scaled, cur, p, p, 0.85, dm, bounds, partDeltas)
+	pool.SweepScaled(context.Background(), c, par, scaled, cur, p, p, 0.85, dm, bounds)
 	for v := 0; v < n; v++ {
 		if par[v] != ref[v] {
-			t.Fatalf("parallel scaled next[%d] = %v not bit-identical to %v", v, par[v], ref[v])
+			t.Fatalf("pooled scaled next[%d] = %v not bit-identical to %v", v, par[v], ref[v])
 		}
 	}
 }

@@ -4,34 +4,50 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/kernel"
 )
 
-// computeParallel runs the power iteration with Parallelism workers on
-// the flat pull kernel. The graph is snapshot once into frozen CSR
-// slices; each worker then owns a disjoint, edge-count-balanced range
-// of TARGET nodes and pulls contributions along the materialized
+// computeParallel runs the power iteration with a persistent worker
+// pool on the flat pull kernel. The graph is snapshot once into frozen
+// CSR slices and a kernel.SweepPool is spawned once for the whole run;
+// each round every worker owns a disjoint, edge-count-balanced range of
+// TARGET nodes and pulls contributions along the materialized
 // in-adjacency — reading the immutable cur, writing only its own slice
-// of next. Compared to the previous push scheme with per-worker private
-// accumulators this removes the O(workers·n) reduction pass, the
-// length-n accumulator allocation per worker, and one barrier per
-// iteration.
+// of next. Spawning the team once instead of once per iteration (the
+// arlint spawnloop finding this replaced) removes one goroutine
+// creation + WaitGroup churn per worker per round; the per-worker
+// partial deltas live in cache-line-padded pool slots (the falseshare
+// finding), not adjacent elements of a shared array.
+//
+// The requested Parallelism is capped at runtime.GOMAXPROCS(0): parts
+// beyond the schedulable CPUs cannot run concurrently and only add
+// barrier traffic. When the cap leaves a single effective worker —
+// notably on a single-CPU machine — the partitioned pull sweep cannot
+// beat the sequential PUSH kernel (same arithmetic, faster memory
+// behavior), so the computation delegates to computeFlat outright.
 //
 // Determinism: every next[v] is accumulated over v's whole in-row in
 // CSR order no matter how targets are partitioned, so the per-iteration
 // ITERATE is bit-identical across worker counts; only the L1 delta
 // (summed per range, then in range order) reassociates, which can move
 // the convergence test by at most the float error of one sum. For a
-// fixed Parallelism the whole run is bit-deterministic.
+// fixed effective worker count the whole run is bit-deterministic.
 //
-// Cancellation is checked after each iteration's barrier (the workers
+// Cancellation is checked after each iteration's barrier (the rounds
 // are bounded, so there is nothing long-lived to interrupt mid-sweep);
 // each worker also early-outs when ctx is already done so a cancelled
 // batch drains without scanning its range.
 func computeParallel(ctx context.Context, g DirectedGraph, opts Options) (*Result, error) {
+	parts := opts.Parallelism
+	if maxProcs := runtime.GOMAXPROCS(0); parts > maxProcs {
+		parts = maxProcs
+	}
+	if parts <= 1 {
+		return computeFlat(ctx, g, opts)
+	}
+
 	n := g.NumNodes()
 	start := time.Now()
 	csr := kernel.Snapshot(g)
@@ -49,8 +65,12 @@ func computeParallel(ctx context.Context, g DirectedGraph, opts Options) (*Resul
 	defer kernel.PutVec(deltas)
 	initStart(cur, p, &opts)
 
-	bounds := kernel.PartitionByEdges(csr.InOff, opts.Parallelism)
-	partDeltas := make([]float64, len(bounds)-1)
+	// PartitionByEdges clamps parts on tiny graphs; size the pool to the
+	// partition it actually produced. The pool outlives the whole
+	// convergence loop — its workers are spawned here, once.
+	bounds := kernel.PartitionByEdges(csr.InOff, parts)
+	pool := kernel.NewSweepPool(len(bounds) - 1)
+	defer pool.Close()
 
 	// Uniform snapshots take the scaled sweep (see computeFlat): the
 	// pre-scale runs once on the coordinating goroutine, the workers then
@@ -63,14 +83,13 @@ func computeParallel(ctx context.Context, g DirectedGraph, opts Options) (*Resul
 
 	eps := opts.Epsilon
 	res := &Result{}
-	var wg sync.WaitGroup
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		var delta float64
 		if scaled != nil {
 			csr.ScaleInto(scaled, cur)
-			delta = csr.ParallelSweepScaled(ctx, &wg, next, scaled, cur, p, d, eps, csr.DanglingMass(cur), bounds, partDeltas)
+			delta = pool.SweepScaled(ctx, csr, next, scaled, cur, p, d, eps, csr.DanglingMass(cur), bounds)
 		} else {
-			delta = csr.ParallelSweep(ctx, &wg, next, cur, p, d, eps, csr.DanglingMass(cur), bounds, partDeltas)
+			delta = pool.Sweep(ctx, csr, next, cur, p, d, eps, csr.DanglingMass(cur), bounds)
 		}
 
 		// A cancellation that landed mid-iteration left next (and the
