@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 300ms
 
-.PHONY: all build lint cost-report lint-sarif fix-smoke vet test race bench bench-diff fuzz-smoke
+.PHONY: all build lint cost-report lint-sarif fix-smoke vet test serve-test race bench bench-diff fuzz-smoke
 
 all: build lint vet test
 
@@ -36,13 +36,19 @@ vet:
 test:
 	$(GO) test ./...
 
+# Focused end-to-end pass over the serving layer: httptest-driven
+# cache/coalescing/admission/deadline behavior plus the disk warm-restart
+# round trip.
+serve-test:
+	$(GO) test -race -count=1 ./internal/serve/
+
 # Race-detector pass over the concurrent packages: the RankMany
 # fail-fast worker pool, the parallel power iteration, the distributed
-# partition runtime, and the experiment drivers that fan work out across
-# goroutines. The cancellation tests run here too — a cancel racing the
-# workers is exactly the interleaving -race exists to catch.
+# partition runtime, the experiment drivers that fan work out across
+# goroutines, and the serving daemon (single-flight coalescing and the
+# admission gate are exactly the interleavings -race exists to catch).
 race:
-	$(GO) test -race ./internal/kernel/ ./internal/core/ ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/
+	$(GO) test -race ./internal/kernel/ ./internal/core/ ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/ ./internal/serve/
 
 # Focused engine benchmarks (chain construction, ApproxRank, the
 # sequential and parallel power iterations, RankMany fan-out, and the

@@ -278,7 +278,9 @@ func ErrorBound(sub *Subgraph, extScores []float64, epsilon float64) (float64, e
 // sharing a Context and dispatching chains across workers — the paper's
 // multi-subgraph scenario. parallelism ≤ 0 selects one worker per
 // subgraph, capped at runtime.GOMAXPROCS(0). The first error cancels the
-// whole batch (fail-fast).
+// whole batch (fail-fast); the positionally-aligned results slice is
+// returned even then, with the chains that completed before the
+// cancellation intact and every other entry nil.
 func RankMany(gctx *Context, subs []*Subgraph, cfg Config, parallelism int) ([]*Result, error) {
 	return core.RankMany(gctx, subs, cfg, parallelism)
 }

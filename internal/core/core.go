@@ -111,6 +111,13 @@ func (c *Config) fill() error {
 	return nil
 }
 
+// Normalize resolves the Config's zero values to their concrete
+// defaults and validates the rest — the same normalization every run
+// applies internally. Callers that key caches on configurations (the
+// serving daemon) use it so a zero value and its explicit default can
+// never alias distinct cache keys.
+func (c *Config) Normalize() error { return c.fill() }
+
 // Result is the outcome of running an extended chain. Scores holds the
 // stationary probabilities of the n local pages in subgraph-local id order;
 // these are directly comparable to the global PageRank vector restricted to

@@ -187,9 +187,27 @@ func TestRankManyFailFast(t *testing.T) {
 		}
 	}
 
-	// The public wrapper returns no results at all on failure.
-	if res, err := RankMany(gctx, subs, Config{}, 1); err == nil || res != nil {
-		t.Errorf("RankMany on poisoned batch: res=%v err=%v", res, err)
+	// The public wrapper exposes the same partial results: the chains
+	// that completed before the poison survive the batch error, so a
+	// serving tier can answer for them.
+	res, err := RankMany(gctx, subs, Config{}, 1)
+	if err == nil {
+		t.Fatal("RankMany on poisoned batch succeeded")
+	}
+	if len(res) != len(subs) {
+		t.Fatalf("RankMany partial results: len=%d, want %d", len(res), len(subs))
+	}
+	for i := 0; i < poisonAt; i++ {
+		if res[i] == nil {
+			t.Errorf("RankMany discarded completed chain %d on batch failure", i)
+		} else if len(res[i].Scores) != subs[i].N() {
+			t.Errorf("RankMany survivor %d truncated: %d scores for %d pages", i, len(res[i].Scores), subs[i].N())
+		}
+	}
+	for i := poisonAt; i < len(subs); i++ {
+		if res[i] != nil {
+			t.Errorf("RankMany reported a result for chain %d at/after the poison", i)
+		}
 	}
 }
 
@@ -248,10 +266,17 @@ func TestRankManyCtxCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	res, err := RankManyCtx(ctx, gctx, []*graph.Subgraph{sub, sub}, Config{}, 2)
-	if err == nil || res != nil {
-		t.Fatalf("cancelled batch: res=%v err=%v", res, err)
+	if err == nil {
+		t.Fatalf("cancelled batch succeeded: res=%v", res)
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	// A pre-cancelled context means no chain ever ran: the partial slice
+	// is positionally complete but empty.
+	for i, r := range res {
+		if r != nil {
+			t.Errorf("pre-cancelled batch recorded a result for chain %d", i)
+		}
 	}
 }

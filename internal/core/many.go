@@ -23,6 +23,13 @@ import (
 // chains are dispatched, in-flight chains are cancelled, and the
 // returned error identifies the failing subgraph.
 //
+// On error the results slice is still returned alongside it: entries for
+// chains that completed before the batch was cancelled hold their full
+// Result, every other entry is nil. A caller that wants all-or-nothing
+// semantics discards the slice when err != nil; a serving tier can
+// instead answer for the survivors of a poisoned batch and fail only the
+// poisoned entries.
+//
 // Each chain's iteration buffers come from the shared kernel pools, so
 // a worker recycles one set of scratch vectors across every subgraph it
 // processes: the steady-state batch allocates only each Result's
@@ -38,7 +45,8 @@ func RankMany(gctx *Context, subs []*graph.Subgraph, cfg Config, parallelism int
 // dispatch loop and propagates into every in-flight chain's power
 // iteration; the first per-subgraph error does the same via an internal
 // batch context, so one poisoned subgraph cannot keep the rest of the
-// batch burning CPU.
+// batch burning CPU. Like RankMany it returns the partial results slice
+// alongside any error.
 func RankManyCtx(ctx context.Context, gctx *Context, subs []*graph.Subgraph, cfg Config, parallelism int) ([]*Result, error) {
 	if gctx == nil {
 		return nil, fmt.Errorf("core: nil context")
@@ -47,10 +55,8 @@ func RankManyCtx(ctx context.Context, gctx *Context, subs []*graph.Subgraph, cfg
 		return nil, fmt.Errorf("core: no subgraphs")
 	}
 	results := make([]*Result, len(subs))
-	if err := rankManyInto(ctx, gctx, subs, cfg, parallelism, results); err != nil {
-		return nil, err
-	}
-	return results, nil
+	err := rankManyInto(ctx, gctx, subs, cfg, parallelism, results)
+	return results, err
 }
 
 // rankManyInto runs the batch into a caller-provided result slice. It is

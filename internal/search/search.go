@@ -21,11 +21,23 @@ type Index struct {
 	numDocs  int
 }
 
-// BuildIndex indexes terms[i] (sorted distinct term ids) for document i.
+// BuildIndex indexes terms[i] for document i. Term bags are conventionally
+// sorted distinct term ids, but repeated term ids are tolerated: each
+// document appears at most once in any postings list. Without that
+// defensive dedup a duplicated term would insert the same document twice,
+// and the duplicate entries would break Query's sorted-intersection
+// invariants (duplicate documents in results, galloping search finding
+// only the first copy).
 func BuildIndex(terms [][]uint32) *Index {
 	ix := &Index{postings: make(map[uint32][]int), numDocs: len(terms)}
 	for doc, bag := range terms {
 		for _, t := range bag {
+			// All appends for one document are consecutive, so a duplicate
+			// term (sorted or not) can only ever repeat the LAST entry of
+			// its postings list.
+			if l := ix.postings[t]; len(l) > 0 && l[len(l)-1] == doc {
+				continue
+			}
 			ix.postings[t] = append(ix.postings[t], doc)
 		}
 	}

@@ -42,6 +42,40 @@ func TestIndexBasics(t *testing.T) {
 	}
 }
 
+// TestBuildIndexDuplicateTerms is the regression test for the silent
+// postings corruption: a document with a repeated term id used to produce
+// duplicate entries in that term's postings list, violating the
+// sorted-DISTINCT invariant Query's intersection and galloping search rely
+// on (duplicate documents in results, matches dropped when the duplicate
+// shadowed a later entry).
+func TestBuildIndexDuplicateTerms(t *testing.T) {
+	terms := [][]uint32{
+		{5, 5, 7},       // adjacent duplicate (sorted bag)
+		{7},
+		{5, 7, 5, 5},    // non-adjacent duplicates (unsorted bag)
+		{1, 5},
+	}
+	ix := BuildIndex(terms)
+	if got := ix.Postings(5); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Postings(5) = %v, want [0 2 3]", got)
+	}
+	// The intersection must return each matching document exactly once.
+	if got := ix.Query([]uint32{5, 7}); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Query(5,7) = %v, want [0 2]", got)
+	}
+	// Galloping path: one long clean list against a short duplicated one.
+	many := make([][]uint32, 200)
+	for d := range many {
+		many[d] = []uint32{9}
+	}
+	many[17] = []uint32{3, 3, 9}
+	many[150] = []uint32{3, 9, 3}
+	ix = BuildIndex(many)
+	if got := ix.Query([]uint32{3, 9}); len(got) != 2 || got[0] != 17 || got[1] != 150 {
+		t.Fatalf("galloping Query(3,9) = %v, want [17 150]", got)
+	}
+}
+
 // TestQueryAgainstBruteForce: random indexes, random conjunctive queries.
 func TestQueryAgainstBruteForce(t *testing.T) {
 	check := func(seed int64) bool {

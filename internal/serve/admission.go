@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errOverloaded is returned when both the in-flight semaphore and the
+// bounded wait queue are full: the request is rejected immediately (HTTP
+// 429) rather than queued without bound — the server sheds load instead
+// of melting.
+var errOverloaded = errors.New("serve: admission queue full")
+
+// admission is the bounded-admission gate in front of the compute tier:
+// at most inFlight computations hold a token concurrently, and at most
+// queue further acquirers may wait for one. A waiter that outlives its
+// context's deadline gives up (HTTP 503 with Retry-After); an acquirer
+// that would exceed the queue bound is rejected on the spot. The wait
+// itself selects on the caller's context — never on time.After, whose
+// per-iteration timer would leak under load (arlint's timerleak check).
+type admission struct {
+	sem   chan struct{}
+	mu    sync.Mutex
+	queue int // remaining wait-queue slots
+}
+
+func newAdmission(inFlight, queue int) *admission {
+	return &admission{sem: make(chan struct{}, inFlight), queue: queue}
+}
+
+// acquire obtains a compute token, waiting (within the queue bound) until
+// one frees or ctx is done. On success the caller must call release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.queue <= 0 {
+		a.mu.Unlock()
+		return errOverloaded
+	}
+	a.queue--
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queue++
+		a.mu.Unlock()
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a token acquired by acquire.
+func (a *admission) release() { <-a.sem }

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"container/list"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// entry is one cached subgraph: its canonical identity, the frozen
+// ready-to-iterate chain (so repeat queries skip NewApproxChainCtx
+// entirely), and the converged results and search engines per rank
+// configuration. Entries loaded from the disk cache start with a nil
+// sub/chain — the scores alone answer repeat queries; the chain is
+// rebuilt only if a NEW configuration asks for an iteration.
+type entry struct {
+	hash    uint64
+	ids     []graph.NodeID // canonical: sorted ascending, distinct
+	sub     *graph.Subgraph
+	chain   *core.ExtendedChain
+	results map[string]*core.Result
+	engines map[string]*search.Engine
+}
+
+// lruCache is an LRU of entries keyed by the FNV-1a hash of the canonical
+// (sorted-distinct) node-ID list. Hash collisions are resolved exactly:
+// each bucket holds the (almost always single) entries sharing a hash and
+// lookups compare the full ID lists, so a collision degrades to a second
+// compare, never to a wrong answer. Not safe for concurrent use — the
+// Server serializes access under its mutex.
+type lruCache struct {
+	cap    int
+	ll     *list.List // front = most recently used; values are *entry
+	byHash map[uint64][]*list.Element
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), byHash: make(map[uint64][]*list.Element)}
+}
+
+// get returns the entry for the canonical id list, promoting it to most
+// recently used.
+func (c *lruCache) get(hash uint64, ids []graph.NodeID) (*entry, bool) {
+	for _, el := range c.byHash[hash] {
+		e := el.Value.(*entry)
+		if idsEqual(e.ids, ids) {
+			c.ll.MoveToFront(el)
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// add inserts a new entry as most recently used and returns how many
+// entries were evicted to stay within capacity. The caller must have
+// checked get first — duplicate identities are the caller's bug.
+func (c *lruCache) add(e *entry) int {
+	el := c.ll.PushFront(e)
+	c.byHash[e.hash] = append(c.byHash[e.hash], el)
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		c.removeElement(c.ll.Back())
+		evicted++
+	}
+	return evicted
+}
+
+func (c *lruCache) removeElement(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	bucket := c.byHash[e.hash]
+	for i, b := range bucket {
+		if b == el {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(c.byHash, e.hash)
+	} else {
+		c.byHash[e.hash] = bucket
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return c.ll.Len() }
+
+// canonicalIDs validates and canonicalizes a request's node list: every
+// id must fall inside the global graph, and the returned copy is sorted
+// ascending with duplicates removed — the subgraph identity every cache
+// layer keys on (graph.NewSubgraph applies the same normalization, so
+// the key and the built subgraph can never disagree).
+func canonicalIDs(nodes []uint32, numNodes int) ([]graph.NodeID, error) {
+	if len(nodes) == 0 {
+		return nil, errNoNodes
+	}
+	ids := make([]graph.NodeID, len(nodes))
+	for i, v := range nodes {
+		if int(v) >= numNodes {
+			return nil, &nodeRangeError{id: v, n: numNodes}
+		}
+		ids[i] = graph.NodeID(v)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w], nil
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashIDs is the canonical subgraph identity hash: FNV-1a over the
+// length and the sorted-distinct node ids. It runs on every request, so
+// it is kept pure and allocation-free.
+//
+//arlint:hot
+func hashIDs(ids []graph.NodeID) uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(len(ids))) * fnvPrime64
+	for _, id := range ids {
+		h = (h ^ uint64(id)) * fnvPrime64
+	}
+	return h
+}
+
+// idsEqual reports whether two canonical id lists denote the same
+// subgraph — the exact check behind every hashed lookup.
+//
+//arlint:hot
+func idsEqual(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

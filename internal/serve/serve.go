@@ -1,0 +1,489 @@
+// Package serve turns the ApproxRank library into a ranking-as-a-service
+// daemon: a long-lived HTTP server that holds one preprocessed
+// core.Context per global graph and answers subgraph-rank and hybrid
+// search queries at high QPS with only local per-query cost — the
+// paper's "preprocess the global graph once" argument, cached all the
+// way to the network edge.
+//
+// Four cooperating mechanisms keep the serving path cheap and bounded:
+//
+//  1. an LRU cache of frozen, ready-to-iterate chain state keyed by
+//     canonical subgraph identity (sorted node-ID hash, verified
+//     exactly), so repeat queries skip NewApproxChainCtx entirely and
+//     repeat queries under the same configuration skip the power
+//     iteration too;
+//  2. single-flight coalescing, so N concurrent requests for the same
+//     uncached subgraph trigger one computation and share the result;
+//  3. bounded admission — a semaphore-gated compute tier with a bounded
+//     wait queue and per-request deadlines, answering 429/503 with
+//     Retry-After under overload instead of melting;
+//  4. a versioned on-disk score cache loaded at startup, so restarts are
+//     warm (see disk.go for the consistency rules).
+//
+// Endpoints: POST /v1/rank (subgraph → scores; also accepts a batch of
+// subgraphs served through core.RankManyCtx's partial-results contract),
+// POST /v1/search (terms + subgraph → score-fused top-K), and GET
+// /v1/stats (the counters in Stats).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+	"repro/internal/search"
+)
+
+// Options configures a Server. Context is required; everything else has
+// serving-grade defaults.
+type Options struct {
+	// Context is the preprocessed global graph (core.NewContext).
+	Context *core.Context
+	// Terms optionally holds one term bag per GLOBAL page (indexed by
+	// page id), enabling /v1/search. nil disables the search endpoint.
+	Terms [][]uint32
+	// Rank carries the default rank parameters (epsilon, tolerance, max
+	// iterations, parallelism). Requests may override epsilon, tolerance
+	// and max iterations per call; Deadline is ignored in favor of the
+	// request timeout below.
+	Rank core.Config
+	// CacheEntries bounds the LRU of cached subgraph entries. Default 128.
+	CacheEntries int
+	// MaxInFlight bounds concurrently running computations (admission
+	// semaphore). Default core's parallel default (the CPU count).
+	MaxInFlight int
+	// MaxQueue bounds how many admitted requests may WAIT for a compute
+	// token; beyond it requests are rejected with 429. Default
+	// 4×MaxInFlight.
+	MaxQueue int
+	// RequestTimeout is the default per-request compute budget (queue
+	// wait included). Default 10s.
+	RequestTimeout time.Duration
+	// MaxTimeout caps a request-supplied timeout_ms. Default 30s.
+	MaxTimeout time.Duration
+	// MaxBatch bounds the number of subgraphs in one batch request.
+	// Default 256.
+	MaxBatch int
+	// DiskCache is the path of the persistent score cache ("" disables).
+	// The Server never writes it implicitly — call SaveDiskCache (e.g.
+	// on shutdown) and LoadDiskCache (at startup).
+	DiskCache string
+	// BaseContext, when non-nil, parents every computation's context, so
+	// cancelling it drains the compute tier. Default context.Background —
+	// computations are NOT tied to any single request's context, because
+	// coalesced waiters share them.
+	BaseContext context.Context
+}
+
+// flight is one in-progress computation that concurrent identical
+// requests coalesce onto. res/err are written under the server mutex
+// before done is closed and read under it after.
+type flight struct {
+	ids    []graph.NodeID
+	cfgKey string
+	done   chan struct{}
+	res    *core.Result
+	err    error
+}
+
+// Server is the ranking daemon's HTTP surface. All mutable state (LRU
+// cache, in-flight table, counters) is guarded by one mutex; the
+// computations themselves run outside it.
+type Server struct {
+	gctx       *core.Context
+	terms      [][]uint32
+	rank       core.Config
+	defTimeout time.Duration
+	maxTimeout time.Duration
+	maxBatch   int
+	diskPath   string
+	sig        uint64
+	base       context.Context
+	adm        *admission
+	mux        *http.ServeMux
+
+	mu      sync.Mutex
+	cache   *lruCache
+	flights map[uint64][]*flight
+	stats   Stats
+	// computeHook, when set (tests only), runs inside each computation
+	// while it holds its admission token, before the iteration starts —
+	// the seam the load-shaped tests use to observe coalescing and
+	// admission deterministically.
+	computeHook func()
+}
+
+// NewServer validates opts and builds the daemon (without loading the
+// disk cache — call LoadDiskCache explicitly so callers can log it).
+func NewServer(opts Options) (*Server, error) {
+	if opts.Context == nil {
+		return nil, fmt.Errorf("serve: nil core context")
+	}
+	if opts.Terms != nil && len(opts.Terms) != opts.Context.Graph().NumNodes() {
+		return nil, fmt.Errorf("serve: %d term bags for %d pages", len(opts.Terms), opts.Context.Graph().NumNodes())
+	}
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 128
+	}
+	if opts.CacheEntries < 1 {
+		return nil, fmt.Errorf("serve: CacheEntries %d < 1", opts.CacheEntries)
+	}
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = defaultInFlight()
+	}
+	if opts.MaxInFlight < 1 {
+		return nil, fmt.Errorf("serve: MaxInFlight %d < 1", opts.MaxInFlight)
+	}
+	if opts.MaxQueue == 0 {
+		opts.MaxQueue = 4 * opts.MaxInFlight
+	}
+	if opts.MaxQueue < 0 {
+		return nil, fmt.Errorf("serve: negative MaxQueue %d", opts.MaxQueue)
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 10 * time.Second
+	}
+	if opts.MaxTimeout == 0 {
+		opts.MaxTimeout = 30 * time.Second
+	}
+	if opts.RequestTimeout < 0 || opts.MaxTimeout < 0 {
+		return nil, fmt.Errorf("serve: negative timeout")
+	}
+	if opts.MaxBatch == 0 {
+		opts.MaxBatch = 256
+	}
+	if opts.BaseContext == nil {
+		opts.BaseContext = context.Background()
+	}
+	s := &Server{
+		gctx:       opts.Context,
+		terms:      opts.Terms,
+		rank:       opts.Rank,
+		defTimeout: opts.RequestTimeout,
+		maxTimeout: opts.MaxTimeout,
+		maxBatch:   opts.MaxBatch,
+		diskPath:   opts.DiskCache,
+		sig:        GraphSignature(opts.Context.Graph()),
+		base:       opts.BaseContext,
+		adm:        newAdmission(opts.MaxInFlight, opts.MaxQueue),
+		cache:      newLRU(opts.CacheEntries),
+		flights:    make(map[uint64][]*flight),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/rank", s.handleRank)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsSnapshotLocked()
+}
+
+// cfgKey canonicalizes the parameters that select a converged result.
+// Deadline and Parallelism are deliberately excluded: a result that
+// converged under any deadline is valid under every other, and the
+// worker count only reassociates floating-point sums within the
+// convergence tolerance.
+func cfgKey(cfg core.Config) string {
+	return strconv.FormatFloat(cfg.Epsilon, 'g', -1, 64) + ";" +
+		strconv.FormatFloat(cfg.Tolerance, 'g', -1, 64) + ";" +
+		strconv.Itoa(cfg.MaxIterations)
+}
+
+// rankScores answers one subgraph-rank query through the full serving
+// path: result cache → in-flight coalescing → admission-gated
+// computation. It returns the converged result, the canonical ids, and
+// whether the answer came straight from cache.
+func (s *Server) rankScores(reqCtx context.Context, ids []graph.NodeID, cfg core.Config) (*core.Result, bool, error) {
+	h := hashIDs(ids)
+	key := cfgKey(cfg)
+	s.mu.Lock()
+	if e, ok := s.cache.get(h, ids); ok {
+		if res, ok2 := e.results[key]; ok2 {
+			s.stats.ResultHits++
+			s.mu.Unlock()
+			return res, true, nil
+		}
+	}
+	fl := s.matchFlightLocked(h, ids, key)
+	if fl != nil {
+		s.stats.CoalescedWaits++
+		s.mu.Unlock()
+	} else {
+		fl = &flight{ids: ids, cfgKey: key, done: make(chan struct{})}
+		s.flights[h] = append(s.flights[h], fl)
+		s.mu.Unlock()
+		go s.runFlight(fl, h, cfg)
+	}
+	select {
+	case <-fl.done:
+	case <-reqCtx.Done():
+		// This request's budget expired while the shared computation was
+		// still running; the computation itself continues for the others.
+		return nil, false, reqCtx.Err()
+	}
+	s.mu.Lock()
+	res, err := fl.res, fl.err
+	s.mu.Unlock()
+	return res, false, err
+}
+
+// matchFlightLocked finds an in-flight computation for the exact
+// identity and configuration. Caller holds s.mu.
+func (s *Server) matchFlightLocked(h uint64, ids []graph.NodeID, key string) *flight {
+	for _, fl := range s.flights[h] {
+		if fl.cfgKey == key && idsEqual(fl.ids, ids) {
+			return fl
+		}
+	}
+	return nil
+}
+
+// runFlight executes one coalesced computation and publishes its outcome:
+// result and in-flight removal commit atomically under the mutex, then
+// done is closed — so a request can never miss both the flight and the
+// cached result.
+func (s *Server) runFlight(fl *flight, h uint64, cfg core.Config) {
+	res, err := s.compute(fl.ids, h, fl.cfgKey, cfg)
+	s.mu.Lock()
+	fl.res, fl.err = res, err
+	bucket := s.flights[h]
+	for i, b := range bucket {
+		if b == fl {
+			bucket[i] = bucket[len(bucket)-1]
+			s.flights[h] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(s.flights[h]) == 0 {
+		delete(s.flights, h)
+	}
+	s.mu.Unlock()
+	close(fl.done)
+}
+
+// compute runs one admission-gated power iteration, reusing the cached
+// frozen chain when present and caching chain + result on success. The
+// request budget (cfg.Deadline) covers the queue wait AND the iteration:
+// the context carrying it is derived here, before acquire, and RunCtx
+// inherits whatever remains of it.
+func (s *Server) compute(ids []graph.NodeID, h uint64, key string, cfg core.Config) (*core.Result, error) {
+	ctx := s.base
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(s.base, cfg.Deadline)
+		defer cancel()
+		cfg.Deadline = 0 // budget already carried by ctx; don't restart it at RunCtx
+	}
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+
+	s.mu.Lock()
+	s.stats.InFlight++
+	hook := s.computeHook
+	var chain *core.ExtendedChain
+	var sub *graph.Subgraph
+	if e, ok := s.cache.get(h, ids); ok && e.chain != nil {
+		chain, sub = e.chain, e.sub
+		s.stats.ChainHits++
+	} else {
+		s.stats.Misses++
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.stats.InFlight--
+		s.mu.Unlock()
+	}()
+	if hook != nil {
+		hook()
+	}
+
+	if chain == nil {
+		var err error
+		sub, err = graph.NewSubgraph(s.gctx.Graph(), ids)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		chain, err = core.NewApproxChainCtx(s.gctx, sub)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+	}
+
+	s.mu.Lock()
+	s.stats.Computations++
+	s.mu.Unlock()
+	res, err := chain.RunCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.storeResult(ids, h, key, sub, chain, res)
+	return res, nil
+}
+
+// storeResult caches a converged result (and the frozen chain behind it)
+// under the canonical identity, creating or refreshing the LRU entry.
+func (s *Server) storeResult(ids []graph.NodeID, h uint64, key string, sub *graph.Subgraph, chain *core.ExtendedChain, res *core.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cache.get(h, ids)
+	if !ok {
+		e = &entry{
+			hash:    h,
+			ids:     ids,
+			results: make(map[string]*core.Result),
+			engines: make(map[string]*search.Engine),
+		}
+		s.stats.Evictions += int64(s.cache.add(e))
+	}
+	if e.chain == nil {
+		e.chain, e.sub = chain, sub
+	}
+	e.results[key] = res
+}
+
+// searchEngine returns (building and caching if needed) the search
+// engine for a ranked subgraph: the index over the subgraph's term bags
+// fused with the configuration's converged scores.
+func (s *Server) searchEngine(ids []graph.NodeID, key string, res *core.Result) (*search.Engine, error) {
+	h := hashIDs(ids)
+	s.mu.Lock()
+	e, ok := s.cache.get(h, ids)
+	var eng *search.Engine
+	var sub *graph.Subgraph
+	if ok {
+		eng = e.engines[key]
+		sub = e.sub
+	}
+	s.mu.Unlock()
+	if eng != nil {
+		return eng, nil
+	}
+	if sub == nil {
+		// Disk-warm entry (or evicted between rank and search): rebuild
+		// the subgraph shell; the scores themselves stay cached.
+		var err error
+		sub, err = graph.NewSubgraph(s.gctx.Graph(), ids)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+	}
+	localTerms := make([][]uint32, sub.N())
+	for li, gid := range sub.Local {
+		localTerms[li] = s.terms[gid]
+	}
+	eng, err := search.NewEngine(sub, localTerms, res.Scores)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.EnginesBuilt++
+	if e2, ok2 := s.cache.get(h, ids); ok2 {
+		if e2.sub == nil {
+			e2.sub = sub
+		}
+		e2.engines[key] = eng
+	}
+	s.mu.Unlock()
+	return eng, nil
+}
+
+// rankBatch serves a batch of subgraphs through core.RankManyCtx's
+// bounded worker tier under one admission token. Items that fail
+// validation are answered per-item; a mid-batch failure cancels the
+// remainder (the library's fail-fast contract) but the survivors —
+// chains that completed before the poison — are still served and cached,
+// which is exactly what the partial-results slice exists for.
+func (s *Server) rankBatch(items [][]uint32, cfg core.Config) ([]*core.Result, []error, error) {
+	results := make([]*core.Result, len(items))
+	errs := make([]error, len(items))
+	idLists := make([][]graph.NodeID, len(items))
+	subs := make([]*graph.Subgraph, 0, len(items))
+	backMap := make([]int, 0, len(items))
+	numNodes := s.gctx.Graph().NumNodes()
+	for i, nodes := range items {
+		ids, err := canonicalIDs(nodes, numNodes)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		sub, err := graph.NewSubgraph(s.gctx.Graph(), ids)
+		if err != nil {
+			errs[i] = badRequest(err)
+			continue
+		}
+		idLists[i] = ids
+		subs = append(subs, sub)
+		backMap = append(backMap, i)
+	}
+
+	var batchErr error
+	if len(subs) > 0 {
+		ctx := s.base
+		if cfg.Deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(s.base, cfg.Deadline)
+			defer cancel()
+			cfg.Deadline = 0
+		}
+		if err := s.adm.acquire(ctx); err != nil {
+			return nil, nil, err
+		}
+		defer s.adm.release()
+		var partial []*core.Result
+		partial, batchErr = core.RankManyCtx(ctx, s.gctx, subs, cfg, s.rank.Parallelism)
+		key := cfgKey(cfg)
+		for bi, res := range partial {
+			i := backMap[bi]
+			if res == nil {
+				continue
+			}
+			results[i] = res
+			// Batch survivors warm the same cache the single-query path
+			// reads, chains excluded (RankManyCtx owns and discards them).
+			s.storeResult(idLists[i], hashIDs(idLists[i]), key, subs[bi], nil, res)
+		}
+		for bi := range partial {
+			if partial[bi] == nil && errs[backMap[bi]] == nil {
+				errs[backMap[bi]] = batchErr
+			}
+		}
+	}
+
+	s.mu.Lock()
+	for i := range items {
+		if results[i] != nil {
+			s.stats.BatchChainsRun++
+		} else {
+			s.stats.BatchChainsFailed++
+		}
+	}
+	s.mu.Unlock()
+	return results, errs, nil
+}
+
+// defaultInFlight admits one computation per schedulable CPU: the
+// chains are CPU-bound, so more in-flight work than threads only adds
+// contention (the same cap core.RankMany applies to its workers).
+func defaultInFlight() int {
+	if n := pagerank.DefaultParallelism(); n > 1 {
+		return n
+	}
+	return 1
+}

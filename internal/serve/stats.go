@@ -1,0 +1,60 @@
+package serve
+
+// Stats is a point-in-time snapshot of the daemon's counters, exposed as
+// JSON by GET /v1/stats. It is the seed of the observability layer: every
+// serving mechanism (cache, coalescing, admission, disk warmth) reports
+// here, and the load-shaped tests assert on these numbers rather than on
+// timing.
+type Stats struct {
+	// RankRequests / SearchRequests / BatchRequests count accepted
+	// (parse-valid) requests per endpoint; BatchRequests are /v1/rank
+	// calls that carried a subgraph batch.
+	RankRequests   int64 `json:"rank_requests"`
+	SearchRequests int64 `json:"search_requests"`
+	BatchRequests  int64 `json:"batch_requests"`
+
+	// ResultHits count requests answered from a cached converged result
+	// (no chain build, no iteration). ChainHits count requests that found
+	// the frozen chain but ran a fresh iteration for a new configuration.
+	// Misses count requests that had to build the chain.
+	ResultHits int64 `json:"result_hits"`
+	ChainHits  int64 `json:"chain_hits"`
+	Misses     int64 `json:"misses"`
+
+	// Computations counts power iterations actually run by the serving
+	// tier (batch items excluded — see BatchChainsRun). CoalescedWaits
+	// counts requests that piggybacked on an identical in-flight
+	// computation instead of starting their own.
+	Computations   int64 `json:"computations"`
+	CoalescedWaits int64 `json:"coalesced_waits"`
+
+	// InFlight is the number of computations currently holding an
+	// admission token; AdmissionRejected counts immediate 429s (queue
+	// full) and DeadlineFailures counts 503s (compute or queue deadline
+	// exceeded, or the client gone while coalesced).
+	InFlight          int64 `json:"in_flight"`
+	AdmissionRejected int64 `json:"admission_rejected"`
+	DeadlineFailures  int64 `json:"deadline_failures"`
+
+	// CacheEntries / Evictions describe the LRU; DiskEntriesLoaded is how
+	// many entries the startup warm-load recovered; EnginesBuilt counts
+	// search-engine constructions (a repeat search is free).
+	CacheEntries      int64 `json:"cache_entries"`
+	Evictions         int64 `json:"evictions"`
+	DiskEntriesLoaded int64 `json:"disk_entries_loaded"`
+	EnginesBuilt      int64 `json:"engines_built"`
+
+	// BatchChainsRun counts chains completed inside batch requests;
+	// BatchChainsFailed counts batch items answered with a per-item error
+	// (the survivors of a poisoned batch are still served — the
+	// RankManyCtx partial-results contract).
+	BatchChainsRun    int64 `json:"batch_chains_run"`
+	BatchChainsFailed int64 `json:"batch_chains_failed"`
+}
+
+// statsSnapshot returns the current counters. The caller must hold s.mu.
+func (s *Server) statsSnapshotLocked() Stats {
+	st := s.stats
+	st.CacheEntries = int64(s.cache.len())
+	return st
+}
