@@ -45,18 +45,22 @@ serve-test:
 # Race-detector pass over the concurrent packages: the RankMany
 # fail-fast worker pool, the parallel power iteration, the distributed
 # partition runtime, the experiment drivers that fan work out across
-# goroutines, and the serving daemon (single-flight coalescing and the
-# admission gate are exactly the interleavings -race exists to catch).
+# goroutines, the serving daemon (single-flight coalescing and the
+# admission gate are exactly the interleavings -race exists to catch),
+# and the graph loader's parallel in-CSR build team.
 race:
-	$(GO) test -race ./internal/kernel/ ./internal/core/ ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/ ./internal/serve/
+	$(GO) test -race ./internal/kernel/ ./internal/core/ ./internal/pagerank/ ./internal/distributed/ ./internal/experiments/ ./internal/serve/ ./internal/graph/
 
 # Focused engine benchmarks (chain construction, ApproxRank, the
-# sequential and parallel power iterations, RankMany fan-out, and the
-# kernel's pooled-vs-respawn sweep pair) parsed to a machine-readable
-# artifact. BENCHTIME trades precision for speed.
+# sequential and parallel power iterations, RankMany fan-out, the
+# kernel's pooled-vs-respawn sweep pair, and the graph loading pipeline:
+# v1-vs-v2 load, zero-copy mmap open, text-loader allocs, and the
+# save→mmap→rank end-to-end path) parsed to a machine-readable
+# artifact. BENCHTIME trades precision for speed; the graph corpus runs
+# at ~1M edges here — set GRAPH_BENCH_CRAWL=1 for the 10M/50M scales.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' \
-		./internal/core/ ./internal/pagerank/ ./internal/kernel/ | $(GO) run ./cmd/benchjson > BENCH_core.json
+		./internal/core/ ./internal/pagerank/ ./internal/kernel/ ./internal/graph/ | $(GO) run ./cmd/benchjson > BENCH_core.json
 	@echo "wrote BENCH_core.json"
 
 # Gate the current tree's benchmarks against a baseline artifact:
@@ -71,7 +75,8 @@ bench-diff: bench
 # Short fuzzing pass over every fuzz target; go test accepts one -fuzz
 # pattern per package invocation, so each target gets its own run.
 fuzz-smoke:
-	$(GO) test ./internal/graph/ -run FuzzReadBinary -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph/ -run 'FuzzReadBinary$$' -fuzz 'FuzzReadBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph/ -run FuzzReadBinaryV2 -fuzz FuzzReadBinaryV2 -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph/ -run FuzzReadEdgeList -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph/ -run FuzzSubgraph -fuzz FuzzSubgraph -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/metrics/ -run FuzzRankingMetrics -fuzz FuzzRankingMetrics -fuzztime $(FUZZTIME)

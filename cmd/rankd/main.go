@@ -8,9 +8,12 @@
 //	rankd -graph web.bin [-addr :8080] [flags]
 //	rankd -synthetic 100000 [-seed 1] [-addr :8080] [flags]
 //
-// -graph loads a graph file (binary or edge-list, by extension);
-// -synthetic generates an N-page web in-process instead, with term bags
-// assigned so /v1/search works out of the box. Capacity knobs:
+// -graph loads a graph file (text, v1, or v2 binary — detected by
+// content, not name); a v2 file is memory-mapped by default, so startup
+// cost and resident heap are independent of graph size (disable with
+// -mmap=false). -synthetic generates an N-page web in-process instead,
+// with term bags assigned so /v1/search works out of the box. Capacity
+// knobs:
 //
 //	-cache-entries N   LRU capacity (cached subgraph chains + scores)
 //	-max-inflight N    concurrent computations admitted
@@ -54,6 +57,7 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "default per-request compute budget")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on request-supplied timeouts")
 	diskCache := flag.String("disk-cache", "", "persistent score cache file (optional)")
+	useMmap := flag.Bool("mmap", true, "memory-map v2 graph files instead of copying them onto the heap")
 	flag.Parse()
 
 	if (*graphPath == "") == (*synthetic == 0) {
@@ -85,12 +89,22 @@ func main() {
 		}
 		fmt.Printf("rankd: generated %d-page synthetic web (seed %d), term corpus attached\n", *synthetic, *seed)
 	} else {
-		g, err = graph.LoadFile(*graphPath)
+		how := "loaded"
+		format, err := graph.SniffFile(*graphPath)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("rankd: loaded %s: %d pages, %d links (search disabled: no term corpus)\n",
-			*graphPath, g.NumNodes(), g.NumEdges())
+		if format == graph.FormatV2 && *useMmap {
+			g, err = graph.MmapFile(*graphPath)
+			how = "mapped"
+		} else {
+			g, err = graph.LoadFile(*graphPath)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rankd: %s %s: %d pages, %d links (search disabled: no term corpus)\n",
+			how, *graphPath, g.NumNodes(), g.NumEdges())
 	}
 
 	srv, err := serve.NewServer(serve.Options{
@@ -144,6 +158,12 @@ func main() {
 	}
 	if *diskCache != "" {
 		fmt.Printf("rankd: disk cache saved to %s\n", *diskCache)
+	}
+	// Unmap last: the server's context, chains, and kernel snapshots all
+	// alias the mapped CSR, so the mapping must outlive the drain and the
+	// cache save above. Heap-backed graphs make this a no-op.
+	if err := g.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -193,10 +195,20 @@ func (l *Loader) loadAt(dir, path string) (*Package, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
+		if !matchFileName(name) {
+			continue
+		}
 		filename := filepath.Join(dir, name)
 		f, err := parser.ParseFile(l.Fset, filename, nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		match, err := matchBuildConstraint(l.Fset, f)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", filename, err)
+		}
+		if !match {
+			continue
 		}
 		files = append(files, f)
 		allows[filename] = buildAllows(l.Fset, f)
@@ -230,6 +242,96 @@ func (l *Loader) loadAt(dir, path string) (*Package, error) {
 		Info:   info,
 		allows: allows,
 	}, nil
+}
+
+// Build-constraint filtering: a package may split platform-specific
+// code across files gated by //go:build lines or _GOOS/_GOARCH name
+// suffixes (e.g. an mmap loader with a portable fallback). Loading both
+// sides at once redeclares symbols and breaks type-checking, so the
+// loader evaluates constraints for the host platform and skips the
+// files the go tool would skip.
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"js": true, "linux": true, "netbsd": true, "openbsd": true,
+	"plan9": true, "solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixOS mirrors the go tool's "unix" build tag membership.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// matchFileName applies the _GOOS/_GOARCH filename convention for the
+// host platform (name has already passed the .go / not-_test filters).
+func matchFileName(name string) bool {
+	parts := strings.Split(strings.TrimSuffix(name, ".go"), "_")
+	if len(parts) >= 3 {
+		osPart, archPart := parts[len(parts)-2], parts[len(parts)-1]
+		if knownOS[osPart] && knownArch[archPart] {
+			return osPart == runtime.GOOS && archPart == runtime.GOARCH
+		}
+	}
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if knownOS[last] {
+			return last == runtime.GOOS
+		}
+		if knownArch[last] {
+			return last == runtime.GOARCH
+		}
+	}
+	return true
+}
+
+// matchBuildConstraint evaluates a file's //go:build (or legacy
+// // +build) line for the host platform. Files without a constraint
+// always build; a malformed constraint line is an error, as it is for
+// the go tool.
+func matchBuildConstraint(fset *token.FileSet, f *ast.File) (bool, error) {
+	pkgLine := fset.Position(f.Package).Line
+	for _, cg := range f.Comments {
+		if fset.Position(cg.Pos()).Line >= pkgLine {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false, fmt.Errorf("parsing build constraint: %w", err)
+			}
+			if !expr.Eval(hostTag) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// hostTag reports whether one build tag is satisfied on the analysis
+// host. Release tags (go1.N) are all assumed satisfied; cgo is not.
+func hostTag(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixOS[runtime.GOOS]
+	case strings.HasPrefix(tag, "go1."):
+		return true
+	}
+	return false
 }
 
 // loaderImporter routes module-internal imports back into the Loader and

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestApproxRankOverMmapGraph: a Context over a memory-mapped graph
+// produces bit-identical ApproxRank scores to the same graph on the
+// heap — the whole chain (dangling scan, Λ-row construction, kernel
+// snapshot, power iteration) runs against aliased mapped slices.
+func TestApproxRankOverMmapGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 400
+	b := graph.NewBuilder(n)
+	for i := 0; i < 2500; i++ {
+		b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.v2")
+	if err := graph.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	m, err := graph.MmapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := m.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	local := make([]graph.NodeID, 0, 40)
+	for i := 0; i < 40; i++ {
+		local = append(local, graph.NodeID(rng.Intn(n)))
+	}
+	run := func(gg *graph.Graph) *Result {
+		t.Helper()
+		sub, err := graph.NewSubgraph(gg, local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := NewApproxChainCtx(NewContext(gg), sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := chain.Run(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	heapRes := run(g)
+	mappedRes := run(m)
+	if len(heapRes.Scores) != len(mappedRes.Scores) {
+		t.Fatalf("score lengths differ: %d vs %d", len(heapRes.Scores), len(mappedRes.Scores))
+	}
+	for i := range heapRes.Scores {
+		if heapRes.Scores[i] != mappedRes.Scores[i] {
+			t.Fatalf("score %d differs: %v vs %v", i, heapRes.Scores[i], mappedRes.Scores[i])
+		}
+	}
+	if heapRes.Lambda != mappedRes.Lambda || heapRes.Iterations != mappedRes.Iterations {
+		t.Fatalf("lambda/iterations differ: %v/%d vs %v/%d",
+			heapRes.Lambda, heapRes.Iterations, mappedRes.Lambda, mappedRes.Iterations)
+	}
+}

@@ -232,25 +232,39 @@ func Generate(cfg Config) (*Dataset, error) {
 		allPages[p] = graph.NodeID(p)
 	}
 
-	b := graph.NewBuilder(n)
+	// Pages are visited in ascending id order and each page's out-row is
+	// complete before the next begins, so the edges stream straight into
+	// a RowBuilder: CSR-resident accumulation (~4 bytes/edge) instead of
+	// the Builder's buffered triples + global sort — the difference
+	// between fitting a crawl-scale generation in memory and not.
+	// Per-row sort+dedup produces the same graph the Builder's global
+	// sort+dedup did.
+	b := graph.NewRowBuilder(n)
 	inDeg := make([]int32, n)
 	zipf := newBoundedZipf(cfg.DegreeExponent, 1, cfg.MaxOutDegree, cfg.MeanOutDegree)
 	intraProb := domainIntraProbs(cfg, ds)
 
+	row := make([]graph.NodeID, 0, cfg.MaxOutDegree)
 	for p := 0; p < n; p++ {
 		if rng.Float64() < cfg.DanglingFraction {
 			continue // dangling page
 		}
 		deg := zipf.sample(rng)
 		d, t := int(ds.Domain[p]), int(ds.Topic[p])
+		row = row[:0]
 		for e := 0; e < deg; e++ {
 			scope := pickScope(cfg, rng, byDomain, byDomainTopic, byTopic, allPages, d, t, intraProb[d])
 			v := pickTarget(cfg, rng, scope, inDeg, graph.NodeID(p))
 			if v == graph.NodeID(p) {
 				continue // skip self-loop candidates
 			}
-			b.AddEdge(graph.NodeID(p), v)
+			row = append(row, v)
 			inDeg[v]++
+		}
+		if len(row) > 0 {
+			if err := b.AddRow(graph.NodeID(p), row); err != nil {
+				return nil, err
+			}
 		}
 	}
 

@@ -140,37 +140,6 @@ func (b *Builder) Build() (*Graph, error) {
 	return g, nil
 }
 
-// buildIn derives the in-CSR (and in-weights) from a finished out-CSR.
-func buildIn(g *Graph) {
-	dedup := len(g.outAdj)
-	g.inOff = make([]int64, g.n+1)
-	g.inAdj = make([]NodeID, dedup)
-	if g.outW != nil {
-		g.inW = make([]float64, dedup)
-	}
-	for _, v := range g.outAdj {
-		g.inOff[v+1]++
-	}
-	for u := 0; u < g.n; u++ {
-		g.inOff[u+1] += g.inOff[u]
-	}
-	cursor := make([]int64, g.n)
-	copy(cursor, g.inOff[:g.n])
-	for u := 0; u < g.n; u++ {
-		for k := g.outOff[u]; k < g.outOff[u+1]; k++ {
-			v := g.outAdj[k]
-			slot := cursor[v]
-			g.inAdj[slot] = NodeID(u)
-			if g.inW != nil {
-				g.inW[slot] = g.outW[k]
-			}
-			cursor[v]++
-		}
-	}
-	// Because out-edges are visited in increasing source order, each
-	// in-adjacency slice is already sorted by source id.
-}
-
 // FromEdges is a convenience constructor that builds an unweighted graph
 // with numNodes nodes from the given (src, dst) pairs.
 func FromEdges(numNodes int, edges [][2]NodeID) (*Graph, error) {

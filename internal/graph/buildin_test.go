@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// reGraph copies only the out-CSR of g into a fresh Graph, ready for an
+// in-CSR build.
+func reGraph(g *Graph) *Graph {
+	g2 := &Graph{n: g.n}
+	g2.outOff = append([]int64(nil), g.outOff...)
+	g2.outAdj = append([]NodeID(nil), g.outAdj...)
+	if g.outW != nil {
+		g2.outW = append([]float64(nil), g.outW...)
+		g2.wOut = append([]float64(nil), g.wOut...)
+	}
+	return g2
+}
+
+func inEqual(t *testing.T, workers int, want, got *Graph) {
+	t.Helper()
+	for i := range want.inOff {
+		if want.inOff[i] != got.inOff[i] {
+			t.Fatalf("workers=%d: inOff[%d] = %d, want %d", workers, i, got.inOff[i], want.inOff[i])
+		}
+	}
+	for i := range want.inAdj {
+		if want.inAdj[i] != got.inAdj[i] {
+			t.Fatalf("workers=%d: inAdj[%d] = %d, want %d", workers, i, got.inAdj[i], want.inAdj[i])
+		}
+	}
+	for i := range want.inW {
+		if want.inW[i] != got.inW[i] {
+			t.Fatalf("workers=%d: inW[%d] = %v, want %v", workers, i, got.inW[i], want.inW[i])
+		}
+	}
+}
+
+// TestBuildInParallelBitIdentical pins the parallel in-CSR build to the
+// sequential one across team sizes: identical inOff, inAdj, and inW,
+// bit for bit, on graphs big enough that every worker owns real work
+// and small skewed ones where some workers own none.
+func TestBuildInParallelBitIdentical(t *testing.T) {
+	shapes := []struct {
+		name     string
+		n, m     int
+		weighted bool
+	}{
+		{"unweighted", 2000, 12000, false},
+		{"weighted", 1500, 9000, true},
+		{"tiny", 5, 8, false},
+		{"sparse", 3000, 100, false},
+	}
+	for _, sh := range shapes {
+		rng := rand.New(rand.NewSource(int64(sh.n)))
+		b := NewBuilder(sh.n)
+		for i := 0; i < sh.m; i++ {
+			u, v := NodeID(rng.Intn(sh.n)), NodeID(rng.Intn(sh.n))
+			if sh.weighted {
+				b.AddWeightedEdge(u, v, 0.5*float64(1+rng.Intn(6)))
+			} else {
+				b.AddEdge(u, v)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := reGraph(g)
+		buildInParallel(seq, 1)
+		if err := seq.validate(); err != nil {
+			t.Fatalf("%s: sequential build invalid: %v", sh.name, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := reGraph(g)
+			buildInParallel(par, workers)
+			if err := par.validate(); err != nil {
+				t.Fatalf("%s workers=%d: parallel build invalid: %v", sh.name, workers, err)
+			}
+			inEqual(t, workers, seq, par)
+		}
+	}
+}
+
+// TestBuildWorkers pins the gating rules: small graphs and absurd edge
+// counts stay sequential; the count-array budget shrinks the team.
+func TestBuildWorkers(t *testing.T) {
+	if w := buildWorkers(1000, 1000); w != 1 {
+		t.Errorf("small graph got %d workers, want 1", w)
+	}
+	if w := buildWorkers(1000, 1<<32); w != 1 {
+		t.Errorf("int32-overflowing edge count got %d workers, want 1", w)
+	}
+	// 100M nodes × 4 bytes = 400MB per worker count array — must clamp
+	// to one worker under the 256MiB budget.
+	if w := buildWorkers(100_000_000, 1<<20); w != 1 {
+		t.Errorf("huge node count got %d workers, want 1", w)
+	}
+}
+
+// TestRowBuilderMatchesBuilder: for row-grouped input (ascending
+// sources, duplicates allowed) RowBuilder and Builder produce identical
+// graphs.
+func TestRowBuilderMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 300
+	b := NewBuilder(n)
+	rb := NewRowBuilder(n)
+	row := make([]NodeID, 0, 16)
+	for u := 0; u < n; u++ {
+		if rng.Intn(5) == 0 {
+			continue // dangling row
+		}
+		deg := 1 + rng.Intn(10)
+		row = row[:0]
+		for e := 0; e < deg; e++ {
+			v := NodeID(rng.Intn(n))
+			b.AddEdge(NodeID(u), v)
+			row = append(row, v)
+		}
+		if err := rb.AddRow(NodeID(u), row); err != nil {
+			t.Fatalf("AddRow(%d): %v", u, err)
+		}
+	}
+	want, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsDeepEqual(want, got) {
+		t.Fatal("RowBuilder graph differs from Builder graph")
+	}
+}
+
+func TestRowBuilderErrors(t *testing.T) {
+	rb := NewRowBuilder(10)
+	if err := rb.AddRow(12, []NodeID{1}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if err := rb.AddRow(5, []NodeID{1}); err != nil {
+		t.Fatalf("AddRow(5): %v", err)
+	}
+	if err := rb.AddRow(3, []NodeID{1}); err == nil {
+		t.Error("out-of-order row accepted")
+	}
+	if err := rb.AddRow(7, []NodeID{10}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if _, err := NewRowBuilder(0).Build(); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+// TestRowBuilderTrailingDangling: rows for the last nodes may be absent
+// entirely; Build must still produce full offset arrays.
+func TestRowBuilderTrailingDangling(t *testing.T) {
+	rb := NewRowBuilder(6)
+	if err := rb.AddRow(1, []NodeID{0, 2, 2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := rb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 6 || g.NumEdges() != 2 {
+		t.Fatalf("got %d nodes %d edges, want 6 nodes 2 edges (dedup)", g.NumNodes(), g.NumEdges())
+	}
+	for u := 2; u < 6; u++ {
+		if g.OutDegree(NodeID(u)) != 0 {
+			t.Fatalf("node %d should be dangling", u)
+		}
+	}
+}

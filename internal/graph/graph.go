@@ -38,6 +38,17 @@ type Graph struct {
 	// wOut[i] is the sum of outgoing edge weights of i (only set when
 	// weighted). For unweighted graphs the out-degree plays this role.
 	wOut []float64
+
+	// mapped is the mmap'd file region backing the slices above when the
+	// graph was loaded with MmapFile; nil for heap-backed graphs. Close
+	// releases it.
+	mapped []byte
+
+	// fileSig is the format signature carried by a v2 file (FNV-1a over
+	// the out-section checksums); hasSig distinguishes a real signature
+	// from the zero value. See FormatSignature.
+	fileSig uint64
+	hasSig  bool
 }
 
 // NumNodes returns the number of nodes.

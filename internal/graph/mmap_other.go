@@ -1,0 +1,13 @@
+//go:build !unix
+
+package graph
+
+// MmapFile on platforms without a usable mmap: a transparent fallback
+// to the copying v2 reader. Same signature, same verification, same
+// FormatSignature — just heap-backed instead of page-cache-backed, so
+// Close is a no-op.
+func MmapFile(path string) (*Graph, error) {
+	return readV2Fallback(path)
+}
+
+func unmapMem(data []byte) error { return nil }

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// RowBuilder builds an unweighted graph directly in CSR form from edges
+// that arrive grouped by ascending source node. Where Builder buffers
+// every (src, dst) pair and globally sorts at Build time — ~24 bytes
+// per edge plus an O(m log m) sort — RowBuilder appends each finished
+// row straight into the out-CSR after a per-row sort+dedup: ~4 bytes
+// per edge of steady-state memory and no global pass. This is the shape
+// streaming generators produce (genweb emits pages in id order), which
+// is what lets them write crawl-scale graphs the Builder couldn't hold.
+//
+// For row-grouped input the result is identical to Builder's: a global
+// sort by (src, dst) of row-grouped edges equals per-row sorts, and
+// dedup-within-row equals global dedup.
+type RowBuilder struct {
+	n      int
+	next   NodeID // lowest source id AddRow will accept
+	outOff []int64
+	outAdj []NodeID
+}
+
+// NewRowBuilder returns a RowBuilder for a graph with numNodes nodes.
+// Unlike Builder the node count is fixed up front: rows are keyed by
+// source id and targets must already be in range.
+func NewRowBuilder(numNodes int) *RowBuilder {
+	b := &RowBuilder{n: numNodes}
+	if numNodes > 0 {
+		b.outOff = make([]int64, numNodes+1)
+	}
+	return b
+}
+
+// AddRow appends the complete out-edge row of node u. Rows must arrive
+// in strictly ascending source order; skipped sources get empty rows.
+// targets is sorted and deduplicated in place (callers reuse the slice
+// across rows); self-loops are kept, out-of-range targets are errors.
+func (b *RowBuilder) AddRow(u NodeID, targets []NodeID) error {
+	if int(u) >= b.n {
+		return fmt.Errorf("graph: row source %d out of range (n=%d)", u, b.n)
+	}
+	if u < b.next {
+		return fmt.Errorf("graph: row for node %d arrived after node %d", u, b.next)
+	}
+	slices.Sort(targets)
+	targets = slices.Compact(targets)
+	if len(targets) > 0 && int(targets[len(targets)-1]) >= b.n {
+		return fmt.Errorf("graph: row %d target %d out of range (n=%d)", u, targets[len(targets)-1], b.n)
+	}
+	for v := b.next; v < u; v++ {
+		b.outOff[v+1] = b.outOff[v]
+	}
+	b.outAdj = append(b.outAdj, targets...)
+	b.outOff[u+1] = int64(len(b.outAdj))
+	b.next = u + 1
+	return nil
+}
+
+// Build freezes the accumulated rows into a Graph, deriving the in-CSR
+// with the parallel build. The RowBuilder must not be reused.
+func (b *RowBuilder) Build() (*Graph, error) {
+	if b.n == 0 {
+		return nil, fmt.Errorf("graph: cannot build an empty graph")
+	}
+	for v := int(b.next); v < b.n; v++ {
+		b.outOff[v+1] = b.outOff[v]
+	}
+	g := &Graph{n: b.n, outOff: b.outOff, outAdj: b.outAdj}
+	if g.outAdj == nil {
+		g.outAdj = []NodeID{}
+	}
+	buildIn(g)
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

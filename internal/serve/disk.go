@@ -47,11 +47,18 @@ type diskResult struct {
 	Converged  bool
 }
 
-// GraphSignature fingerprints a global graph: FNV-1a over the node
-// count and the full out-adjacency stream. Two graphs share a signature
-// only if they have identical topology, so it versions every cache
-// keyed by "scores of a subgraph of THIS graph".
+// GraphSignature fingerprints a global graph, versioning every cache
+// keyed by "scores of a subgraph of THIS graph". Graphs loaded from a
+// v2 binary file carry a signature precomputed from the file's section
+// checksums — used directly, so an mmap-backed daemon never forces the
+// whole adjacency through memory just to fingerprint it. Other graphs
+// get FNV-1a over the node count and the full out-adjacency stream.
+// (The two schemes hash different inputs: a daemon switching an
+// existing graph file to v2 discards its old disk cache once.)
 func GraphSignature(g *graph.Graph) uint64 {
+	if sig, ok := g.FormatSignature(); ok {
+		return sig
+	}
 	h := uint64(fnvOffset64)
 	h = (h ^ uint64(g.NumNodes())) * fnvPrime64
 	h = (h ^ uint64(g.NumEdges())) * fnvPrime64

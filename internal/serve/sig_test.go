@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestGraphSignatureMmapStable: the daemon's cache-versioning signature
+// is identical whether a v2 graph was memory-mapped or copy-loaded —
+// a warm disk cache written by one boot mode is valid in the other.
+// Also pins that the v2 fast path actually fires (signature comes from
+// the file, not an adjacency walk) by checking it against the graph's
+// own FormatSignature.
+func TestGraphSignatureMmapStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	n := 300
+	b := graph.NewBuilder(n)
+	for i := 0; i < 1800; i++ {
+		b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.v2")
+	if err := graph.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := graph.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := graph.MmapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	sigCopied := GraphSignature(copied)
+	sigMapped := GraphSignature(mapped)
+	if sigCopied != sigMapped {
+		t.Fatalf("signature differs across load modes: %x vs %x", sigCopied, sigMapped)
+	}
+	if fileSig, ok := mapped.FormatSignature(); !ok || fileSig != sigMapped {
+		t.Fatalf("v2 fast path not taken: file sig %x/%v, GraphSignature %x", fileSig, ok, sigMapped)
+	}
+	// The in-memory original has no file signature and takes the walking
+	// path — a different hash domain, but still deterministic.
+	if GraphSignature(g) != GraphSignature(g) {
+		t.Fatal("walking signature not deterministic")
+	}
+}
